@@ -1,0 +1,189 @@
+// Command pgpublish anonymizes microdata with perturbed generalization and
+// writes D* as CSV. The input is either the built-in hospital example of the
+// paper's Table I, a SAL CSV produced by salgen, or a freshly generated SAL
+// sample. The retention probability can be given directly (-p) or solved
+// from a target guarantee level (-rho2 / -delta), mirroring Section VI's
+// parameter-selection rule.
+//
+// Usage:
+//
+//	pgpublish -dataset hospital -s 0.5 -p 0.25
+//	pgpublish -dataset sal -n 100000 -k 6 -rho2 0.45
+//	pgpublish -in sal.csv -k 6 -delta 0.24 -out anonymized.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/pg"
+	"pgpub/internal/privacy"
+	"pgpub/internal/sal"
+)
+
+func main() {
+	ds := flag.String("dataset", "sal", "built-in dataset: sal|hospital (ignored with -in)")
+	in := flag.String("in", "", "input CSV with the SAL schema (from salgen)")
+	n := flag.Int("n", 100000, "generated SAL cardinality (without -in)")
+	seed := flag.Int64("seed", 42, "random seed")
+	k := flag.Int("k", 0, "QI-group size floor (alternative to -s)")
+	s := flag.Float64("s", 0, "cardinality parameter in (0,1]: |D*| <= |D|*s")
+	p := flag.Float64("p", -1, "retention probability; omit to solve from -rho2/-delta")
+	rho1 := flag.Float64("rho1", 0.2, "prior-confidence bound for -rho2 solving")
+	rho2 := flag.Float64("rho2", 0, "target rho2 level (solves max p, Theorem 2)")
+	delta := flag.Float64("delta", 0, "target delta-growth level (solves max p, Theorem 3)")
+	lambda := flag.Float64("lambda", 0.1, "background-knowledge skew bound")
+	alg := flag.String("algorithm", "kd", "phase-2 algorithm: kd|tds|full-domain")
+	out := flag.String("out", "", "output file (default stdout)")
+	meta := flag.String("meta", "", "also write release metadata JSON to this file")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "pgpublish: %v\n", err)
+		os.Exit(1)
+	}
+
+	var (
+		d     *dataset.Table
+		hiers []*hierarchy.Hierarchy
+		err   error
+	)
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		d, err = dataset.ReadCSV(sal.Schema(), bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		hiers = sal.Hierarchies(d.Schema)
+	case *ds == "hospital":
+		d = dataset.Hospital()
+		hiers = []*hierarchy.Hierarchy{
+			hierarchy.MustInterval(d.Schema.QI[0].Size(), 5, 20),
+			hierarchy.MustFlat(d.Schema.QI[1].Size()),
+			hierarchy.MustInterval(d.Schema.QI[2].Size(), 5, 20),
+		}
+	case *ds == "sal":
+		d, err = sal.Generate(*n, *seed)
+		if err != nil {
+			fail(err)
+		}
+		hiers = sal.Hierarchies(d.Schema)
+	default:
+		fail(fmt.Errorf("unknown dataset %q", *ds))
+	}
+
+	// Resolve k to solve guarantees before publication.
+	kk := *k
+	if kk == 0 {
+		if *s <= 0 || *s > 1 {
+			fail(fmt.Errorf("set -k or -s in (0,1]"))
+		}
+		kk = int(1 / *s)
+		if float64(kk) < 1 / *s {
+			kk++
+		}
+	}
+
+	retention := *p
+	domain := d.Schema.SensitiveDomain()
+	if retention < 0 {
+		switch {
+		case *rho2 > 0 && *delta > 0:
+			pr, err := privacy.MaxRetentionRho12(*lambda, *rho1, *rho2, kk, domain)
+			if err != nil {
+				fail(err)
+			}
+			pd, err := privacy.MaxRetentionDelta(*lambda, *delta, kk, domain)
+			if err != nil {
+				fail(err)
+			}
+			retention = pr
+			if pd < pr {
+				retention = pd
+			}
+		case *rho2 > 0:
+			retention, err = privacy.MaxRetentionRho12(*lambda, *rho1, *rho2, kk, domain)
+			if err != nil {
+				fail(err)
+			}
+		case *delta > 0:
+			retention, err = privacy.MaxRetentionDelta(*lambda, *delta, kk, domain)
+			if err != nil {
+				fail(err)
+			}
+		default:
+			fail(fmt.Errorf("set -p, -rho2 or -delta"))
+		}
+		fmt.Fprintf(os.Stderr, "pgpublish: solved retention probability p = %.4f\n", retention)
+	}
+
+	var algorithm pg.Algorithm
+	switch *alg {
+	case "kd":
+		algorithm = pg.KD
+	case "tds":
+		algorithm = pg.TDS
+	case "full-domain":
+		algorithm = pg.FullDomain
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	pub, err := pg.Publish(d, hiers, pg.Config{
+		K: kk, P: retention, Algorithm: algorithm, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	r2, dl, err := pub.Guarantees(*lambda, *rho1)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"pgpublish: published %d of %d tuples (k=%d, p=%.4f); guarantees: %.2f-to-%.2f, %.2f-growth\n",
+		pub.Len(), d.Len(), pub.K, pub.P, *rho1, r2, dl)
+
+	if *meta != "" {
+		m, err := pub.Metadata(*lambda, *rho1)
+		if err != nil {
+			fail(err)
+		}
+		mf, err := os.Create(*meta)
+		if err != nil {
+			fail(err)
+		}
+		if err := m.Write(mf); err != nil {
+			mf.Close()
+			fail(err)
+		}
+		if err := mf.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := pub.WriteCSV(bw); err != nil {
+		fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fail(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Command pgquery answers aggregate COUNT queries against a published D*
+// CSV (SAL schema, as produced by pgpublish) using the stratified,
+// perturbation-corrected estimator — the consumer-side workflow: the
+// analyst holds only the release plus its announced retention probability.
+//
+// Usage:
+//
+//	pgquery -in anonymized.csv -p 0.2996 -where "Age=30..50,Gender=M..M" -income 25..49
+//	pgquery -in anonymized.csv -p 0.2996 -workload 50 -truth sal.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+	"pgpub/internal/sal"
+)
+
+func main() {
+	in := flag.String("in", "", "published CSV (required)")
+	p := flag.Float64("p", -1, "the release's retention probability (or use -meta)")
+	metaPath := flag.String("meta", "", "release metadata JSON written by pgpublish -meta")
+	where := flag.String("where", "", "QI predicate: Attr=lo..hi[,Attr=lo..hi...] using attribute labels")
+	income := flag.String("income", "", "sensitive predicate: lo..hi income bucket codes (0-49)")
+	workload := flag.Int("workload", 0, "instead of one query, run N random queries")
+	truth := flag.String("truth", "", "microdata CSV for error reporting (workload mode)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "pgquery: %v\n", err)
+		os.Exit(1)
+	}
+	if *metaPath != "" {
+		mf, err := os.Open(*metaPath)
+		if err != nil {
+			fail(err)
+		}
+		m, err := pg.ReadMetadata(bufio.NewReader(mf))
+		mf.Close()
+		if err != nil {
+			fail(err)
+		}
+		*p = m.P
+	}
+	if *in == "" || *p < 0 {
+		fail(fmt.Errorf("-in and -p (or -meta) are required"))
+	}
+	schema := sal.Schema()
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	pub, err := pg.ReadCSV(schema, bufio.NewReader(f), *p)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "pgquery: loaded %d published tuples (k=%d, p=%.4f)\n", pub.Len(), pub.K, pub.P)
+
+	if *workload > 0 {
+		runWorkload(pub, *workload, *seed, *truth, fail)
+		return
+	}
+
+	q, err := parseQuery(schema, *where, *income)
+	if err != nil {
+		fail(err)
+	}
+	est, err := query.Estimate(pub, q)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("estimated count: %.1f\n", est)
+}
+
+// parseQuery builds a CountQuery from the -where / -income flags.
+func parseQuery(schema *dataset.Schema, where, income string) (query.CountQuery, error) {
+	q := query.CountQuery{QI: make([]query.Range, schema.D())}
+	for j, a := range schema.QI {
+		q.QI[j] = query.Range{Lo: 0, Hi: int32(a.Size() - 1)}
+	}
+	if where != "" {
+		for _, clause := range strings.Split(where, ",") {
+			name, rng, ok := strings.Cut(strings.TrimSpace(clause), "=")
+			if !ok {
+				return q, fmt.Errorf("bad clause %q, want Attr=lo..hi", clause)
+			}
+			j := schema.QIIndex(name)
+			if j < 0 {
+				return q, fmt.Errorf("unknown attribute %q", name)
+			}
+			loS, hiS, ok := strings.Cut(rng, "..")
+			if !ok {
+				return q, fmt.Errorf("bad range %q, want lo..hi", rng)
+			}
+			lo, err := schema.QI[j].Code(loS)
+			if err != nil {
+				return q, err
+			}
+			hi, err := schema.QI[j].Code(hiS)
+			if err != nil {
+				return q, err
+			}
+			if lo > hi {
+				return q, fmt.Errorf("inverted range %q", rng)
+			}
+			q.QI[j] = query.Range{Lo: lo, Hi: hi}
+		}
+	}
+	if income != "" {
+		loS, hiS, ok := strings.Cut(income, "..")
+		if !ok {
+			return q, fmt.Errorf("bad income range %q, want lo..hi", income)
+		}
+		var lo, hi int
+		if _, err := fmt.Sscanf(loS+" "+hiS, "%d %d", &lo, &hi); err != nil {
+			return q, fmt.Errorf("bad income range %q: %v", income, err)
+		}
+		if lo < 0 || hi >= schema.SensitiveDomain() || lo > hi {
+			return q, fmt.Errorf("income range %q outside [0,%d]", income, schema.SensitiveDomain()-1)
+		}
+		mask := make([]bool, schema.SensitiveDomain())
+		for x := lo; x <= hi; x++ {
+			mask[x] = true
+		}
+		q.Sensitive = mask
+	}
+	return q, nil
+}
+
+// runWorkload evaluates N random queries, optionally against ground truth.
+func runWorkload(pub *pg.Published, n int, seed int64, truthPath string, fail func(error)) {
+	rng := rand.New(rand.NewSource(seed))
+	qs, err := query.Workload(pub.Schema, query.WorkloadConfig{
+		Queries: n, QIFraction: 0.5, RestrictAttrs: 2, SensitiveFraction: 0.4, Rng: rng,
+	})
+	if err != nil {
+		fail(err)
+	}
+	var d *dataset.Table
+	if truthPath != "" {
+		f, err := os.Open(truthPath)
+		if err != nil {
+			fail(err)
+		}
+		d, err = dataset.ReadCSV(pub.Schema, bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+	var rels []float64
+	for i, q := range qs {
+		est, err := query.Estimate(pub, q)
+		if err != nil {
+			fail(err)
+		}
+		if d == nil {
+			fmt.Printf("query %3d: estimate %.1f\n", i, est)
+			continue
+		}
+		tc, err := query.TrueCount(d, q)
+		if err != nil {
+			fail(err)
+		}
+		rel := math.NaN()
+		if tc > 0 {
+			rel = math.Abs(est-float64(tc)) / float64(tc)
+			rels = append(rels, rel)
+		}
+		fmt.Printf("query %3d: estimate %10.1f  truth %8d  relErr %6.1f%%\n", i, est, tc, rel*100)
+	}
+	if len(rels) > 0 {
+		sort.Float64s(rels)
+		fmt.Printf("\n%d queries with positive truth: median relErr %.1f%%, p90 %.1f%%\n",
+			len(rels), rels[len(rels)/2]*100, rels[len(rels)*9/10]*100)
+	}
+}

@@ -1,0 +1,48 @@
+// Command salgen synthesizes the SAL census substitute (see DESIGN.md §3)
+// as CSV. The paper's extract has 700k tuples; pass -n 700000 to match.
+//
+// Usage:
+//
+//	salgen -n 100000 -seed 42 -out sal.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"pgpub/internal/sal"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "number of tuples")
+	seed := flag.Int64("seed", 42, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	d, err := sal.Generate(*n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "salgen: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "salgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := d.WriteCSV(bw); err != nil {
+		fmt.Fprintf(os.Stderr, "salgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "salgen: %v\n", err)
+		os.Exit(1)
+	}
+}

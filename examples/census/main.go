@@ -1,0 +1,85 @@
+// Census: the utility workflow of Section VII at laptop scale. Generates a
+// SAL census sample, publishes it with PG at a Table III guarantee level,
+// mines a decision tree from D* with reconstruction weighting, and compares
+// its classification accuracy against the optimistic and pessimistic
+// yardsticks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pgpub"
+)
+
+func main() {
+	const (
+		n      = 50000
+		k      = 6
+		m      = 2 // income categories: [0,24] vs [25,49]
+		lambda = 0.1
+		rho1   = 0.2
+		rho2   = 0.45 // the Table III level for k = 6
+	)
+
+	d, err := pgpub.GenerateSAL(n, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classOf, err := pgpub.SALCategorizer(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the maximum retention probability that still certifies the
+	// 0.2-to-0.45 guarantee (Section VI's parameter-selection rule).
+	p, err := pgpub.MaxRetentionRho12(lambda, rho1, rho2, k, d.Schema.SensitiveDomain())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solved retention probability p = %.4f for the %.2f-to-%.2f level at k = %d\n",
+		p, rho1, rho2, k)
+
+	pub, err := pgpub.Publish(d, pgpub.SALHierarchies(d.Schema), pgpub.Config{K: k, P: p, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %d of %d tuples\n\n", pub.Len(), d.Len())
+
+	// PG: mine D* directly.
+	pgClf, err := pgpub.TrainPG(pub, classOf, m, pgpub.MiningConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pgAcc := pgpub.Accuracy(pgClf.Predict, d, classOf)
+
+	// Optimistic: a clean random subset of size |D|/k.
+	rng := rand.New(rand.NewSource(8))
+	sub, err := d.RandomSubset(n/k, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := pgpub.TrainTable(sub, classOf, m, pgpub.MiningConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	optAcc := pgpub.Accuracy(opt.Predict, d, classOf)
+
+	// Pessimistic: the same subset with fully randomized incomes.
+	randomized := sub.Clone()
+	for i := 0; i < randomized.Len(); i++ {
+		randomized.SetSensitive(i, int32(rng.Intn(randomized.Schema.SensitiveDomain())))
+	}
+	pes, err := pgpub.TrainTable(randomized, classOf, m, pgpub.MiningConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pesAcc := pgpub.Accuracy(pes.Predict, d, classOf)
+
+	fmt.Printf("classification accuracy on the microdata (m = %d):\n", m)
+	fmt.Printf("  PG          %.2f%%   (mined from D* alone)\n", pgAcc*100)
+	fmt.Printf("  optimistic  %.2f%%   (clean |D|/k subset — no privacy)\n", optAcc*100)
+	fmt.Printf("  pessimistic %.2f%%   (fully randomized subset — no utility)\n", pesAcc*100)
+	fmt.Println("\nPG stays close to optimistic while carrying the anti-corruption guarantee.")
+}

@@ -1,0 +1,52 @@
+// Guarantees: the publisher's parameter-planning workflow of Section VI.
+// For a range of target guarantee levels, solves the maximum retention
+// probability p (more retention = more utility) that Theorems 2 and 3 still
+// certify, and prints the resulting publication plan — the inverse reading
+// of the paper's Table III.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "pgpub"
+
+func main() {
+	const (
+		lambda = 0.1 // background-knowledge skew the publisher defends against
+		rho1   = 0.2 // prior-confidence bound of the rho1-to-rho2 guarantee
+		domain = 50  // |U^s|: the SAL Income domain
+	)
+
+	fmt.Println("Planning p for rho1-to-rho2 levels (lambda=0.1, rho1=0.2, |Us|=50):")
+	fmt.Printf("%-6s %-8s %-10s %-14s\n", "k", "rho2", "max p", "delta at p")
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		for _, rho2 := range []float64{0.4, 0.5, 0.6} {
+			p, err := pgpub.MaxRetentionRho12(lambda, rho1, rho2, k, domain)
+			if err != nil {
+				log.Fatal(err)
+			}
+			delta, err := pgpub.MinDelta(p, lambda, k, domain)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d %-8.2f %-10.4f %-14.4f\n", k, rho2, p, delta)
+		}
+	}
+
+	fmt.Println("\nPlanning p for delta-growth levels:")
+	fmt.Printf("%-6s %-8s %-10s\n", "k", "delta", "max p")
+	for _, k := range []int{2, 6, 10} {
+		for _, delta := range []float64{0.1, 0.2, 0.3} {
+			p, err := pgpub.MaxRetentionDelta(lambda, delta, k, domain)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d %-8.2f %-10.4f\n", k, delta, p)
+		}
+	}
+
+	fmt.Println("\nReading: a higher k (smaller sample) or a looser target permits more")
+	fmt.Println("retention; p = 0 means only a fully randomized release meets the level.")
+}

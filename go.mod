@@ -1,0 +1,3 @@
+module pgpub
+
+go 1.22

@@ -1,0 +1,166 @@
+package anatomy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/sal"
+)
+
+func TestAnatomizeHospital(t *testing.T) {
+	d := dataset.Hospital()
+	rng := rand.New(rand.NewSource(1))
+	pub, err := Anatomize(d, 2, rng)
+	if err != nil {
+		t.Fatalf("Anatomize: %v", err)
+	}
+	if pub.MinDistinct() < 2 {
+		t.Fatalf("MinDistinct = %d, want >= 2", pub.MinDistinct())
+	}
+	// Every row belongs to a group, and group multisets match assignments.
+	counts := make([]map[int32]int, len(pub.Values))
+	for gid, vals := range pub.Values {
+		counts[gid] = map[int32]int{}
+		for _, v := range vals {
+			counts[gid][v]++
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		gid := pub.GroupOf[i]
+		if gid < 0 || gid >= len(pub.Values) {
+			t.Fatalf("row %d unassigned", i)
+		}
+		counts[gid][d.Sensitive(i)]--
+	}
+	for gid, m := range counts {
+		for v, n := range m {
+			if n != 0 {
+				t.Fatalf("group %d multiset mismatch at value %d (%d)", gid, v, n)
+			}
+		}
+	}
+}
+
+func TestAnatomizeErrors(t *testing.T) {
+	d := dataset.Hospital()
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Anatomize(d, 1, rng); err == nil {
+		t.Fatal("l=1: want error")
+	}
+	if _, err := Anatomize(d, 2, nil); err == nil {
+		t.Fatal("nil rng: want error")
+	}
+	// A table dominated by one value is not l-eligible.
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("Q", 0, 9)},
+		dataset.MustAttribute("S", "a", "b"),
+	)
+	skew := dataset.NewTable(s)
+	for i := 0; i < 9; i++ {
+		skew.MustAppend([]int32{int32(i), 0})
+	}
+	skew.MustAppend([]int32{9, 1})
+	if _, err := Anatomize(skew, 2, rng); err == nil {
+		t.Fatal("ineligible table: want error")
+	}
+	tiny := dataset.NewTable(s)
+	tiny.MustAppend([]int32{0, 0})
+	if _, err := Anatomize(tiny, 2, rng); err == nil {
+		t.Fatal("|D| < l: want error")
+	}
+}
+
+// The corruption story: with no corruption the victim hides among l values;
+// corrupting all group-mates reveals the value exactly — posterior 1.
+func TestAnatomyCorruptionProgression(t *testing.T) {
+	d := dataset.Hospital()
+	rng := rand.New(rand.NewSource(3))
+	pub, err := Anatomize(d, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 1 // Calvin's row
+	truth := d.Sensitive(victim)
+
+	// No corruption: posterior over the group multiset; the truth's mass is
+	// below 1 (l >= 2 distinct values).
+	post, err := pub.PosteriorAfterCorruption(d, victim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post[truth] >= 1 {
+		t.Fatal("uncorrupted posterior should not be certain")
+	}
+
+	// Corrupt every group-mate: certainty.
+	mates := map[int]bool{}
+	for i := 0; i < d.Len(); i++ {
+		if i != victim && pub.GroupOf[i] == pub.GroupOf[victim] {
+			mates[i] = true
+		}
+	}
+	if len(mates) == 0 {
+		t.Fatal("victim has no group mates")
+	}
+	post, err = pub.PosteriorAfterCorruption(d, victim, mates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post[truth] != 1 {
+		t.Fatalf("full group corruption should be certain, got %v", post[truth])
+	}
+}
+
+func TestPosteriorAfterCorruptionErrors(t *testing.T) {
+	d := dataset.Hospital()
+	rng := rand.New(rand.NewSource(4))
+	pub, err := Anatomize(d, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.PosteriorAfterCorruption(d, -1, nil); err == nil {
+		t.Fatal("bad victim: want error")
+	}
+	if _, err := pub.PosteriorAfterCorruption(d, 0, map[int]bool{0: true}); err == nil {
+		t.Fatal("corrupted victim: want error")
+	}
+}
+
+// Property: anatomization of SAL samples is always valid (cover + distinct
+// values >= l), and full group corruption always reveals the victim.
+func TestAnatomyInvariants(t *testing.T) {
+	f := func(seed int64, lRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := sal.Generate(300+rng.Intn(300), seed)
+		if err != nil {
+			return false
+		}
+		l := int(lRaw%4) + 2
+		pub, err := Anatomize(d, l, rng)
+		if err != nil {
+			// SAL income is close to uniformizable; eligibility failures
+			// are acceptable for large l on small samples.
+			return l > 2
+		}
+		if pub.MinDistinct() < l {
+			return false
+		}
+		victim := rng.Intn(d.Len())
+		mates := map[int]bool{}
+		for i := 0; i < d.Len(); i++ {
+			if i != victim && pub.GroupOf[i] == pub.GroupOf[victim] {
+				mates[i] = true
+			}
+		}
+		post, err := pub.PosteriorAfterCorruption(d, victim, mates)
+		if err != nil {
+			return false
+		}
+		return post[d.Sensitive(victim)] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/pg"
+	"pgpub/internal/privacy"
+)
+
+// This file validates the posterior machinery of Equations 13–19 against
+// hand-computed values on a fully controlled scenario: a single QI attribute
+// over codes 0..3, four owners with QI 0,1,2,3, and one extraneous
+// individual with QI 1. KD at k = 2 deterministically yields the cells
+// [0,1] and [2,3].
+
+// tinySchema: one QI attribute (codes 0..3), sensitive domain of 4.
+func tinyScenario(t *testing.T, p float64, seed int64) (*dataset.Table, *External, *pg.Published) {
+	t.Helper()
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("Q", 0, 3)},
+		dataset.MustAttribute("S", "s0", "s1", "s2", "s3"),
+	)
+	tbl := dataset.NewTable(s)
+	// Owners 0..3 with QI = owner ID and sensitive = owner ID.
+	for i := int32(0); i < 4; i++ {
+		tbl.MustAppend([]int32{i, i})
+	}
+	voters := [][]int32{{0}, {1}, {2}, {3}, {1}} // individual 4 is extraneous, QI 1
+	ext, err := NewExternal(tbl, voters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := []*hierarchy.Hierarchy{hierarchy.MustInterval(4, 2)}
+	pub, err := pg.Publish(tbl, hiers, pg.Config{K: 2, P: p, Algorithm: pg.KD, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Len() != 2 {
+		t.Fatalf("expected 2 cells, got %d", pub.Len())
+	}
+	return tbl, ext, pub
+}
+
+// transition is P[a→b] of Equation 11.
+func transition(a, b int32, p float64, domain int) float64 {
+	u := (1 - p) / float64(domain)
+	if a == b {
+		return p + u
+	}
+	return u
+}
+
+func TestEquationsCorruptedNonExtraneous(t *testing.T) {
+	const p = 0.4
+	tbl, ext, pub := tinyScenario(t, p, 3)
+	domain := tbl.Schema.SensitiveDomain()
+	uni := privacy.Uniform(domain)
+
+	// Victim: owner 0 (cell [0,1]). Candidates: owner 1 and extraneous 4.
+	// Corrupt owner 1 (its true value is 1): alpha = 1, beta = 1,
+	// g = (G-1-beta)/(e-alpha) = 0/1 = 0.
+	adv := Adversary{Background: uni, Corrupted: map[int]bool{1: true}}
+	q, _ := privacy.ExactReconstruction(domain, 0)
+	res, err := LinkAttack(pub, ext, 0, adv, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 || res.Alpha != 1 || res.Beta != 1 {
+		t.Fatalf("candidates/alpha/beta = %d/%d/%d, want 2/1/1",
+			len(res.Candidates), res.Alpha, res.Beta)
+	}
+	if res.G != 0 {
+		t.Fatalf("g = %v, want 0 (all slots confirmed)", res.G)
+	}
+	y := res.Y
+	u := (1 - p) / float64(domain)
+	tg := float64(res.Crucial.G)
+	pOwn := (p*uni[y] + u) / tg
+	pY := pOwn + transition(1, y, p, domain)/tg // x_1 = owner 1's value = 1
+	wantH := pOwn / pY
+	if math.Abs(res.H-wantH) > 1e-12 {
+		t.Fatalf("h = %v, hand-computed %v", res.H, wantH)
+	}
+}
+
+func TestEquationsCorruptedExtraneous(t *testing.T) {
+	const p = 0.4
+	tbl, ext, pub := tinyScenario(t, p, 4)
+	domain := tbl.Schema.SensitiveDomain()
+	uni := privacy.Uniform(domain)
+
+	// Corrupt only the extraneous individual 4: alpha = 1, beta = 0,
+	// g = (2-1-0)/(2-1) = 1. Owner 1 remains an uncorrupted candidate.
+	adv := Adversary{Background: uni, Corrupted: map[int]bool{4: true}}
+	q, _ := privacy.ExactReconstruction(domain, 0)
+	res, err := LinkAttack(pub, ext, 0, adv, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha != 1 || res.Beta != 0 {
+		t.Fatalf("alpha/beta = %d/%d, want 1/0", res.Alpha, res.Beta)
+	}
+	if res.G != 1 {
+		t.Fatalf("g = %v, want 1", res.G)
+	}
+	y := res.Y
+	u := (1 - p) / float64(domain)
+	tg := float64(res.Crucial.G)
+	pOwn := (p*uni[y] + u) / tg
+	// Equation 19 for owner 1 with uniform X_j: (g/tG)(p/|U| + u).
+	pY := pOwn + 1/tg*(p/float64(domain)+u)
+	wantH := pOwn / pY
+	if math.Abs(res.H-wantH) > 1e-12 {
+		t.Fatalf("h = %v, hand-computed %v", res.H, wantH)
+	}
+}
+
+func TestEquationsNoCorruption(t *testing.T) {
+	const p = 0.25
+	tbl, ext, pub := tinyScenario(t, p, 5)
+	domain := tbl.Schema.SensitiveDomain()
+	uni := privacy.Uniform(domain)
+
+	// No corruption: alpha = beta = 0, g = (2-1)/2 = 0.5, both candidates
+	// weighted by Equation 19.
+	adv := Adversary{Background: uni, Corrupted: map[int]bool{}}
+	q, _ := privacy.ExactReconstruction(domain, 1)
+	res, err := LinkAttack(pub, ext, 0, adv, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G != 0.5 {
+		t.Fatalf("g = %v, want 0.5", res.G)
+	}
+	y := res.Y
+	u := (1 - p) / float64(domain)
+	tg := float64(res.Crucial.G)
+	pOwn := (p*uni[y] + u) / tg
+	pY := pOwn + 2*(0.5/tg)*(p/float64(domain)+u)
+	wantH := pOwn / pY
+	if math.Abs(res.H-wantH) > 1e-12 {
+		t.Fatalf("h = %v, hand-computed %v", res.H, wantH)
+	}
+	// With a uniform prior, the posterior pdf concentrates on y exactly by
+	// Equation 9's mixture; verify the posterior confidence about {y}.
+	qy, _ := privacy.ExactReconstruction(domain, y)
+	want, err := privacy.PosteriorConfidence(uni, qy, y, p, res.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resY, err := LinkAttack(pub, ext, 0, adv, qy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resY.Posterior-want) > 1e-12 {
+		t.Fatalf("posterior = %v, want %v", resY.Posterior, want)
+	}
+}
+
+// OthersBackground: giving the adversary knowledge about ANOTHER individual
+// shifts h. If the adversary believes owner 1's value is very likely y, the
+// crucial tuple is more plausibly owner 1's, so h (victim ownership) drops.
+func TestOthersBackgroundShiftsH(t *testing.T) {
+	const p = 0.4
+	tbl, ext, pub := tinyScenario(t, p, 6)
+	domain := tbl.Schema.SensitiveDomain()
+	uni := privacy.Uniform(domain)
+	q, _ := privacy.ExactReconstruction(domain, 0)
+
+	base := Adversary{Background: uni, Corrupted: map[int]bool{}}
+	resBase, err := LinkAttack(pub, ext, 0, base, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := resBase.Y
+	sharp, err := privacy.PointMass(domain, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	informed := Adversary{
+		Background: uni,
+		Corrupted:  map[int]bool{},
+		OthersBackground: func(id int) privacy.PDF {
+			if id == 1 {
+				return sharp
+			}
+			return uni
+		},
+	}
+	resInf, err := LinkAttack(pub, ext, 0, informed, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(resInf.H < resBase.H) {
+		t.Fatalf("informed h = %v should be below baseline %v", resInf.H, resBase.H)
+	}
+}
+
+// The g cap: when corrupted knowledge confirms fewer members than the group
+// needs but only one uncorrupted candidate remains, g caps at 1.
+func TestGCappedAtOne(t *testing.T) {
+	// Build a scenario with G = 3 but only 2 candidates after corruption
+	// bookkeeping is impossible here (G <= candidates+1 by construction),
+	// so instead verify the cap arithmetic through the tiny scenario's
+	// no-extraneous variant: 4 owners, no extraneous, corrupt nobody,
+	// cell [0,1] has G=2, e=1 candidate, g = (2-1)/1 = 1.
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("Q", 0, 3)},
+		dataset.MustAttribute("S", "s0", "s1", "s2", "s3"),
+	)
+	tbl := dataset.NewTable(s)
+	for i := int32(0); i < 4; i++ {
+		tbl.MustAppend([]int32{i, i})
+	}
+	ext, err := NewExternal(tbl, [][]int32{{0}, {1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := []*hierarchy.Hierarchy{hierarchy.MustInterval(4, 2)}
+	pub, err := pg.Publish(tbl, hiers, pg.Config{K: 2, P: 0.3, Algorithm: pg.KD, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := privacy.ExactReconstruction(4, 0)
+	res, err := LinkAttack(pub, ext, 0, Adversary{Background: privacy.Uniform(4)}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G != 1 {
+		t.Fatalf("g = %v, want 1", res.G)
+	}
+}

@@ -1,0 +1,78 @@
+// Package attack implements the adversary model of Section V: the external
+// database ℰ (a voter-registration-style identity directory), corruption
+// sets 𝒞 (Definition 1), the corruption-aided linking attack A1–A3 against a
+// PG publication with the exact posterior derivation of Equations 13–19, the
+// conventional-generalization attacks behind Lemmas 1 and 2, and a
+// Monte-Carlo harness that validates the analytic bounds empirically.
+package attack
+
+import (
+	"fmt"
+	"reflect"
+
+	"pgpub/internal/dataset"
+)
+
+// External is the external database ℰ: it maps every individual's identity
+// to a QI vector, and knows which individuals own microdata rows. People
+// with no microdata row are extraneous (their sensitive value is ∅).
+type External struct {
+	table *dataset.Table
+	qi    [][]int32
+	rowOf []int // individual -> microdata row, or -1 if extraneous
+}
+
+// NewExternal builds ℰ from the microdata and a voter list of QI vectors
+// indexed by individual ID. The microdata's Owners must point into the voter
+// list, and each owner's voter QI vector must equal their microdata QI
+// vector (the equi-join premise of linking attacks).
+func NewExternal(d *dataset.Table, voterQI [][]int32) (*External, error) {
+	e := &External{table: d, qi: voterQI, rowOf: make([]int, len(voterQI))}
+	for id := range e.rowOf {
+		e.rowOf[id] = -1
+		if len(voterQI[id]) != d.Schema.D() {
+			return nil, fmt.Errorf("attack: individual %d has %d QI components, schema wants %d",
+				id, len(voterQI[id]), d.Schema.D())
+		}
+	}
+	for i := 0; i < d.Len(); i++ {
+		o := d.Owner(i)
+		if o < 0 || o >= len(voterQI) {
+			return nil, fmt.Errorf("attack: row %d owner %d outside the voter list", i, o)
+		}
+		if e.rowOf[o] != -1 {
+			return nil, fmt.Errorf("attack: individual %d owns two rows", o)
+		}
+		if !reflect.DeepEqual(voterQI[o], d.QIVector(i)) {
+			return nil, fmt.Errorf("attack: individual %d voter QI %v != microdata QI %v",
+				o, voterQI[o], d.QIVector(i))
+		}
+		e.rowOf[o] = i
+	}
+	return e, nil
+}
+
+// Len returns |ℰ|.
+func (e *External) Len() int { return len(e.qi) }
+
+// QIOf returns the QI vector of an individual.
+func (e *External) QIOf(id int) []int32 { return e.qi[id] }
+
+// IsExtraneous reports whether the individual has no microdata row.
+func (e *External) IsExtraneous(id int) bool { return e.rowOf[id] < 0 }
+
+// RowOf returns the individual's microdata row, or -1 if extraneous.
+func (e *External) RowOf(id int) int { return e.rowOf[id] }
+
+// SensitiveOf is the corruption oracle: the exact sensitive value of a
+// non-extraneous individual. ok is false for extraneous people (whose value
+// is ∅).
+func (e *External) SensitiveOf(id int) (int32, bool) {
+	if e.rowOf[id] < 0 {
+		return 0, false
+	}
+	return e.table.Sensitive(e.rowOf[id]), true
+}
+
+// Table returns the microdata backing ℰ (ground truth for simulations).
+func (e *External) Table() *dataset.Table { return e.table }

@@ -1,0 +1,182 @@
+package attack
+
+import (
+	"fmt"
+
+	"pgpub/internal/pg"
+	"pgpub/internal/privacy"
+)
+
+// Adversary models an attacker per Section V: background knowledge about
+// the victim (a pdf over U^s), a corruption set 𝒞, and optional background
+// knowledge about other individuals (the X_j of Equation 19; uniform when
+// absent).
+type Adversary struct {
+	// Background is the prior pdf about the victim's sensitive value.
+	Background privacy.PDF
+	// Corrupted is 𝒞 ⊆ ℰ: individual IDs whose sensitive status the
+	// adversary learned outside D* (exact value for microdata owners,
+	// extraneousness for the others).
+	Corrupted map[int]bool
+	// OthersBackground optionally returns the adversary's pdf about
+	// another individual's sensitive value (Equation 19's X_j). nil means
+	// uniform for everyone.
+	OthersBackground func(id int) privacy.PDF
+}
+
+// Result carries everything an attack computes, mirroring the symbols of
+// Sections V and VI.
+type Result struct {
+	// Crucial is the tuple t found at step A1, and Y its observed value.
+	Crucial pg.Row
+	Y       int32
+	// Candidates is 𝒪 (step A2): individuals other than the victim whose
+	// QI vectors generalize to t's. E is e = |𝒪|.
+	Candidates []int
+	// Alpha = |𝒞 ∩ 𝒪|; Beta = non-extraneous members of 𝒞 ∩ 𝒪.
+	Alpha, Beta int
+	// G is the membership probability g of Equation 13.
+	G float64
+	// H is the ownership probability h of Equation 14.
+	H float64
+	// Prior and Posterior are the confidences of Equations 5 and 10.
+	Prior, Posterior float64
+	// PosteriorPDF is the full posterior of Equation 9.
+	PosteriorPDF privacy.PDF
+}
+
+// LinkAttack performs the corruption-aided linking attack A1–A3 of Section
+// V-A against a PG publication, computing the exact Bayesian posterior of
+// Section V-B / VI. The victim must be a microdata owner, must not be in 𝒞,
+// and the predicate is the attack target Q.
+func LinkAttack(pub *pg.Published, ext *External, victim int, adv Adversary, q privacy.Predicate) (*Result, error) {
+	if victim < 0 || victim >= ext.Len() {
+		return nil, fmt.Errorf("attack: victim %d outside the external database", victim)
+	}
+	if ext.IsExtraneous(victim) {
+		return nil, fmt.Errorf("attack: victim %d is extraneous; linking attacks presuppose o ∈ D", victim)
+	}
+	if adv.Corrupted[victim] {
+		return nil, fmt.Errorf("attack: victim %d is corrupted; nothing left to infer", victim)
+	}
+	if err := adv.Background.Validate(); err != nil {
+		return nil, fmt.Errorf("attack: invalid background knowledge: %w", err)
+	}
+	domain := pub.Schema.SensitiveDomain()
+	if len(adv.Background) != domain {
+		return nil, fmt.Errorf("attack: background over %d values, domain is %d", len(adv.Background), domain)
+	}
+	if len(q) != domain {
+		return nil, fmt.Errorf("attack: predicate over %d values, domain is %d", len(q), domain)
+	}
+
+	// A1: the crucial tuple.
+	t, ok := pub.FindCrucial(ext.QIOf(victim))
+	if !ok {
+		return nil, fmt.Errorf("attack: no crucial tuple for victim %d", victim)
+	}
+	res := &Result{Crucial: t, Y: t.Value}
+
+	// A2: the candidate set 𝒪.
+	for id := 0; id < ext.Len(); id++ {
+		if id == victim {
+			continue
+		}
+		if t.Box.Covers(ext.QIOf(id)) {
+			res.Candidates = append(res.Candidates, id)
+		}
+	}
+
+	// A3: posterior derivation. Split 𝒪 into corrupted non-extraneous
+	// (known values x_1..x_β), corrupted extraneous (known absent), and
+	// uncorrupted (Equation 19 applies).
+	p := pub.P
+	u := (1 - p) / float64(domain)
+	tg := float64(t.G)
+	var knownValues []int32
+	var uncorrupted []int
+	for _, id := range res.Candidates {
+		if adv.Corrupted[id] {
+			res.Alpha++
+			if v, ok := ext.SensitiveOf(id); ok {
+				res.Beta++
+				knownValues = append(knownValues, v)
+			}
+			continue
+		}
+		uncorrupted = append(uncorrupted, id)
+	}
+
+	// Equation 13: g = (t.G - 1 - β) / (e - α). With no uncorrupted
+	// candidates left every remaining slot is already accounted for; g = 0.
+	slots := float64(t.G-1) - float64(res.Beta)
+	if slots < 0 {
+		// More confirmed members than the group holds: the scenario is
+		// inconsistent with the publication (cannot happen for honest
+		// corruption oracles).
+		return nil, fmt.Errorf("attack: %d confirmed members exceed group size %d", res.Beta+1, t.G)
+	}
+	if len(uncorrupted) > 0 {
+		res.G = slots / float64(len(uncorrupted))
+	}
+	if res.G > 1 {
+		res.G = 1
+	}
+
+	y := t.Value
+	// Equation 15: P[o owns t, y] = (1/t.G)(p·P[X=y] + (1-p)/|U^s|).
+	pOwn := (p*adv.Background[y] + u) / tg
+
+	// Equation 17: P[y] = P[o owns t, y] + Σ_i P[o_i owns t, y] +
+	// Σ_j P[o_j owns t, y].
+	pY := pOwn
+	for _, x := range knownValues {
+		// Equation 18: P[o_i owns t, y] = P[x_i→y]/t.G.
+		trans := u
+		if x == y {
+			trans += p
+		}
+		pY += trans / tg
+	}
+	for _, id := range uncorrupted {
+		// Equation 19: P[o_j owns t, y] = (g/t.G)(p·P[X_j=y] + (1-p)/|U^s|).
+		var pj float64
+		if adv.OthersBackground != nil {
+			pdf := adv.OthersBackground(id)
+			if len(pdf) != domain {
+				return nil, fmt.Errorf("attack: others-background for %d over %d values, domain is %d", id, len(pdf), domain)
+			}
+			pj = pdf[y]
+		} else {
+			pj = 1 / float64(domain)
+		}
+		pY += res.G / tg * (p*pj + u)
+	}
+
+	// Equation 14: h = P[o owns t, y] / P[y].
+	if pY == 0 {
+		// p = 1 and every prior assigns zero mass to y: the observation is
+		// impossible under the adversary's model; fall back to the prior.
+		res.H = 0
+	} else {
+		res.H = pOwn / pY
+	}
+	if res.H > 1 {
+		res.H = 1
+	}
+
+	prior, err := adv.Background.Confidence(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Prior = prior
+	res.PosteriorPDF, err = privacy.Posterior(adv.Background, y, p, res.H)
+	if err != nil {
+		return nil, err
+	}
+	res.Posterior, err = res.PosteriorPDF.Confidence(q)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

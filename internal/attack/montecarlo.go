@@ -1,0 +1,238 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/pg"
+	"pgpub/internal/privacy"
+)
+
+// MonteCarloConfig drives the empirical validation of Theorems 2 and 3
+// (DESIGN.md Extra E1): republish D* many times with fresh randomness,
+// attack a random victim with a random corruption set each trial, and track
+// the worst posterior/growth observed against the analytic bounds.
+type MonteCarloConfig struct {
+	// PG holds the publication parameters (K or S, P, Algorithm).
+	PG pg.Config
+	// Trials is the number of publish-attack rounds.
+	Trials int
+	// Lambda bounds the skew of the adversaries drawn (their priors are
+	// uniform or Excluding-style, whose skew is kept <= Lambda).
+	Lambda float64
+	// CorruptFraction is the expected fraction of ℰ−{victim} corrupted per
+	// trial; 1 reproduces the worst case |𝒞| = |ℰ|−1.
+	CorruptFraction float64
+	// Rng drives all randomness; required.
+	Rng *rand.Rand
+	// Parallel splits the trials across this many goroutines, each with a
+	// worker seed derived from Rng. Results are deterministic for a fixed
+	// (seed, Parallel) pair; different Parallel values draw different
+	// random streams. 0 or 1 runs serially.
+	Parallel int
+}
+
+// MonteCarloResult aggregates the trials.
+type MonteCarloResult struct {
+	Trials        int
+	MaxH          float64 // worst ownership probability observed
+	MaxHBound     float64 // analytic h⊤ (Inequality 20)
+	MaxPosterior  float64 // worst posterior confidence with prior <= rho1
+	MaxGrowth     float64 // worst posterior - prior
+	Rho2Bound     float64 // analytic Theorem-2 bound for rho1 = Lambda-style priors
+	DeltaBound    float64 // analytic Theorem-3 bound
+	BreachesRho   int     // trials violating the rho bound (must be 0)
+	BreachesDelta int     // trials violating the delta bound (must be 0)
+}
+
+// MonteCarlo runs the validation. The predicate attacked each trial is
+// Q = {y}-containing random sets; since Theorem 1 disposes of y ∉ Q cases,
+// the harness always includes the observed y in Q to stress the bound.
+func MonteCarlo(d *dataset.Table, voterQI [][]int32, hiers []*hierarchy.Hierarchy, cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("attack: Trials must be positive")
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("attack: Rng is required")
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("attack: Lambda = %v outside (0,1]", cfg.Lambda)
+	}
+	ext, err := NewExternal(d, voterQI)
+	if err != nil {
+		return nil, err
+	}
+	domain := d.Schema.SensitiveDomain()
+
+	// One publication to learn K (resolved from S if needed).
+	probe := cfg.PG
+	probe.Rng = cfg.Rng
+	pub0, err := pg.Publish(d, hiers, probe)
+	if err != nil {
+		return nil, err
+	}
+	res := &MonteCarloResult{Trials: cfg.Trials}
+	res.MaxHBound = privacy.HTop(pub0.P, cfg.Lambda, pub0.K, domain)
+	rho1 := cfg.Lambda // Excluding-style priors below keep prior <= lambda per value set... conservative: use lambda as rho1
+	res.Rho2Bound, err = privacy.MinRho2(pub0.P, cfg.Lambda, rho1, pub0.K, domain)
+	if err != nil {
+		return nil, err
+	}
+	res.DeltaBound, err = privacy.MinDelta(pub0.P, cfg.Lambda, pub0.K, domain)
+	if err != nil {
+		return nil, err
+	}
+
+	// Microdata owners are the eligible victims.
+	var owners []int
+	for id := 0; id < ext.Len(); id++ {
+		if !ext.IsExtraneous(id) {
+			owners = append(owners, id)
+		}
+	}
+	if len(owners) == 0 {
+		return nil, fmt.Errorf("attack: no microdata owners in the external database")
+	}
+
+	worker := func(trials int, rng *rand.Rand) (maxH, maxGrowth, maxPost float64, brRho, brDelta int, err error) {
+		for trial := 0; trial < trials; trial++ {
+			pcfg := cfg.PG
+			pcfg.Rng = rng
+			pub, err := pg.Publish(d, hiers, pcfg)
+			if err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+			victim := owners[rng.Intn(len(owners))]
+
+			adv := Adversary{
+				Background: privacy.Uniform(domain),
+				Corrupted:  map[int]bool{},
+			}
+			for id := 0; id < ext.Len(); id++ {
+				if id != victim && rng.Float64() < cfg.CorruptFraction {
+					adv.Corrupted[id] = true
+				}
+			}
+
+			// The uniform prior's skew 1/domain is <= Lambda whenever
+			// domain >= 1/Lambda; build a skewed prior otherwise by
+			// excluding values, capped so the skew stays within Lambda.
+			if cfg.Lambda > 1/float64(domain) {
+				keep := int(1/cfg.Lambda + 0.999999)
+				if keep < 1 {
+					keep = 1
+				}
+				if keep < domain {
+					var excluded []int32
+					truth := d.Sensitive(ext.RowOf(victim))
+					for x := int32(0); len(excluded) < domain-keep && int(x) < domain; x++ {
+						if x != truth { // honest background: never exclude the truth
+							excluded = append(excluded, x)
+						}
+					}
+					bg, err := privacy.Excluding(domain, excluded...)
+					if err != nil {
+						return 0, 0, 0, 0, 0, err
+					}
+					adv.Background = bg
+				}
+			}
+
+			// Attack with a predicate that contains the observed y.
+			t, ok := pub.FindCrucial(ext.QIOf(victim))
+			if !ok {
+				return 0, 0, 0, 0, 0, fmt.Errorf("attack: trial %d: no crucial tuple", trial)
+			}
+			values := []int32{t.Value}
+			for x := int32(0); int(x) < domain; x++ {
+				if x != t.Value && rng.Float64() < 0.2 {
+					values = append(values, x)
+				}
+			}
+			q, err := privacy.PredicateOf(domain, values...)
+			if err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+
+			r, err := LinkAttack(pub, ext, victim, adv, q)
+			if err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+			if r.H > maxH {
+				maxH = r.H
+			}
+			growth := r.Posterior - r.Prior
+			if growth > maxGrowth {
+				maxGrowth = growth
+			}
+			if growth > res.DeltaBound+1e-9 {
+				brDelta++
+			}
+			if r.Prior <= rho1+1e-12 {
+				if r.Posterior > maxPost {
+					maxPost = r.Posterior
+				}
+				if r.Posterior > res.Rho2Bound+1e-9 {
+					brRho++
+				}
+			}
+		}
+		return maxH, maxGrowth, maxPost, brRho, brDelta, nil
+	}
+
+	workers := cfg.Parallel
+	if workers <= 1 {
+		maxH, maxGrowth, maxPost, brRho, brDelta, err := worker(cfg.Trials, cfg.Rng)
+		if err != nil {
+			return nil, err
+		}
+		res.MaxH, res.MaxGrowth, res.MaxPosterior = maxH, maxGrowth, maxPost
+		res.BreachesRho, res.BreachesDelta = brRho, brDelta
+		return res, nil
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	type part struct {
+		maxH, maxGrowth, maxPost float64
+		brRho, brDelta           int
+		err                      error
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		trials := cfg.Trials / workers
+		if w < cfg.Trials%workers {
+			trials++
+		}
+		seed := cfg.Rng.Int63()
+		wg.Add(1)
+		go func(slot, trials int, seed int64) {
+			defer wg.Done()
+			p := &parts[slot]
+			p.maxH, p.maxGrowth, p.maxPost, p.brRho, p.brDelta, p.err =
+				worker(trials, rand.New(rand.NewSource(seed)))
+		}(w, trials, seed)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.maxH > res.MaxH {
+			res.MaxH = p.maxH
+		}
+		if p.maxGrowth > res.MaxGrowth {
+			res.MaxGrowth = p.maxGrowth
+		}
+		if p.maxPost > res.MaxPosterior {
+			res.MaxPosterior = p.maxPost
+		}
+		res.BreachesRho += p.brRho
+		res.BreachesDelta += p.brDelta
+	}
+	return res, nil
+}

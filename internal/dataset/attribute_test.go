@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAttribute(t *testing.T) {
+	a, err := NewAttribute("Gender", "M", "F")
+	if err != nil {
+		t.Fatalf("NewAttribute: %v", err)
+	}
+	if a.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", a.Size())
+	}
+	if a.Kind != Discrete {
+		t.Fatalf("Kind = %v, want Discrete", a.Kind)
+	}
+	if got := a.Label(1); got != "F" {
+		t.Fatalf("Label(1) = %q, want F", got)
+	}
+	c, err := a.Code("M")
+	if err != nil || c != 0 {
+		t.Fatalf("Code(M) = %d, %v; want 0, nil", c, err)
+	}
+}
+
+func TestNewAttributeErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		labels []string
+	}{
+		{"", []string{"x"}},
+		{"A", nil},
+		{"A", []string{"x", "x"}},
+		{"A", []string{""}},
+	}
+	for _, c := range cases {
+		if _, err := NewAttribute(c.name, c.labels...); err == nil {
+			t.Errorf("NewAttribute(%q, %v): want error", c.name, c.labels)
+		}
+	}
+}
+
+func TestNewIntAttribute(t *testing.T) {
+	a, err := NewIntAttribute("Age", 20, 89)
+	if err != nil {
+		t.Fatalf("NewIntAttribute: %v", err)
+	}
+	if a.Size() != 70 {
+		t.Fatalf("Size = %d, want 70", a.Size())
+	}
+	if a.Kind != Continuous {
+		t.Fatalf("Kind = %v, want Continuous", a.Kind)
+	}
+	if got := a.Label(0); got != "20" {
+		t.Fatalf("Label(0) = %q, want 20", got)
+	}
+	if got := a.MustCode("89"); got != 69 {
+		t.Fatalf("MustCode(89) = %d, want 69", got)
+	}
+	if _, err := NewIntAttribute("Age", 5, 4); err == nil {
+		t.Fatal("empty range: want error")
+	}
+	if _, err := NewIntAttribute("", 0, 1); err == nil {
+		t.Fatal("empty name: want error")
+	}
+}
+
+func TestAttributeCodeUnknown(t *testing.T) {
+	a := MustAttribute("Gender", "M", "F")
+	if _, err := a.Code("X"); err == nil {
+		t.Fatal("Code(X): want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCode(X): want panic")
+		}
+	}()
+	a.MustCode("X")
+}
+
+func TestAttributeLabelOutOfDomain(t *testing.T) {
+	a := MustAttribute("Gender", "M", "F")
+	if got := a.Label(5); !strings.Contains(got, "out of domain") {
+		t.Fatalf("Label(5) = %q, want out-of-domain marker", got)
+	}
+	if a.Valid(-1) || a.Valid(2) {
+		t.Fatal("Valid accepted out-of-domain code")
+	}
+	if !a.Valid(0) || !a.Valid(1) {
+		t.Fatal("Valid rejected in-domain code")
+	}
+}
+
+// Property: for any integer range, Label and Code are inverse bijections.
+func TestIntAttributeRoundTrip(t *testing.T) {
+	f := func(loRaw int16, span uint8) bool {
+		lo := int(loRaw)
+		hi := lo + int(span)
+		a, err := NewIntAttribute("X", lo, hi)
+		if err != nil {
+			return false
+		}
+		for c := int32(0); int(c) < a.Size(); c++ {
+			got, err := a.Code(a.Label(c))
+			if err != nil || got != c {
+				return false
+			}
+			if a.Label(c) != strconv.Itoa(lo+int(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Discrete.String() != "discrete" || Continuous.String() != "continuous" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if got := Kind(9).String(); !strings.Contains(got, "9") {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}

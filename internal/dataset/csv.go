@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV serializes the table with a header row of column names and one
+// record per row, using attribute labels rather than codes so the output is
+// human-readable and round-trips through ReadCSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.ColumnNames()); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, t.Schema.Width())
+	for i := 0; i < t.Len(); i++ {
+		for j, a := range t.Schema.QI {
+			rec[j] = a.Label(t.QI(i, j))
+		}
+		rec[len(rec)-1] = t.Schema.Sensitive.Label(t.Sensitive(i))
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream produced by WriteCSV (or any CSV whose header
+// matches the schema's column order) into a new table.
+func ReadCSV(schema *Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Width()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	want := schema.ColumnNames()
+	for j := range want {
+		if header[j] != want[j] {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema wants %q", j, header[j], want[j])
+		}
+	}
+	t := NewTable(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if err := t.AppendLabels(rec...); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+}

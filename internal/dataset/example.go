@@ -1,0 +1,84 @@
+package dataset
+
+// This file reconstructs the running example of the paper's Section I
+// (Tables Ia and Ib) so tests, examples and attack demonstrations can work
+// with the exact scenario the paper analyses.
+
+// HospitalNames lists the individuals of Table Ib (the voter registration
+// list) in order. Index into this slice is the individual ID used by Owners
+// and by the attack package's external database. Emily (ID 4) is extraneous:
+// she appears in the voter list but not in the microdata.
+var HospitalNames = []string{"Bob", "Calvin", "Debbie", "Ellie", "Emily", "Fiona", "Gloria", "Henry", "Isaac"}
+
+// HospitalSchema builds the schema of Table Ia: QI attributes Age, Gender,
+// Zipcode and sensitive attribute Disease. The Disease domain carries the
+// eight diseases of the example plus two extra respiratory values so that
+// predicate-based attacks (Lemma 1) have room to operate.
+func HospitalSchema() *Schema {
+	age := MustIntAttribute("Age", 20, 89)
+	gender := MustAttribute("Gender", "M", "F")
+	zip := MustIntAttribute("Zipcode", 10, 79) // thousands of dollars, codes 10k..79k
+	disease := MustAttribute("Disease",
+		"bronchitis", "pneumonia", "breast-cancer", "ovarian-cancer",
+		"hypertension", "Alzheimer", "dementia", "HIV", "SARS", "tuberculosis")
+	return MustSchema([]*Attribute{age, gender, zip}, disease)
+}
+
+// hospitalRows holds Table Ia, one entry per patient, keyed by the owner's
+// index in HospitalNames. Emily (4) has no row: she is extraneous.
+var hospitalRows = []struct {
+	owner   int
+	age     string
+	gender  string
+	zip     string
+	disease string
+}{
+	{0, "25", "M", "25", "bronchitis"},
+	{1, "30", "M", "27", "pneumonia"},
+	{2, "45", "F", "20", "pneumonia"},
+	{3, "50", "F", "15", "breast-cancer"},
+	{5, "55", "F", "45", "ovarian-cancer"},
+	{6, "58", "F", "32", "hypertension"},
+	{7, "65", "M", "65", "Alzheimer"},
+	{8, "80", "M", "55", "dementia"},
+}
+
+// Hospital returns the microdata D of Table Ia with Owners pointing into
+// HospitalNames.
+func Hospital() *Table {
+	s := HospitalSchema()
+	t := NewTable(s)
+	for _, r := range hospitalRows {
+		if err := t.AppendLabels(r.age, r.gender, r.zip, r.disease); err != nil {
+			panic(err)
+		}
+		t.Owners = append(t.Owners, r.owner)
+	}
+	return t
+}
+
+// HospitalVoterQI returns the QI vectors of the voter registration list
+// (Table Ib), indexed like HospitalNames. This is the external database E of
+// the attack model: it covers every microdata owner plus the extraneous
+// Emily.
+func HospitalVoterQI() [][]int32 {
+	s := HospitalSchema()
+	mk := func(age, gender, zip string) []int32 {
+		return []int32{
+			s.QI[0].MustCode(age),
+			s.QI[1].MustCode(gender),
+			s.QI[2].MustCode(zip),
+		}
+	}
+	return [][]int32{
+		mk("25", "M", "25"), // Bob
+		mk("30", "M", "27"), // Calvin
+		mk("45", "F", "20"), // Debbie
+		mk("50", "F", "15"), // Ellie
+		mk("52", "F", "28"), // Emily (extraneous)
+		mk("55", "F", "45"), // Fiona
+		mk("58", "F", "32"), // Gloria
+		mk("65", "M", "65"), // Henry
+		mk("80", "M", "55"), // Isaac
+	}
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// InferSchema scans a CSV and derives a schema: the last column becomes the
+// sensitive attribute, the others QI attributes. A column whose every value
+// parses as an integer becomes a Continuous attribute over the observed
+// integer range; any other column becomes a Discrete attribute over its
+// distinct values (sorted for determinism). It returns the schema plus the
+// loaded table, so arbitrary CSVs can feed the pipeline without hand-written
+// schemas. The whole input is buffered (two passes over the records).
+func InferSchema(r io.Reader) (*Schema, *Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, nil, fmt.Errorf("dataset: need a header and at least one row, got %d records", len(records))
+	}
+	header := records[0]
+	cols := len(header)
+	if cols < 2 {
+		return nil, nil, fmt.Errorf("dataset: need at least one QI column and a sensitive column")
+	}
+
+	attrs := make([]*Attribute, cols)
+	for j := 0; j < cols; j++ {
+		if header[j] == "" {
+			return nil, nil, fmt.Errorf("dataset: column %d has an empty name", j)
+		}
+		numeric := true
+		lo, hi := 0, 0
+		distinct := map[string]bool{}
+		for i, rec := range records[1:] {
+			if len(rec) != cols {
+				return nil, nil, fmt.Errorf("dataset: row %d has %d columns, want %d", i+1, len(rec), cols)
+			}
+			v := rec[j]
+			distinct[v] = true
+			if numeric {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					numeric = false
+					continue
+				}
+				if i == 0 || n < lo {
+					lo = n
+				}
+				if i == 0 || n > hi {
+					hi = n
+				}
+			}
+		}
+		if numeric {
+			a, err := NewIntAttribute(header[j], lo, hi)
+			if err != nil {
+				return nil, nil, err
+			}
+			attrs[j] = a
+			continue
+		}
+		labels := make([]string, 0, len(distinct))
+		for v := range distinct {
+			labels = append(labels, v)
+		}
+		sort.Strings(labels)
+		a, err := NewAttribute(header[j], labels...)
+		if err != nil {
+			return nil, nil, err
+		}
+		attrs[j] = a
+	}
+
+	schema, err := NewSchema(attrs[:cols-1], attrs[cols-1])
+	if err != nil {
+		return nil, nil, err
+	}
+	t := NewTable(schema)
+	for i, rec := range records[1:] {
+		if err := t.AppendLabels(rec...); err != nil {
+			return nil, nil, fmt.Errorf("dataset: row %d: %w", i+1, err)
+		}
+	}
+	return schema, t, nil
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInferSchemaMixed(t *testing.T) {
+	in := "Age,Gender,Disease\n25,M,flu\n30,F,cold\n25,F,flu\n"
+	schema, tbl, err := InferSchema(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("InferSchema: %v", err)
+	}
+	if schema.D() != 2 {
+		t.Fatalf("D = %d, want 2", schema.D())
+	}
+	if schema.QI[0].Kind != Continuous || schema.QI[0].Size() != 6 {
+		t.Fatalf("Age inferred as %v size %d, want Continuous over 25..30", schema.QI[0].Kind, schema.QI[0].Size())
+	}
+	if schema.QI[1].Kind != Discrete || schema.QI[1].Size() != 2 {
+		t.Fatalf("Gender inferred as %v size %d", schema.QI[1].Kind, schema.QI[1].Size())
+	}
+	if schema.Sensitive.Name != "Disease" || schema.Sensitive.Size() != 2 {
+		t.Fatalf("sensitive = %q size %d", schema.Sensitive.Name, schema.Sensitive.Size())
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels round-trip: row 1 is (30, F, cold).
+	if schema.QI[0].Label(tbl.QI(1, 0)) != "30" ||
+		schema.QI[1].Label(tbl.QI(1, 1)) != "F" ||
+		schema.Sensitive.Label(tbl.Sensitive(1)) != "cold" {
+		t.Fatal("row 1 labels wrong")
+	}
+}
+
+func TestInferSchemaNegativeNumbers(t *testing.T) {
+	in := "Balance,Status\n-10,ok\n5,bad\n"
+	schema, tbl, err := InferSchema(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.QI[0].Size() != 16 { // -10..5
+		t.Fatalf("Balance size = %d, want 16", schema.QI[0].Size())
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestInferSchemaErrors(t *testing.T) {
+	cases := []string{
+		"",           // empty
+		"A,B\n",      // header only
+		"A\n1\n",     // single column
+		",B\n1,x\n",  // empty column name
+		"A,B\n1\n",   // ragged row (csv reader catches)
+		"A,A\n1,2\n", // duplicate names
+	}
+	for _, in := range cases {
+		if _, _, err := InferSchema(strings.NewReader(in)); err == nil {
+			t.Errorf("InferSchema(%q): want error", in)
+		}
+	}
+}
+
+// A SAL CSV round-trips through inference with a compatible shape.
+func TestInferSchemaRoundTripLabels(t *testing.T) {
+	src := "X,Y,S\n1,a,s1\n2,b,s2\n3,a,s1\n"
+	schema, tbl, err := InferSchema(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	schema2, tbl2, err := InferSchema(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema2.D() != schema.D() || tbl2.Len() != tbl.Len() {
+		t.Fatal("round trip changed shape")
+	}
+}
+
+// FuzzInferSchema: arbitrary CSV input must never panic, and every accepted
+// table must validate against its inferred schema.
+func FuzzInferSchema(f *testing.F) {
+	f.Add("A,B\n1,x\n2,y\n")
+	f.Add("A,B\n-5,x\n")
+	f.Add("A,B\n1,x\n1,x\n")
+	f.Add("garbage")
+	f.Add("A,B\n\"q\",x\n")
+	f.Fuzz(func(t *testing.T, body string) {
+		_, tbl, err := InferSchema(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if err := tbl.Validate(); err != nil {
+			t.Fatalf("accepted invalid table: %v", err)
+		}
+	})
+}

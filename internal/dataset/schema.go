@@ -1,0 +1,74 @@
+package dataset
+
+import "fmt"
+
+// Schema fixes the layout of a microdata table: d QI attributes A^q_1..A^q_d
+// followed by one sensitive attribute A^s (Section II). The sensitive
+// attribute must be discrete-valued in the paper's sense; we additionally
+// allow it to be declared Continuous when its codes are ordered (the SAL
+// Income column), which only affects mining, not privacy semantics.
+type Schema struct {
+	QI        []*Attribute
+	Sensitive *Attribute
+}
+
+// NewSchema validates and assembles a schema.
+func NewSchema(qi []*Attribute, sensitive *Attribute) (*Schema, error) {
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("dataset: schema needs at least one QI attribute")
+	}
+	if sensitive == nil {
+		return nil, fmt.Errorf("dataset: schema needs a sensitive attribute")
+	}
+	seen := make(map[string]bool, len(qi)+1)
+	for i, a := range qi {
+		if a == nil {
+			return nil, fmt.Errorf("dataset: QI attribute %d is nil", i)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if seen[sensitive.Name] {
+		return nil, fmt.Errorf("dataset: sensitive attribute reuses name %q", sensitive.Name)
+	}
+	return &Schema{QI: qi, Sensitive: sensitive}, nil
+}
+
+// MustSchema is NewSchema but panics on error.
+func MustSchema(qi []*Attribute, sensitive *Attribute) *Schema {
+	s, err := NewSchema(qi, sensitive)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// D returns the number of QI attributes (the paper's d).
+func (s *Schema) D() int { return len(s.QI) }
+
+// Width returns the number of columns per row (d QI columns + sensitive).
+func (s *Schema) Width() int { return len(s.QI) + 1 }
+
+// SensitiveDomain returns |U^s|, the sensitive-domain cardinality.
+func (s *Schema) SensitiveDomain() int { return s.Sensitive.Size() }
+
+// QIIndex returns the position of the named QI attribute, or -1.
+func (s *Schema) QIIndex(name string) int {
+	for i, a := range s.QI {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns all column names in storage order, sensitive last.
+func (s *Schema) ColumnNames() []string {
+	names := make([]string, 0, s.Width())
+	for _, a := range s.QI {
+		names = append(names, a.Name)
+	}
+	return append(names, s.Sensitive.Name)
+}

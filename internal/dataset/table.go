@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Table is a microdata relation D. Rows are stored row-major; row i column j
+// (j < d) is the code of QI attribute j, and the last column is the code of
+// the sensitive attribute. Each row describes one individual; the owner of
+// row i is individual i unless Owners overrides the mapping (tuples have
+// distinct owners, the standard assumption of Section II).
+type Table struct {
+	Schema *Schema
+
+	rows [][]int32
+
+	// Owners optionally names the owner of each row with an external
+	// individual ID. nil means owner(i) == i.
+	Owners []int
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{Schema: schema}
+}
+
+// Len returns |D|.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Append adds a row after validating it against the schema. The slice is
+// retained; callers must not mutate it afterwards.
+func (t *Table) Append(row []int32) error {
+	if len(row) != t.Schema.Width() {
+		return fmt.Errorf("dataset: row has %d columns, schema wants %d", len(row), t.Schema.Width())
+	}
+	for j, a := range t.Schema.QI {
+		if !a.Valid(row[j]) {
+			return fmt.Errorf("dataset: row %d: QI %q code %d out of domain [0,%d)",
+				t.Len(), a.Name, row[j], a.Size())
+		}
+	}
+	if s := row[len(row)-1]; !t.Schema.Sensitive.Valid(s) {
+		return fmt.Errorf("dataset: row %d: sensitive code %d out of domain [0,%d)",
+			t.Len(), s, t.Schema.Sensitive.Size())
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAppend is Append but panics on error.
+func (t *Table) MustAppend(row []int32) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// AppendLabels adds a row given attribute labels in schema order.
+func (t *Table) AppendLabels(labels ...string) error {
+	if len(labels) != t.Schema.Width() {
+		return fmt.Errorf("dataset: got %d labels, schema wants %d", len(labels), t.Schema.Width())
+	}
+	row := make([]int32, len(labels))
+	for j, a := range t.Schema.QI {
+		c, err := a.Code(labels[j])
+		if err != nil {
+			return err
+		}
+		row[j] = c
+	}
+	c, err := t.Schema.Sensitive.Code(labels[len(labels)-1])
+	if err != nil {
+		return err
+	}
+	row[len(row)-1] = c
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// Row returns row i. The slice is shared with the table; treat as read-only.
+func (t *Table) Row(i int) []int32 { return t.rows[i] }
+
+// QI returns the code of QI attribute j in row i.
+func (t *Table) QI(i, j int) int32 { return t.rows[i][j] }
+
+// QIVector returns the QI-vector t.v^q of row i (a copy).
+func (t *Table) QIVector(i int) []int32 {
+	d := t.Schema.D()
+	v := make([]int32, d)
+	copy(v, t.rows[i][:d])
+	return v
+}
+
+// Sensitive returns the sensitive code of row i (the paper's t.A^s).
+func (t *Table) Sensitive(i int) int32 { return t.rows[i][t.Schema.D()] }
+
+// SetSensitive overwrites the sensitive code of row i.
+func (t *Table) SetSensitive(i int, v int32) { t.rows[i][t.Schema.D()] = v }
+
+// Owner returns the individual ID owning row i.
+func (t *Table) Owner(i int) int {
+	if t.Owners == nil {
+		return i
+	}
+	return t.Owners[i]
+}
+
+// Clone deep-copies the table (rows and owners).
+func (t *Table) Clone() *Table {
+	c := &Table{Schema: t.Schema, rows: make([][]int32, len(t.rows))}
+	for i, r := range t.rows {
+		nr := make([]int32, len(r))
+		copy(nr, r)
+		c.rows[i] = nr
+	}
+	if t.Owners != nil {
+		c.Owners = append([]int(nil), t.Owners...)
+	}
+	return c
+}
+
+// Subset returns a new table containing the given rows (deep copies), with
+// owner IDs preserved so the subset still names the same individuals.
+func (t *Table) Subset(rows []int) *Table {
+	s := &Table{Schema: t.Schema, rows: make([][]int32, len(rows)), Owners: make([]int, len(rows))}
+	for k, i := range rows {
+		nr := make([]int32, len(t.rows[i]))
+		copy(nr, t.rows[i])
+		s.rows[k] = nr
+		s.Owners[k] = t.Owner(i)
+	}
+	return s
+}
+
+// RandomSubset draws n distinct rows uniformly at random.
+func (t *Table) RandomSubset(n int, rng *rand.Rand) (*Table, error) {
+	if n < 0 || n > t.Len() {
+		return nil, fmt.Errorf("dataset: subset of %d rows from table of %d", n, t.Len())
+	}
+	perm := rng.Perm(t.Len())
+	return t.Subset(perm[:n]), nil
+}
+
+// SensitiveHistogram counts occurrences of each sensitive code.
+func (t *Table) SensitiveHistogram() []int {
+	h := make([]int, t.Schema.SensitiveDomain())
+	for i := range t.rows {
+		h[t.Sensitive(i)]++
+	}
+	return h
+}
+
+// Validate re-checks all rows against the schema; useful after external
+// construction or CSV loading paths that bypass Append.
+func (t *Table) Validate() error {
+	if t.Owners != nil && len(t.Owners) != len(t.rows) {
+		return fmt.Errorf("dataset: %d owner IDs for %d rows", len(t.Owners), len(t.rows))
+	}
+	for i, r := range t.rows {
+		if len(r) != t.Schema.Width() {
+			return fmt.Errorf("dataset: row %d has %d columns, schema wants %d", i, len(r), t.Schema.Width())
+		}
+		for j, a := range t.Schema.QI {
+			if !a.Valid(r[j]) {
+				return fmt.Errorf("dataset: row %d: QI %q code %d out of domain", i, a.Name, r[j])
+			}
+		}
+		if !t.Schema.Sensitive.Valid(r[t.Schema.D()]) {
+			return fmt.Errorf("dataset: row %d: sensitive code %d out of domain", i, r[t.Schema.D()])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII) plus the extra validation and ablation
+// experiments of DESIGN.md: Table III (privacy guarantees), Figures 2 and 3
+// (decision-tree utility), the Monte-Carlo breach validation (E1), the
+// Phase-2 algorithm ablation (E2), the reconstruction ablation (E3) and the
+// cardinality sweep (E4). Each experiment returns typed results and offers a
+// text rendering shaped like the paper's presentation.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pgpub/internal/privacy"
+)
+
+// The constants of Section VII-C: protection against 0.1-skewed background
+// knowledge and adversaries with prior confidence at most 0.2, over the
+// 50-value Income domain.
+const (
+	Lambda       = 0.1
+	Rho1         = 0.2
+	IncomeDomain = 50
+)
+
+// GuaranteeRow is one column of Table III: the parameters (p, k) and the
+// certified bounds ρ₂ (Theorem 2) and Δ (Theorem 3).
+type GuaranteeRow struct {
+	P     float64
+	K     int
+	Rho2  float64
+	Delta float64
+}
+
+// TableIIIa computes Table III(a): p = 0.3, k in {2,4,6,8,10}.
+func TableIIIa() ([]GuaranteeRow, error) {
+	const p = 0.3
+	var rows []GuaranteeRow
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		r, err := guaranteeRow(p, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// TableIIIb computes Table III(b): k = 6, p in {0.15, 0.2, ..., 0.45}.
+func TableIIIb() ([]GuaranteeRow, error) {
+	const k = 6
+	var rows []GuaranteeRow
+	for _, p := range []float64{0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45} {
+		r, err := guaranteeRow(p, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func guaranteeRow(p float64, k int) (GuaranteeRow, error) {
+	rho2, err := privacy.MinRho2(p, Lambda, Rho1, k, IncomeDomain)
+	if err != nil {
+		return GuaranteeRow{}, err
+	}
+	delta, err := privacy.MinDelta(p, Lambda, k, IncomeDomain)
+	if err != nil {
+		return GuaranteeRow{}, err
+	}
+	return GuaranteeRow{P: p, K: k, Rho2: rho2, Delta: delta}, nil
+}
+
+// RenderTableIII formats guarantee rows like the paper's Table III, with the
+// varying parameter ("k" or "p") as the header row.
+func RenderTableIII(rows []GuaranteeRow, varying string) string {
+	var b strings.Builder
+	head, vals := make([]string, 0, len(rows)+1), make([][2]string, 0, len(rows))
+	for _, r := range rows {
+		switch varying {
+		case "k":
+			head = append(head, fmt.Sprintf("%6d", r.K))
+		default:
+			head = append(head, fmt.Sprintf("%6.2f", r.P))
+		}
+		vals = append(vals, [2]string{
+			fmt.Sprintf(">=%4.2f", r.Rho2),
+			fmt.Sprintf(">=%4.2f", r.Delta),
+		})
+	}
+	fmt.Fprintf(&b, "%-6s %s\n", varying, strings.Join(head, " "))
+	r2 := make([]string, len(vals))
+	dl := make([]string, len(vals))
+	for i, v := range vals {
+		r2[i], dl[i] = v[0], v[1]
+	}
+	fmt.Fprintf(&b, "%-6s %s\n", "rho2", strings.Join(r2, " "))
+	fmt.Fprintf(&b, "%-6s %s\n", "delta", strings.Join(dl, " "))
+	return b.String()
+}

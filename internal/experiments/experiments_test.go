@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIIIaMatchesPaper(t *testing.T) {
+	rows, err := TableIIIa()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// The paper's printed values (2 decimals, mixed rounding/truncation).
+	paperRho2 := []float64{0.69, 0.53, 0.45, 0.40, 0.36}
+	paperDelta := []float64{0.47, 0.31, 0.24, 0.19, 0.16}
+	for i, r := range rows {
+		if r.P != 0.3 {
+			t.Fatalf("row %d P = %v", i, r.P)
+		}
+		if math.Abs(r.Rho2-paperRho2[i]) > 0.011 {
+			t.Errorf("k=%d rho2 = %.4f vs paper %.2f", r.K, r.Rho2, paperRho2[i])
+		}
+		if math.Abs(r.Delta-paperDelta[i]) > 0.011 {
+			t.Errorf("k=%d delta = %.4f vs paper %.2f", r.K, r.Delta, paperDelta[i])
+		}
+	}
+	// Monotone: stronger protection (lower bounds) as k grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Rho2 >= rows[i-1].Rho2 || rows[i].Delta >= rows[i-1].Delta {
+			t.Fatal("bounds must strictly decrease with k")
+		}
+	}
+	txt := RenderTableIII(rows, "k")
+	if !strings.Contains(txt, "rho2") || !strings.Contains(txt, ">=0.69") {
+		t.Fatalf("render missing content:\n%s", txt)
+	}
+}
+
+func TestTableIIIbMatchesPaper(t *testing.T) {
+	rows, err := TableIIIb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	paperRho2 := []float64{0.34, 0.38, 0.41, 0.45, 0.49, 0.52, 0.56}
+	paperDelta := []float64{0.12, 0.16, 0.20, 0.24, 0.28, 0.32, 0.36}
+	for i, r := range rows {
+		if r.K != 6 {
+			t.Fatalf("row %d K = %d", i, r.K)
+		}
+		if math.Abs(r.Rho2-paperRho2[i]) > 0.011 {
+			t.Errorf("p=%v rho2 = %.4f vs paper %.2f", r.P, r.Rho2, paperRho2[i])
+		}
+		if math.Abs(r.Delta-paperDelta[i]) > 0.011 {
+			t.Errorf("p=%v delta = %.4f vs paper %.2f", r.P, r.Delta, paperDelta[i])
+		}
+	}
+	// Weaker protection (higher bounds) as p grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Rho2 <= rows[i-1].Rho2 || rows[i].Delta <= rows[i-1].Delta {
+			t.Fatal("bounds must strictly increase with p")
+		}
+	}
+	txt := RenderTableIII(rows, "p")
+	if !strings.Contains(txt, "0.15") {
+		t.Fatalf("render missing p header:\n%s", txt)
+	}
+}
+
+// Figure 2's shape at reduced scale: PG below pessimistic error everywhere,
+// within a modest band of optimistic, and pessimistic far off.
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("utility sweep is seconds-long")
+	}
+	pts, err := Figure2(UtilityConfig{N: 20000, Seed: 11, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	for _, pt := range pts {
+		if !(pt.ErrPG < pt.ErrPes-0.01) {
+			t.Errorf("k=%v: PG error %.3f not below pessimistic %.3f", pt.X, pt.ErrPG, pt.ErrPes)
+		}
+		if pt.ErrPG-pt.ErrOpt > 0.15 {
+			t.Errorf("k=%v: PG error %.3f too far above optimistic %.3f", pt.X, pt.ErrPG, pt.ErrOpt)
+		}
+	}
+	txt := RenderUtility(pts, "k")
+	if !strings.Contains(txt, "PG") || !strings.Contains(txt, "pessimistic") {
+		t.Fatalf("render missing series:\n%s", txt)
+	}
+}
+
+// Figure 3's shape: PG error at the largest p must beat PG error at the
+// smallest p (utility improves with retention), with yardsticks flat-ish.
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("utility sweep is seconds-long")
+	}
+	pts, err := Figure3(UtilityConfig{N: 20000, Seed: 12, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("points = %d, want 7", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if !(last.ErrPG < first.ErrPG) {
+		t.Errorf("PG error should fall as p grows: p=%.2f err %.3f vs p=%.2f err %.3f",
+			first.X, first.ErrPG, last.X, last.ErrPG)
+	}
+	for _, pt := range pts {
+		if !(pt.ErrPG < pt.ErrPes+0.02) {
+			t.Errorf("p=%v: PG error %.3f above pessimistic %.3f", pt.X, pt.ErrPG, pt.ErrPes)
+		}
+	}
+}
+
+func TestUtilityConfigValidation(t *testing.T) {
+	if _, err := Figure2(UtilityConfig{N: 1000, Seed: 1, M: 5}); err == nil {
+		t.Fatal("m=5: want error")
+	}
+}
+
+func TestBreachValidationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo is seconds-long")
+	}
+	scenarios, err := BreachValidation(BreachConfig{N: 800, Trials: 60, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 4 {
+		t.Fatalf("scenarios = %d, want 4", len(scenarios))
+	}
+	for _, s := range scenarios {
+		r := s.Result
+		if r.BreachesRho != 0 || r.BreachesDelta != 0 {
+			t.Errorf("%s: breaches rho=%d delta=%d", s.Name, r.BreachesRho, r.BreachesDelta)
+		}
+		if r.MaxH > r.MaxHBound+1e-9 {
+			t.Errorf("%s: MaxH %v above bound %v", s.Name, r.MaxH, r.MaxHBound)
+		}
+	}
+	txt := RenderBreach(scenarios)
+	if !strings.Contains(txt, "hospital") || !strings.Contains(txt, "sal") {
+		t.Fatalf("render missing scenarios:\n%s", txt)
+	}
+}
+
+func TestAblationGeneralizer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is seconds-long")
+	}
+	rows, err := AblationGeneralizer(8000, 14, 6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byAlg := map[string]AblationGenRow{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = r
+		if r.MinGroup < 6 {
+			t.Errorf("%s: min group %d < k", r.Algorithm, r.MinGroup)
+		}
+	}
+	// The motivating fact of DESIGN.md §3: KD yields far more groups than
+	// single-dimensional global recoding on smooth synthetic data.
+	if byAlg["kd"].Groups <= byAlg["tds"].Groups {
+		t.Errorf("kd groups %d not above tds groups %d", byAlg["kd"].Groups, byAlg["tds"].Groups)
+	}
+	txt := RenderAblationGen(rows)
+	if !strings.Contains(txt, "kd") || !strings.Contains(txt, "tds") {
+		t.Fatalf("render missing algorithms:\n%s", txt)
+	}
+}
+
+func TestAblationReconstruction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is seconds-long")
+	}
+	rows, err := AblationReconstruction(10000, 15, 6, []float64{0.2, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	txt := RenderAblationTree(rows)
+	if !strings.Contains(txt, "err(reconstr)") {
+		t.Fatalf("render header missing:\n%s", txt)
+	}
+}
+
+func TestCardinalitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	rows, err := CardinalitySweep([]int{4000, 16000}, 16, 6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Larger microdata must not hurt PG error (the Section IV remark).
+	if rows[1].ErrPG > rows[0].ErrPG+0.03 {
+		t.Errorf("PG error grew with |D|: %v -> %v", rows[0].ErrPG, rows[1].ErrPG)
+	}
+	txt := RenderCardinality(rows)
+	if !strings.Contains(txt, "errPG") {
+		t.Fatalf("render missing header:\n%s", txt)
+	}
+}
+
+func TestQueryUtilityExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query workload is seconds-long")
+	}
+	rows, err := QueryUtility(20000, 17, 6, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Queries < 10 {
+			t.Fatalf("%s: only %d usable queries", r.Class, r.Queries)
+		}
+		if r.MedianRel > 0.35 {
+			t.Errorf("%s: median relative error %v too high", r.Class, r.MedianRel)
+		}
+	}
+	// On sensitive-restricted queries the corrected estimator must beat the
+	// naive one at the median.
+	if rows[1].MedianRel >= rows[1].NaiveMedianRel {
+		t.Errorf("corrected median %v not below naive %v", rows[1].MedianRel, rows[1].NaiveMedianRel)
+	}
+	txt := RenderQueryUtility(rows)
+	if !strings.Contains(txt, "qi-only") {
+		t.Fatalf("render missing class:\n%s", txt)
+	}
+}
+
+func TestRepublicationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repub sweep is seconds-long")
+	}
+	rows, err := Republication(30, 18, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i, r := range rows {
+		if r.MaxGrowth > r.GrowthBound+1e-9 {
+			t.Errorf("T=%d: observed growth %v exceeds bound %v", r.T, r.MaxGrowth, r.GrowthBound)
+		}
+		if i > 0 {
+			if r.GrowthBound <= rows[i-1].GrowthBound {
+				t.Errorf("bound must grow with T")
+			}
+			if r.PlannedP >= rows[i-1].PlannedP {
+				t.Errorf("planned p must shrink with T")
+			}
+		}
+	}
+	txt := RenderRepublication(rows)
+	if !strings.Contains(txt, "maxGrowth") {
+		t.Fatalf("render missing header:\n%s", txt)
+	}
+}
+
+func TestMinerComparisonExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miner comparison is seconds-long")
+	}
+	rows, err := MinerComparison(15000, 19, 6, []float64{0.2, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ErrTree <= 0 || r.ErrTree >= 1 || r.ErrNB <= 0 || r.ErrNB >= 1 {
+			t.Fatalf("errors out of range: %+v", r)
+		}
+		// Both miners must beat coin flipping on this 60/40-ish task.
+		if r.ErrTree > 0.45 || r.ErrNB > 0.45 {
+			t.Fatalf("miner worse than random-ish: %+v", r)
+		}
+	}
+	txt := RenderMiners(rows)
+	if !strings.Contains(txt, "err(NB)") {
+		t.Fatalf("render missing header:\n%s", txt)
+	}
+}

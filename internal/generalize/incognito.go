@@ -1,0 +1,217 @@
+package generalize
+
+import (
+	"fmt"
+	"sort"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+)
+
+// IncognitoConfig parameterizes the Incognito lattice search (LeFevre,
+// DeWitt, Ramakrishnan, SIGMOD'05 [13]) for full-domain k-anonymity.
+type IncognitoConfig struct {
+	// K is the group-size floor.
+	K int
+	// Loss ranks minimal satisfying vectors; lower is better. Defaults to
+	// discernibility.
+	Loss func(t *dataset.Table, g *Groups) float64
+}
+
+// IncognitoResult reports the chosen recoding plus search diagnostics.
+type IncognitoResult struct {
+	Recoding *Recoding
+	Groups   *Groups
+	Levels   []int
+	Loss     float64
+	// Minimal lists every minimal satisfying level vector (no satisfying
+	// strict specialization exists).
+	Minimal [][]int
+	// Evaluated counts the lattice nodes that were actually grouped — the
+	// pruning wins over the full lattice size.
+	Evaluated   int
+	LatticeSize int
+}
+
+// Incognito finds all minimal full-domain recodings satisfying k-anonymity
+// and returns the loss-best one. Two prunings keep evaluations down:
+//
+//   - the subset property at |S| = 1: joint QI-groups refine every single
+//     attribute's marginal grouping, so a level at which one attribute's
+//     marginal alone violates k-anonymity can never appear in a satisfying
+//     joint vector — such levels raise the lattice's bottom per attribute;
+//   - generalization monotonicity (roll-up): once a vector satisfies, every
+//     ancestor satisfies and needs no evaluation.
+//
+// All hierarchies must be uniform.
+func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConfig) (*IncognitoResult, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("generalize: Incognito on an empty table")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("generalize: Incognito needs K >= 1, got %d", cfg.K)
+	}
+	if t.Len() < cfg.K {
+		return nil, fmt.Errorf("generalize: table has %d rows, cannot be %d-anonymous", t.Len(), cfg.K)
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = func(_ *dataset.Table, g *Groups) float64 { return Discernibility(g) }
+	}
+	d := len(hiers)
+	heights := make([]int, d)
+	for j, h := range hiers {
+		if !h.Uniform() {
+			return nil, fmt.Errorf("generalize: hierarchy %d is not uniform", j)
+		}
+		heights[j] = h.Height()
+	}
+
+	evalVector := func(levels []int) (*Recoding, *Groups, error) {
+		cuts := make([]*hierarchy.Cut, d)
+		for j, h := range hiers {
+			c, err := hierarchy.LevelCut(h, levels[j])
+			if err != nil {
+				return nil, nil, err
+			}
+			cuts[j] = c
+		}
+		rec, err := NewRecoding(t.Schema, hiers, cuts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rec, GroupBy(t, rec), nil
+	}
+
+	res := &IncognitoResult{LatticeSize: 1}
+
+	// Subset-property pass (|S| = 1): the minimum marginally feasible level
+	// per attribute.
+	minLevel := make([]int, d)
+	for j := range hiers {
+		found := false
+		for l := 0; l <= heights[j]; l++ {
+			g := marginalGroups(t, hiers[j], j, l)
+			res.Evaluated++
+			if g.IsKAnonymous(cfg.K) {
+				minLevel[j] = l
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("generalize: attribute %d cannot be made %d-anonymous even alone", j, cfg.K)
+		}
+	}
+	for j := range hiers {
+		res.LatticeSize *= heights[j] - minLevel[j] + 1
+	}
+
+	// Bottom-up BFS over the reduced lattice, by level-sum.
+	type nodeKey string
+	key := func(levels []int) nodeKey {
+		b := make([]byte, d)
+		for j, l := range levels {
+			b[j] = byte(l)
+		}
+		return nodeKey(b)
+	}
+	satisfied := map[nodeKey]bool{}
+	var vectors [][]int
+	var gen func(j int, cur []int)
+	gen = func(j int, cur []int) {
+		if j == d {
+			vectors = append(vectors, append([]int(nil), cur...))
+			return
+		}
+		for l := minLevel[j]; l <= heights[j]; l++ {
+			gen(j+1, append(cur, l))
+		}
+	}
+	gen(0, nil)
+	sort.Slice(vectors, func(a, b int) bool {
+		sa, sb := 0, 0
+		for j := 0; j < d; j++ {
+			sa += vectors[a][j]
+			sb += vectors[b][j]
+		}
+		if sa != sb {
+			return sa < sb
+		}
+		for j := 0; j < d; j++ {
+			if vectors[a][j] != vectors[b][j] {
+				return vectors[a][j] < vectors[b][j]
+			}
+		}
+		return false
+	})
+
+	// A node is implied-satisfying if any lower neighbor satisfies.
+	lowerSatisfies := func(levels []int) bool {
+		for j := 0; j < d; j++ {
+			if levels[j] > minLevel[j] {
+				levels[j]--
+				ok := satisfied[key(levels)]
+				levels[j]++
+				if ok {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for _, v := range vectors {
+		if lowerSatisfies(v) {
+			satisfied[key(v)] = true // roll-up: no evaluation needed
+			continue
+		}
+		_, g, err := evalVector(v)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluated++
+		if g.IsKAnonymous(cfg.K) {
+			satisfied[key(v)] = true
+			res.Minimal = append(res.Minimal, append([]int(nil), v...))
+		}
+	}
+	if len(res.Minimal) == 0 {
+		return nil, fmt.Errorf("generalize: no full-domain recoding is %d-anonymous", cfg.K)
+	}
+
+	// Pick the loss-best minimal vector.
+	best := -1
+	var bestLoss float64
+	var bestRec *Recoding
+	var bestGroups *Groups
+	for i, v := range res.Minimal {
+		rec, g, err := evalVector(v)
+		if err != nil {
+			return nil, err
+		}
+		loss := cfg.Loss(t, g)
+		if best < 0 || loss < bestLoss {
+			best, bestLoss, bestRec, bestGroups = i, loss, rec, g
+		}
+	}
+	res.Levels = res.Minimal[best]
+	res.Loss = bestLoss
+	res.Recoding = bestRec
+	res.Groups = bestGroups
+	return res, nil
+}
+
+// marginalGroups groups the table by a single attribute at a level.
+func marginalGroups(t *dataset.Table, h *hierarchy.Hierarchy, attr, level int) *Groups {
+	counts := map[int32][]int{}
+	for i := 0; i < t.Len(); i++ {
+		n := h.AncestorAbove(t.QI(i, attr), level)
+		counts[n] = append(counts[n], i)
+	}
+	g := &Groups{}
+	for n, rows := range counts {
+		g.Keys = append(g.Keys, []int32{n})
+		g.Rows = append(g.Rows, rows)
+	}
+	return g
+}

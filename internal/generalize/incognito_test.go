@@ -1,0 +1,140 @@
+package generalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+)
+
+// evalLevels groups a table under a full-domain level vector.
+func evalLevels(t *testing.T, d *dataset.Table, hiers []*hierarchy.Hierarchy, levels []int) *Groups {
+	t.Helper()
+	cuts := make([]*hierarchy.Cut, len(hiers))
+	for j, h := range hiers {
+		c, err := hierarchy.LevelCut(h, levels[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuts[j] = c
+	}
+	rec, err := NewRecoding(d.Schema, hiers, cuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GroupBy(d, rec)
+}
+
+func TestIncognitoHospital(t *testing.T) {
+	d := dataset.Hospital()
+	hiers := hospitalHiers(d.Schema)
+	res, err := Incognito(d, hiers, IncognitoConfig{K: 2})
+	if err != nil {
+		t.Fatalf("Incognito: %v", err)
+	}
+	if !res.Groups.IsKAnonymous(2) {
+		t.Fatal("result not 2-anonymous")
+	}
+	if len(res.Minimal) == 0 {
+		t.Fatal("no minimal vectors reported")
+	}
+	// Agreement with the exhaustive search: same optimal loss.
+	exh, err := SearchFullDomain(d, hiers, FullDomainConfig{Principle: KAnonymity{K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss != exh.Loss {
+		t.Fatalf("Incognito loss %v != exhaustive loss %v", res.Loss, exh.Loss)
+	}
+	// Minimality: lowering any coordinate of any minimal vector must break
+	// k-anonymity (coordinates at the marginal floor are exempt — below the
+	// floor the marginal alone already fails, which implies joint failure).
+	for _, min := range res.Minimal {
+		for j := range min {
+			if min[j] == 0 {
+				continue
+			}
+			levels := append([]int(nil), min...)
+			levels[j]--
+			if evalLevels(t, d, hiers, levels).IsKAnonymous(2) {
+				t.Fatalf("vector %v is not minimal: %v also satisfies", min, levels)
+			}
+		}
+	}
+}
+
+func TestIncognitoErrors(t *testing.T) {
+	d := dataset.Hospital()
+	hiers := hospitalHiers(d.Schema)
+	if _, err := Incognito(d, hiers, IncognitoConfig{K: 0}); err == nil {
+		t.Fatal("K=0: want error")
+	}
+	if _, err := Incognito(d, hiers, IncognitoConfig{K: 99}); err == nil {
+		t.Fatal("K > |D|: want error")
+	}
+	empty := dataset.NewTable(d.Schema)
+	if _, err := Incognito(empty, hiers, IncognitoConfig{K: 2}); err == nil {
+		t.Fatal("empty table: want error")
+	}
+}
+
+func TestIncognitoAgreesOnRandomTables(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, hiers := randomTable(60+rng.Intn(80), rng)
+		k := 3 + rng.Intn(5)
+		inc, err := Incognito(tbl, hiers, IncognitoConfig{K: k})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		exh, err := SearchFullDomain(tbl, hiers, FullDomainConfig{Principle: KAnonymity{K: k}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if inc.Loss != exh.Loss {
+			t.Fatalf("seed %d: Incognito loss %v != exhaustive %v (levels %v vs %v)",
+				seed, inc.Loss, exh.Loss, inc.Levels, exh.Levels)
+		}
+		if !inc.Groups.IsKAnonymous(k) {
+			t.Fatalf("seed %d: not %d-anonymous", seed, k)
+		}
+	}
+}
+
+func TestIncognitoMarginalPruning(t *testing.T) {
+	// A singleton value in attribute A's upper half forces A's marginal
+	// floor above level 0, shrinking the searched lattice below the full
+	// product of heights.
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{
+			dataset.MustIntAttribute("A", 0, 15),
+			dataset.MustIntAttribute("B", 0, 7),
+		},
+		dataset.MustAttribute("S", "x", "y"),
+	)
+	tbl := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		tbl.MustAppend([]int32{int32(rng.Intn(8)), int32(rng.Intn(8)), int32(rng.Intn(2))})
+	}
+	tbl.MustAppend([]int32{15, 0, 0}) // isolated in A
+	hiers := []*hierarchy.Hierarchy{
+		hierarchy.MustInterval(16, 2, 4, 8),
+		hierarchy.MustInterval(8, 2, 4),
+	}
+	res, err := Incognito(tbl, hiers, IncognitoConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 1
+	for _, h := range hiers {
+		full *= h.Height() + 1
+	}
+	if res.LatticeSize >= full {
+		t.Fatalf("marginal pruning did not shrink the lattice: %d vs %d", res.LatticeSize, full)
+	}
+	if !res.Groups.IsKAnonymous(2) {
+		t.Fatal("not 2-anonymous")
+	}
+}

@@ -1,0 +1,208 @@
+package generalize
+
+import (
+	"fmt"
+	"sort"
+
+	"pgpub/internal/dataset"
+)
+
+// Box is an axis-aligned cell of the QI space U^q: per attribute an
+// inclusive code interval [Lo, Hi]. A box generalizes a QI vector iff the
+// vector lies inside it. Boxes are the canonical representation of
+// generalized QI vectors across Phase-2 algorithms: a cut-recoding vector is
+// the product of its nodes' leaf ranges, and a kd-partition cell is a box by
+// construction.
+type Box struct {
+	Lo, Hi []int32
+}
+
+// Covers reports whether the box generalizes the raw QI vector v.
+func (b Box) Covers(v []int32) bool {
+	for j := range v {
+		if v[j] < b.Lo[j] || v[j] > b.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether two boxes intersect (a G3 violation when both
+// appear in one publication with different coordinates).
+func (b Box) Overlaps(o Box) bool {
+	for j := range b.Lo {
+		if b.Hi[j] < o.Lo[j] || o.Hi[j] < b.Lo[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (b Box) Equal(o Box) bool {
+	for j := range b.Lo {
+		if b.Lo[j] != o.Lo[j] || b.Hi[j] != o.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// BoxOf converts a generalized node vector of this recoding into its box.
+func (r *Recoding) BoxOf(g []int32) Box {
+	d := len(g)
+	b := Box{Lo: make([]int32, d), Hi: make([]int32, d)}
+	for j, n := range g {
+		b.Lo[j], b.Hi[j] = r.Hierarchies[j].Range(n)
+	}
+	return b
+}
+
+// KDResult is the outcome of KDPartition: disjoint cells covering the whole
+// QI space (so any external QI vector falls in exactly one cell — the
+// uniqueness property behind attack step A1), each holding at least k rows.
+type KDResult struct {
+	Cells []Box
+	Rows  [][]int
+}
+
+// KDPartition recursively median-splits the QI space in the style of
+// Mondrian strict partitioning [16], but publishes the *cells* of the
+// recursion rather than the groups' bounding boxes: cells are pairwise
+// disjoint and exhaustively cover U^q, which is exactly Property G3. Every
+// cell contains at least k rows.
+//
+// This is the Phase-2 algorithm our SAL experiments use: single-dimensional
+// global recoding (TDS, full-domain) stalls on smooth synthetic data —
+// one undersized group anywhere blocks every further specialization of an
+// attribute — whereas kd-cells keep QI-groups near the minimal size k, which
+// the paper's cardinality argument |D*| ≈ |D|/k presumes.
+func KDPartition(t *dataset.Table, k int) (*KDResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("generalize: KDPartition needs k >= 1, got %d", k)
+	}
+	if t.Len() < k {
+		return nil, fmt.Errorf("generalize: table has %d rows, cannot form cells of %d", t.Len(), k)
+	}
+	d := t.Schema.D()
+	root := Box{Lo: make([]int32, d), Hi: make([]int32, d)}
+	for j, a := range t.Schema.QI {
+		root.Hi[j] = int32(a.Size() - 1)
+	}
+	all := make([]int, t.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return kdRecurse(t, k, root, all, 0), nil
+}
+
+// KDPartitionParallel is KDPartition with the top spawnDepth levels of the
+// recursion fanned out across goroutines. The output is bit-identical to the
+// serial version: splits do not depend on evaluation order, and results are
+// merged left-then-right. spawnDepth 0 is fully serial; 3–4 saturates a
+// typical machine (up to 2^spawnDepth goroutines).
+func KDPartitionParallel(t *dataset.Table, k, spawnDepth int) (*KDResult, error) {
+	if spawnDepth < 0 {
+		return nil, fmt.Errorf("generalize: spawnDepth must be non-negative, got %d", spawnDepth)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("generalize: KDPartition needs k >= 1, got %d", k)
+	}
+	if t.Len() < k {
+		return nil, fmt.Errorf("generalize: table has %d rows, cannot form cells of %d", t.Len(), k)
+	}
+	d := t.Schema.D()
+	root := Box{Lo: make([]int32, d), Hi: make([]int32, d)}
+	for j, a := range t.Schema.QI {
+		root.Hi[j] = int32(a.Size() - 1)
+	}
+	all := make([]int, t.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return kdRecurse(t, k, root, all, spawnDepth), nil
+}
+
+// kdRecurse partitions one cell, spawning goroutines for the subtrees while
+// spawnDepth is positive.
+func kdRecurse(t *dataset.Table, k int, cell Box, rows []int, spawnDepth int) *KDResult {
+	attr, cut, ok := chooseKDSplit(t, cell, rows, k)
+	if !ok {
+		return &KDResult{Cells: []Box{cell}, Rows: [][]int{rows}}
+	}
+	left, right := partition(t, rows, attr, cut)
+	lc := Box{Lo: append([]int32(nil), cell.Lo...), Hi: append([]int32(nil), cell.Hi...)}
+	rc := Box{Lo: append([]int32(nil), cell.Lo...), Hi: append([]int32(nil), cell.Hi...)}
+	lc.Hi[attr] = cut
+	rc.Lo[attr] = cut + 1
+	var lres, rres *KDResult
+	if spawnDepth > 0 {
+		done := make(chan struct{})
+		go func() {
+			lres = kdRecurse(t, k, lc, left, spawnDepth-1)
+			close(done)
+		}()
+		rres = kdRecurse(t, k, rc, right, spawnDepth-1)
+		<-done
+	} else {
+		lres = kdRecurse(t, k, lc, left, 0)
+		rres = kdRecurse(t, k, rc, right, 0)
+	}
+	return &KDResult{
+		Cells: append(lres.Cells, rres.Cells...),
+		Rows:  append(lres.Rows, rres.Rows...),
+	}
+}
+
+// chooseKDSplit picks the widest-spread attribute admitting a median split
+// with both sides >= k, like chooseSplit but respecting the current cell.
+func chooseKDSplit(t *dataset.Table, cell Box, rows []int, k int) (attr int, cut int32, ok bool) {
+	if len(rows) < 2*k {
+		return 0, 0, false
+	}
+	d := t.Schema.D()
+	type span struct {
+		attr  int
+		width float64
+	}
+	spans := make([]span, 0, d)
+	for a := 0; a < d; a++ {
+		lo, hi := t.QI(rows[0], a), t.QI(rows[0], a)
+		for _, i := range rows[1:] {
+			v := t.QI(i, a)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			spans = append(spans, span{a, float64(hi-lo) / float64(t.Schema.QI[a].Size()-1)})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].width > spans[j].width })
+	vals := make([]int32, len(rows))
+	for _, s := range spans {
+		for i, r := range rows {
+			vals[i] = t.QI(r, s.attr)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		m := vals[len(vals)/2]
+		for _, c := range []int32{m - 1, m} {
+			if c < cell.Lo[s.attr] || c >= cell.Hi[s.attr] {
+				continue
+			}
+			nl := 0
+			for _, v := range vals {
+				if v <= c {
+					nl++
+				}
+			}
+			if nl >= k && len(rows)-nl >= k {
+				return s.attr, c, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,186 @@
+package generalize
+
+import (
+	"fmt"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+)
+
+// FullDomainConfig parameterizes the full-domain recoding search in the
+// spirit of Incognito [13]: every QI attribute is generalized uniformly to
+// one level of its (uniform) hierarchy, and we search the lattice of level
+// vectors for the cheapest one satisfying a generalization principle.
+type FullDomainConfig struct {
+	// Principle is the constraint to satisfy; defaults to KAnonymity{2}.
+	Principle Principle
+	// MaxExhaustive bounds the lattice size for exhaustive search (which
+	// finds the global loss optimum). Larger lattices fall back to a greedy
+	// level-raising heuristic. Default 4096.
+	MaxExhaustive int
+	// Loss ranks satisfying recodings; lower is better. Defaults to the
+	// discernibility metric.
+	Loss func(t *dataset.Table, g *Groups) float64
+}
+
+// FullDomainResult is the outcome of SearchFullDomain.
+type FullDomainResult struct {
+	Recoding  *Recoding
+	Groups    *Groups
+	Levels    []int
+	Loss      float64
+	Exhausted bool // true if the whole lattice was searched (optimal loss)
+}
+
+// SearchFullDomain finds a full-domain recoding satisfying the principle.
+// All hierarchies must be uniform. It returns an error when even the fully
+// suppressed table violates the principle.
+func SearchFullDomain(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg FullDomainConfig) (*FullDomainResult, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("generalize: full-domain search on an empty table")
+	}
+	if cfg.Principle == nil {
+		cfg.Principle = KAnonymity{K: 2}
+	}
+	if cfg.MaxExhaustive <= 0 {
+		cfg.MaxExhaustive = 4096
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = func(_ *dataset.Table, g *Groups) float64 { return Discernibility(g) }
+	}
+	heights := make([]int, len(hiers))
+	latticeSize := 1
+	for j, h := range hiers {
+		if !h.Uniform() {
+			return nil, fmt.Errorf("generalize: hierarchy %d is not uniform; full-domain recoding needs level cuts", j)
+		}
+		heights[j] = h.Height()
+		if latticeSize <= cfg.MaxExhaustive {
+			latticeSize *= h.Height() + 1
+		}
+	}
+
+	evalLevels := func(levels []int) (*Recoding, *Groups, error) {
+		cuts := make([]*hierarchy.Cut, len(hiers))
+		for j, h := range hiers {
+			c, err := hierarchy.LevelCut(h, levels[j])
+			if err != nil {
+				return nil, nil, err
+			}
+			cuts[j] = c
+		}
+		rec, err := NewRecoding(t.Schema, hiers, cuts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rec, GroupBy(t, rec), nil
+	}
+
+	// The top of the lattice must satisfy the principle, or nothing does
+	// (principles satisfied by merging groups are monotone up the lattice;
+	// for non-monotone principles this is still the only cheap certificate).
+	top := make([]int, len(hiers))
+	copy(top, heights)
+	topRec, topGroups, err := evalLevels(top)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Principle.Satisfied(t, topGroups) {
+		return nil, fmt.Errorf("generalize: even full suppression violates %s", cfg.Principle)
+	}
+
+	if latticeSize <= cfg.MaxExhaustive {
+		return searchExhaustive(t, hiers, cfg, heights, evalLevels)
+	}
+	return searchGreedy(t, cfg, heights, evalLevels, top, topRec, topGroups)
+}
+
+// searchExhaustive enumerates every level vector and keeps the satisfying
+// one with minimum loss.
+func searchExhaustive(t *dataset.Table, _ []*hierarchy.Hierarchy, cfg FullDomainConfig, heights []int,
+	eval func([]int) (*Recoding, *Groups, error)) (*FullDomainResult, error) {
+
+	levels := make([]int, len(heights))
+	var best *FullDomainResult
+	for {
+		rec, groups, err := eval(levels)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Principle.Satisfied(t, groups) {
+			loss := cfg.Loss(t, groups)
+			if best == nil || loss < best.Loss {
+				best = &FullDomainResult{
+					Recoding: rec, Groups: groups,
+					Levels: append([]int(nil), levels...),
+					Loss:   loss, Exhausted: true,
+				}
+			}
+		}
+		// Advance the mixed-radix counter.
+		j := 0
+		for ; j < len(levels); j++ {
+			levels[j]++
+			if levels[j] <= heights[j] {
+				break
+			}
+			levels[j] = 0
+		}
+		if j == len(levels) {
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("generalize: no level vector satisfies %s", cfg.Principle)
+	}
+	return best, nil
+}
+
+// searchGreedy raises one attribute level at a time, choosing the raise that
+// maximizes the principle's progress (approximated by minimum group size)
+// and, among ties, minimizes loss.
+func searchGreedy(t *dataset.Table, cfg FullDomainConfig, heights []int,
+	eval func([]int) (*Recoding, *Groups, error),
+	top []int, topRec *Recoding, topGroups *Groups) (*FullDomainResult, error) {
+
+	levels := make([]int, len(heights))
+	rec, groups, err := eval(levels)
+	if err != nil {
+		return nil, err
+	}
+	for !cfg.Principle.Satisfied(t, groups) {
+		bestJ := -1
+		var bestRec *Recoding
+		var bestGroups *Groups
+		bestMin, bestLoss := -1, 0.0
+		for j := range levels {
+			if levels[j] >= heights[j] {
+				continue
+			}
+			levels[j]++
+			r, g, err := eval(levels)
+			levels[j]--
+			if err != nil {
+				return nil, err
+			}
+			min, loss := g.MinSize(), cfg.Loss(t, g)
+			if min > bestMin || (min == bestMin && loss < bestLoss) {
+				bestJ, bestRec, bestGroups, bestMin, bestLoss = j, r, g, min, loss
+			}
+		}
+		if bestJ < 0 {
+			// All levels maxed; fall back to the top (known to satisfy).
+			return &FullDomainResult{
+				Recoding: topRec, Groups: topGroups,
+				Levels: top, Loss: cfg.Loss(t, topGroups),
+			}, nil
+		}
+		levels[bestJ]++
+		rec, groups = bestRec, bestGroups
+	}
+	return &FullDomainResult{
+		Recoding: rec, Groups: groups,
+		Levels: append([]int(nil), levels...),
+		Loss:   cfg.Loss(t, groups),
+	}, nil
+}

@@ -1,0 +1,132 @@
+package generalize
+
+import (
+	"fmt"
+	"sort"
+
+	"pgpub/internal/dataset"
+)
+
+// MondrianBox is one partition produced by the Mondrian algorithm: the rows
+// it contains and, per QI attribute, the inclusive code range the partition
+// spans. Mondrian performs *local* recoding — two boxes may overlap in QI
+// space — so it violates Property G3 and cannot serve as Phase 2 of PG; it
+// exists here as the classic multidimensional baseline for the information-
+// loss ablation (Extra E2 in DESIGN.md).
+type MondrianBox struct {
+	Lo, Hi []int32
+	Rows   []int
+}
+
+// Mondrian partitions the table into boxes of at least k rows using median
+// splits on the attribute with the widest normalized range (LeFevre et al.,
+// ICDE'06, strict partitioning).
+func Mondrian(t *dataset.Table, k int) ([]MondrianBox, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("generalize: Mondrian needs k >= 1, got %d", k)
+	}
+	if t.Len() < k {
+		return nil, fmt.Errorf("generalize: table has %d rows, cannot form groups of %d", t.Len(), k)
+	}
+	all := make([]int, t.Len())
+	for i := range all {
+		all[i] = i
+	}
+	var out []MondrianBox
+	var recurse func(rows []int)
+	recurse = func(rows []int) {
+		if attr, median, ok := chooseSplit(t, rows, k); ok {
+			left, right := partition(t, rows, attr, median)
+			recurse(left)
+			recurse(right)
+			return
+		}
+		out = append(out, summarize(t, rows))
+	}
+	recurse(all)
+	return out, nil
+}
+
+// chooseSplit finds the best allowable median split: attributes are ranked
+// by normalized span of values present in rows, and the first (widest) one
+// admitting a split with both sides >= k wins.
+func chooseSplit(t *dataset.Table, rows []int, k int) (attr int, median int32, ok bool) {
+	if len(rows) < 2*k {
+		return 0, 0, false
+	}
+	d := t.Schema.D()
+	type span struct {
+		attr  int
+		width float64
+	}
+	spans := make([]span, 0, d)
+	for a := 0; a < d; a++ {
+		lo, hi := t.QI(rows[0], a), t.QI(rows[0], a)
+		for _, i := range rows[1:] {
+			v := t.QI(i, a)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			spans = append(spans, span{a, float64(hi-lo) / float64(t.Schema.QI[a].Size()-1)})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].width > spans[j].width })
+	vals := make([]int32, len(rows))
+	for _, s := range spans {
+		for i, r := range rows {
+			vals[i] = t.QI(r, s.attr)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		m := vals[len(vals)/2]
+		// Split is "<= m-1" vs ">= m" unless that starves a side; try both
+		// median conventions.
+		for _, cut := range []int32{m - 1, m} {
+			nl := 0
+			for _, v := range vals {
+				if v <= cut {
+					nl++
+				}
+			}
+			if nl >= k && len(rows)-nl >= k {
+				return s.attr, cut, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// partition splits rows on attr <= cut.
+func partition(t *dataset.Table, rows []int, attr int, cut int32) (left, right []int) {
+	for _, i := range rows {
+		if t.QI(i, attr) <= cut {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// summarize computes the bounding box of a final partition.
+func summarize(t *dataset.Table, rows []int) MondrianBox {
+	d := t.Schema.D()
+	b := MondrianBox{Lo: make([]int32, d), Hi: make([]int32, d), Rows: rows}
+	for a := 0; a < d; a++ {
+		b.Lo[a], b.Hi[a] = t.QI(rows[0], a), t.QI(rows[0], a)
+		for _, i := range rows[1:] {
+			v := t.QI(i, a)
+			if v < b.Lo[a] {
+				b.Lo[a] = v
+			}
+			if v > b.Hi[a] {
+				b.Hi[a] = v
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package generalize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgpub/internal/dataset"
+)
+
+func TestMondrianBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl, _ := randomTable(120, rng)
+	boxes, err := Mondrian(tbl, 10)
+	if err != nil {
+		t.Fatalf("Mondrian: %v", err)
+	}
+	covered := make(map[int]bool)
+	for _, b := range boxes {
+		if len(b.Rows) < 10 {
+			t.Fatalf("box with %d < 10 rows", len(b.Rows))
+		}
+		for _, i := range b.Rows {
+			if covered[i] {
+				t.Fatalf("row %d in two boxes", i)
+			}
+			covered[i] = true
+			for a := 0; a < tbl.Schema.D(); a++ {
+				if v := tbl.QI(i, a); v < b.Lo[a] || v > b.Hi[a] {
+					t.Fatalf("row %d attr %d = %d outside box [%d,%d]", i, a, v, b.Lo[a], b.Hi[a])
+				}
+			}
+		}
+	}
+	if len(covered) != tbl.Len() {
+		t.Fatalf("boxes cover %d of %d rows", len(covered), tbl.Len())
+	}
+	if len(boxes) < 2 {
+		t.Fatal("Mondrian should have split a 120-row table at k=10")
+	}
+}
+
+func TestMondrianErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl, _ := randomTable(5, rng)
+	if _, err := Mondrian(tbl, 0); err == nil {
+		t.Fatal("k=0: want error")
+	}
+	if _, err := Mondrian(tbl, 6); err == nil {
+		t.Fatal("k > |D|: want error")
+	}
+}
+
+func TestMondrianSingleBoxWhenUnsplittable(t *testing.T) {
+	// All rows identical: no attribute has a positive span, so Mondrian must
+	// return exactly one box.
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("A", 0, 3)},
+		dataset.MustAttribute("S", "x", "y"),
+	)
+	tbl := dataset.NewTable(s)
+	for i := 0; i < 10; i++ {
+		tbl.MustAppend([]int32{2, int32(i % 2)})
+	}
+	boxes, err := Mondrian(tbl, 2)
+	if err != nil {
+		t.Fatalf("Mondrian: %v", err)
+	}
+	if len(boxes) != 1 || len(boxes[0].Rows) != 10 {
+		t.Fatalf("boxes = %d, want single box of 10", len(boxes))
+	}
+	if boxes[0].Lo[0] != 2 || boxes[0].Hi[0] != 2 {
+		t.Fatal("degenerate box bounds wrong")
+	}
+}
+
+// Property: Mondrian partitions are k-anonymous and exhaustive for random
+// inputs.
+func TestMondrianInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		tbl, _ := randomTable(n, rng)
+		k := int(kRaw%10) + 1
+		if k > n {
+			k = n
+		}
+		boxes, err := Mondrian(tbl, k)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, b := range boxes {
+			if len(b.Rows) < k {
+				return false
+			}
+			total += len(b.Rows)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossMetrics(t *testing.T) {
+	h := dataset.Hospital()
+	hiers := hospitalHiers(h.Schema)
+
+	id, _ := IdentityRecoding(h.Schema, hiers)
+	gID := GroupBy(h, id)
+	if got := Discernibility(gID); got != 8 {
+		t.Fatalf("identity discernibility = %v, want 8", got)
+	}
+	if got := NCP(h, id); got != 0 {
+		t.Fatalf("identity NCP = %v, want 0", got)
+	}
+
+	top, _ := TopRecoding(h.Schema, hiers)
+	gTop := GroupBy(h, top)
+	if got := Discernibility(gTop); got != 64 {
+		t.Fatalf("top discernibility = %v, want 64", got)
+	}
+	if got := NCP(h, top); got != 1 {
+		t.Fatalf("top NCP = %v, want 1", got)
+	}
+
+	if got := AvgGroupRatio(gTop, 8); got != 1 {
+		t.Fatalf("AvgGroupRatio(top, 8) = %v, want 1", got)
+	}
+	if got := AvgGroupRatio(gID, 1); got != 1 {
+		t.Fatalf("AvgGroupRatio(id, 1) = %v, want 1", got)
+	}
+	if AvgGroupRatio(&Groups{}, 2) != 0 || AvgGroupRatio(gTop, 0) != 0 {
+		t.Fatal("degenerate AvgGroupRatio must be 0")
+	}
+
+	// BoxNCP: a single box spanning each attribute's full observed range.
+	boxes, err := Mondrian(h, 8)
+	if err != nil {
+		t.Fatalf("Mondrian: %v", err)
+	}
+	v := BoxNCP(h, boxes)
+	if v <= 0 || v > 1 {
+		t.Fatalf("BoxNCP = %v, want in (0,1]", v)
+	}
+	if BoxNCP(h, nil) != 0 {
+		t.Fatal("BoxNCP with no boxes must be 0")
+	}
+	empty := dataset.NewTable(h.Schema)
+	if NCP(empty, id) != 0 {
+		t.Fatal("NCP of empty table must be 0")
+	}
+}

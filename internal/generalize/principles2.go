@@ -1,0 +1,129 @@
+package generalize
+
+import (
+	"fmt"
+
+	"pgpub/internal/dataset"
+)
+
+// This file rounds out the principles the paper's related-work section
+// surveys: (k,e)-anonymity for numeric sensitive attributes (Zhang et al.,
+// ICDE'07 [18]), δ-presence (Nergiz et al., SIGMOD'07 [19]) for membership
+// inference, and the classification metric CM (Iyengar, KDD'02 [2]) as a
+// workload-aware loss.
+
+// KEAnonymity is the principle "every group has at least K tuples and its
+// sensitive values span a range of at least E" — the numeric-sensitive
+// counterpart of ℓ-diversity. The sensitive attribute must be ordered.
+type KEAnonymity struct {
+	K int
+	E int32
+}
+
+// Satisfied implements Principle.
+func (p KEAnonymity) Satisfied(t *dataset.Table, g *Groups) bool {
+	if g.Len() == 0 || t.Schema.Sensitive.Kind != dataset.Continuous {
+		return false
+	}
+	for _, rows := range g.Rows {
+		if len(rows) < p.K {
+			return false
+		}
+		lo, hi := t.Sensitive(rows[0]), t.Sensitive(rows[0])
+		for _, i := range rows[1:] {
+			v := t.Sensitive(i)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo < p.E {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Principle.
+func (p KEAnonymity) String() string { return fmt.Sprintf("(%d,%d)-anonymity", p.K, p.E) }
+
+// PresenceBounds computes, per QI-group of a published partition, the
+// adversary's bounds on P[victim ∈ D] for a victim known (from the world
+// table ℰ) to fall in that group's QI region: present/world, where present
+// is the group size and world the number of ℰ individuals the group's box
+// covers. δ-presence (δ_min, δ_max) holds when every group's ratio lies in
+// [δ_min, δ_max]. worldQI lists every individual's QI vector (the public
+// world the adversary holds).
+func PresenceBounds(g *Groups, rec *Recoding, worldQI [][]int32) ([]float64, error) {
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("generalize: no groups")
+	}
+	ratios := make([]float64, g.Len())
+	for gi, key := range g.Keys {
+		box := rec.BoxOf(key)
+		world := 0
+		for _, v := range worldQI {
+			if box.Covers(v) {
+				world++
+			}
+		}
+		if world == 0 {
+			return nil, fmt.Errorf("generalize: group %d covers no world individual", gi)
+		}
+		if len(g.Rows[gi]) > world {
+			return nil, fmt.Errorf("generalize: group %d has more tuples (%d) than world members (%d)",
+				gi, len(g.Rows[gi]), world)
+		}
+		ratios[gi] = float64(len(g.Rows[gi])) / float64(world)
+	}
+	return ratios, nil
+}
+
+// DeltaPresent reports whether every group's presence ratio lies within
+// [dmin, dmax] — the δ-presence principle.
+func DeltaPresent(g *Groups, rec *Recoding, worldQI [][]int32, dmin, dmax float64) (bool, error) {
+	ratios, err := PresenceBounds(g, rec, worldQI)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range ratios {
+		if r < dmin-1e-12 || r > dmax+1e-12 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ClassificationMetric is Iyengar's CM: the fraction of tuples whose class
+// label disagrees with their QI-group's majority class — the penalty a
+// majority-vote classifier trained on the generalized table pays. class
+// maps each row to a label.
+func ClassificationMetric(g *Groups, class []int, numClasses int) (float64, error) {
+	if numClasses < 1 {
+		return 0, fmt.Errorf("generalize: numClasses must be positive")
+	}
+	total, penalty := 0, 0
+	for _, rows := range g.Rows {
+		hist := make([]int, numClasses)
+		for _, i := range rows {
+			if class[i] < 0 || class[i] >= numClasses {
+				return 0, fmt.Errorf("generalize: class %d of row %d out of range", class[i], i)
+			}
+			hist[class[i]]++
+		}
+		best := 0
+		for _, c := range hist {
+			if c > best {
+				best = c
+			}
+		}
+		total += len(rows)
+		penalty += len(rows) - best
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("generalize: no rows")
+	}
+	return float64(penalty) / float64(total), nil
+}

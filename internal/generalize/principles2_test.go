@@ -1,0 +1,116 @@
+package generalize
+
+import (
+	"math"
+	"testing"
+
+	"pgpub/internal/dataset"
+)
+
+// keFixture: 2 groups over an ordered sensitive domain 0..9.
+func keFixture(t *testing.T, groupValues [][]int32) (*dataset.Table, *Groups) {
+	t.Helper()
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("Q", 0, 7)},
+		dataset.MustIntAttribute("S", 0, 9),
+	)
+	tbl := dataset.NewTable(s)
+	g := &Groups{}
+	row := 0
+	for gi, vals := range groupValues {
+		var rows []int
+		for _, v := range vals {
+			tbl.MustAppend([]int32{int32(gi), v})
+			rows = append(rows, row)
+			row++
+		}
+		g.Keys = append(g.Keys, []int32{int32(gi)})
+		g.Rows = append(g.Rows, rows)
+	}
+	return tbl, g
+}
+
+func TestKEAnonymity(t *testing.T) {
+	tbl, g := keFixture(t, [][]int32{{0, 5, 9}, {2, 3, 8}})
+	if !(KEAnonymity{K: 3, E: 5}).Satisfied(tbl, g) {
+		t.Fatal("(3,5)-anonymity should hold (ranges 9 and 6)")
+	}
+	if (KEAnonymity{K: 3, E: 7}).Satisfied(tbl, g) {
+		t.Fatal("(3,7)-anonymity should fail (range 6 in group 1)")
+	}
+	if (KEAnonymity{K: 4, E: 5}).Satisfied(tbl, g) {
+		t.Fatal("(4,5)-anonymity should fail (groups of 3)")
+	}
+	if (KEAnonymity{K: 1, E: 1}).Satisfied(tbl, &Groups{}) {
+		t.Fatal("empty partition satisfies nothing")
+	}
+	if (KEAnonymity{K: 2, E: 3}).String() != "(2,3)-anonymity" {
+		t.Fatal("KEAnonymity.String")
+	}
+	// Unordered sensitive attribute: principle inapplicable.
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("Q", 0, 1)},
+		dataset.MustAttribute("S", "a", "b"),
+	)
+	cat := dataset.NewTable(s)
+	cat.MustAppend([]int32{0, 0})
+	gc := &Groups{Keys: [][]int32{{0}}, Rows: [][]int{{0}}}
+	if (KEAnonymity{K: 1, E: 0}).Satisfied(cat, gc) {
+		t.Fatal("categorical sensitive must be rejected")
+	}
+}
+
+func TestPresenceBounds(t *testing.T) {
+	// Hospital with Emily extraneous: a group covering Debbie, Ellie and
+	// Emily has presence ratio 2/3.
+	d := dataset.Hospital()
+	hiers := hospitalHiers(d.Schema)
+	top, _ := TopRecoding(d.Schema, hiers)
+	g := GroupBy(d, top)
+	world := dataset.HospitalVoterQI()
+	ratios, err := PresenceBounds(g, top, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One group (full suppression): 8 of 9 world members present.
+	if len(ratios) != 1 || math.Abs(ratios[0]-8.0/9) > 1e-12 {
+		t.Fatalf("ratios = %v, want [8/9]", ratios)
+	}
+	ok, err := DeltaPresent(g, top, world, 0.5, 0.95)
+	if err != nil || !ok {
+		t.Fatalf("(0.5,0.95)-presence should hold: %v, %v", ok, err)
+	}
+	ok, err = DeltaPresent(g, top, world, 0.0, 0.8)
+	if err != nil || ok {
+		t.Fatalf("(0,0.8)-presence should fail: %v, %v", ok, err)
+	}
+	if _, err := PresenceBounds(&Groups{}, top, world); err == nil {
+		t.Fatal("no groups: want error")
+	}
+	// A world smaller than the microdata is inconsistent.
+	if _, err := PresenceBounds(g, top, world[:4]); err == nil {
+		t.Fatal("world smaller than group: want error")
+	}
+}
+
+func TestClassificationMetric(t *testing.T) {
+	_, g := keFixture(t, [][]int32{{0, 5, 9}, {2, 3, 8}})
+	// Classes: group 0 -> (0,0,1): penalty 1; group 1 -> (1,1,1): penalty 0.
+	class := []int{0, 0, 1, 1, 1, 1}
+	cm, err := ClassificationMetric(g, class, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cm-1.0/6) > 1e-12 {
+		t.Fatalf("CM = %v, want 1/6", cm)
+	}
+	if _, err := ClassificationMetric(g, class, 0); err == nil {
+		t.Fatal("numClasses 0: want error")
+	}
+	if _, err := ClassificationMetric(g, []int{9, 0, 0, 0, 0, 0}, 2); err == nil {
+		t.Fatal("out-of-range class: want error")
+	}
+	if _, err := ClassificationMetric(&Groups{}, nil, 2); err == nil {
+		t.Fatal("no rows: want error")
+	}
+}

@@ -1,0 +1,248 @@
+package generalize
+
+import (
+	"fmt"
+	"math"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+)
+
+// TDSConfig parameterizes top-down specialization (Fung, Wang, Yu, ICDE'05),
+// the algorithm the paper adapts for Phase 2. TDS starts from the fully
+// suppressed table and repeatedly performs the specialization with the best
+// information-gain-per-anonymity-loss score, as long as the result stays
+// k-anonymous.
+type TDSConfig struct {
+	// K is the minimum QI-group size (Property G2); must be >= 1.
+	K int
+
+	// Class holds the per-row class labels used by the information-gain
+	// score (the mining task the publication should serve, e.g. the income
+	// category). When nil, the sensitive codes themselves are used.
+	Class []int
+	// NumClasses is the number of distinct class labels; required when
+	// Class is set.
+	NumClasses int
+
+	// MaxRounds caps the number of specializations; 0 means unbounded
+	// (the algorithm always terminates because cuts only grow).
+	MaxRounds int
+}
+
+// TDSResult carries the chosen recoding plus search diagnostics.
+type TDSResult struct {
+	Recoding *Recoding
+	Groups   *Groups
+	Rounds   int
+	MinGroup int
+}
+
+// TDS runs top-down specialization and returns a global recoding whose
+// grouping is k-anonymous and, subject to that, has (greedily) maximal
+// information gain about the class labels.
+func TDS(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg TDSConfig) (*TDSResult, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("generalize: TDS on an empty table")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("generalize: TDS needs K >= 1, got %d", cfg.K)
+	}
+	if t.Len() < cfg.K {
+		return nil, fmt.Errorf("generalize: table has %d rows, cannot be %d-anonymous", t.Len(), cfg.K)
+	}
+	class := cfg.Class
+	numClasses := cfg.NumClasses
+	if class == nil {
+		class = make([]int, t.Len())
+		for i := range class {
+			class[i] = int(t.Sensitive(i))
+		}
+		numClasses = t.Schema.SensitiveDomain()
+	}
+	if len(class) != t.Len() {
+		return nil, fmt.Errorf("generalize: %d class labels for %d rows", len(class), t.Len())
+	}
+	if numClasses < 1 {
+		return nil, fmt.Errorf("generalize: NumClasses must be >= 1 when Class is set")
+	}
+	for i, c := range class {
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("generalize: class label %d of row %d out of [0,%d)", c, i, numClasses)
+		}
+	}
+
+	rec, err := TopRecoding(t.Schema, hiers)
+	if err != nil {
+		return nil, err
+	}
+	groups := GroupBy(t, rec)
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		// A cut can be refined at most once per internal node.
+		for _, h := range hiers {
+			maxRounds += h.NumNodes() - h.Leaves()
+		}
+	}
+
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		attr, node, ok := bestSpecialization(t, rec, groups, class, numClasses, cfg.K)
+		if !ok {
+			break
+		}
+		refined, err := rec.Cuts[attr].Refine(node)
+		if err != nil {
+			return nil, fmt.Errorf("generalize: TDS refine: %w", err)
+		}
+		rec.Cuts[attr] = refined
+		groups = GroupBy(t, rec)
+	}
+
+	return &TDSResult{Recoding: rec, Groups: groups, Rounds: rounds, MinGroup: groups.MinSize()}, nil
+}
+
+// candidate accumulates, for one (attribute, cut node) specialization, the
+// statistics needed for validity and scoring.
+type candidate struct {
+	attr int
+	node int32
+
+	total      []int           // class histogram of all rows mapping to node
+	perChild   map[int32][]int // child node -> class histogram
+	groupChild []map[int32]int // per affected group: child -> row count
+	groupIdx   map[int]int     // group index -> slot in groupChild
+	groupSize  []int           // size of each affected group
+}
+
+// bestSpecialization scans every refinable cut node, keeps the valid ones
+// (every split subgroup stays >= k) and returns the one maximizing
+// InfoGain / (AnonyLoss + 1). ok is false when no specialization is valid.
+func bestSpecialization(t *dataset.Table, rec *Recoding, groups *Groups, class []int, numClasses, k int) (attr int, node int32, ok bool) {
+	d := rec.D()
+	cands := make(map[[2]int32]*candidate)
+
+	for gi, rows := range groups.Rows {
+		key := groups.Keys[gi]
+		for a := 0; a < d; a++ {
+			v := key[a]
+			h := rec.Hierarchies[a]
+			if h.IsLeaf(v) {
+				continue
+			}
+			ck := [2]int32{int32(a), v}
+			c := cands[ck]
+			if c == nil {
+				c = &candidate{
+					attr:     a,
+					node:     v,
+					total:    make([]int, numClasses),
+					perChild: make(map[int32][]int),
+					groupIdx: make(map[int]int),
+				}
+				cands[ck] = c
+			}
+			slot := len(c.groupChild)
+			c.groupIdx[gi] = slot
+			c.groupChild = append(c.groupChild, make(map[int32]int))
+			c.groupSize = append(c.groupSize, len(rows))
+			for _, i := range rows {
+				leaf := t.QI(i, a)
+				child := childToward(h, v, leaf)
+				c.total[class[i]]++
+				hist := c.perChild[child]
+				if hist == nil {
+					hist = make([]int, numClasses)
+					c.perChild[child] = hist
+				}
+				hist[class[i]]++
+				c.groupChild[slot][child]++
+			}
+		}
+	}
+
+	curMin := groups.MinSize()
+	bestScore := math.Inf(-1)
+	for _, c := range cands {
+		minAfter := math.MaxInt
+		valid := true
+		for _, split := range c.groupChild {
+			for _, cnt := range split {
+				if cnt < k {
+					valid = false
+					break
+				}
+				if cnt < minAfter {
+					minAfter = cnt
+				}
+			}
+			if !valid {
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		gain := infoGain(c.total, c.perChild)
+		loss := float64(curMin - minAfter)
+		if loss < 0 {
+			loss = 0
+		}
+		score := gain / (loss + 1)
+		if score > bestScore {
+			bestScore = score
+			attr, node, ok = c.attr, c.node, true
+		}
+	}
+	return attr, node, ok
+}
+
+// childToward returns the child of internal node v on the path toward leaf.
+func childToward(h *hierarchy.Hierarchy, v, leaf int32) int32 {
+	u := leaf
+	for h.Parent(u) != v {
+		u = h.Parent(u)
+	}
+	return u
+}
+
+// entropy computes the Shannon entropy (nats) of a count histogram.
+func entropy(hist []int) float64 {
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, n := range hist {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) / float64(total)
+		e -= p * math.Log(p)
+	}
+	return e
+}
+
+// infoGain is I(parent) - sum_c |R_c|/|R| * I(R_c).
+func infoGain(total []int, perChild map[int32][]int) float64 {
+	n := 0
+	for _, c := range total {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	g := entropy(total)
+	for _, hist := range perChild {
+		cn := 0
+		for _, c := range hist {
+			cn += c
+		}
+		g -= float64(cn) / float64(n) * entropy(hist)
+	}
+	return g
+}

@@ -1,0 +1,127 @@
+// Package hierarchy implements generalization hierarchies (taxonomy trees)
+// over attribute domains, the substrate of global-recoding generalization
+// (property G3 of the paper, scheme of LeFevre et al. [13]).
+//
+// A Hierarchy is a rooted tree whose leaves are the attribute's domain codes
+// 0..n-1 and whose internal nodes cover contiguous code ranges. A value x' (a
+// set of values) generalizes a value x iff x ∈ x'; in tree form, a node
+// generalizes every leaf in its subtree. Because distinct nodes of an
+// antichain are disjoint, recoding every tuple through one antichain (a Cut)
+// yields a global recoding: no two distinct generalized values share a
+// specialization.
+package hierarchy
+
+import (
+	"fmt"
+
+	"pgpub/internal/dataset"
+)
+
+// Hierarchy is an immutable taxonomy tree over n domain codes. Node IDs
+// 0..n-1 are the leaves; internal nodes follow, the root last.
+type Hierarchy struct {
+	n        int
+	parent   []int32
+	children [][]int32
+	lo, hi   []int32
+	depth    []int32
+	root     int32
+	height   int // depth of the deepest leaf (root has depth 0)
+	uniform  bool
+}
+
+// Leaves returns the domain cardinality n.
+func (h *Hierarchy) Leaves() int { return h.n }
+
+// NumNodes returns the total node count (leaves + internal).
+func (h *Hierarchy) NumNodes() int { return len(h.parent) }
+
+// Root returns the root node ID.
+func (h *Hierarchy) Root() int32 { return h.root }
+
+// Parent returns the parent of v, or -1 for the root.
+func (h *Hierarchy) Parent(v int32) int32 { return h.parent[v] }
+
+// Children returns v's children (nil for leaves). Read-only.
+func (h *Hierarchy) Children(v int32) []int32 { return h.children[v] }
+
+// IsLeaf reports whether v is a domain code.
+func (h *Hierarchy) IsLeaf(v int32) bool { return int(v) < h.n }
+
+// Range returns the inclusive leaf-code range [lo, hi] covered by v.
+func (h *Hierarchy) Range(v int32) (lo, hi int32) { return h.lo[v], h.hi[v] }
+
+// Span returns the number of leaves covered by v.
+func (h *Hierarchy) Span(v int32) int { return int(h.hi[v]-h.lo[v]) + 1 }
+
+// Depth returns v's depth; the root has depth 0.
+func (h *Hierarchy) Depth(v int32) int { return int(h.depth[v]) }
+
+// Height returns the depth of the deepest leaf. A hierarchy with Height H
+// has H+1 generalization levels: level 0 (original values) .. level H (the
+// root, i.e. full suppression).
+func (h *Hierarchy) Height() int { return h.height }
+
+// Uniform reports whether all leaves sit at the same depth, which is what
+// full-domain (level-based) recoding requires.
+func (h *Hierarchy) Uniform() bool { return h.uniform }
+
+// Covers reports whether node v generalizes leaf code c.
+func (h *Hierarchy) Covers(v, c int32) bool { return c >= h.lo[v] && c <= h.hi[v] }
+
+// AncestorAbove returns the ancestor of leaf c reached by walking `steps`
+// edges toward the root (clamped at the root). steps == 0 returns c itself.
+func (h *Hierarchy) AncestorAbove(c int32, steps int) int32 {
+	v := c
+	for i := 0; i < steps && h.parent[v] >= 0; i++ {
+		v = h.parent[v]
+	}
+	return v
+}
+
+// Label renders node v using the attribute's value labels: the leaf label
+// itself, "*" for the root, and "[lo-hi]" for intermediate nodes.
+func (h *Hierarchy) Label(v int32, a *dataset.Attribute) string {
+	switch {
+	case h.IsLeaf(v):
+		return a.Label(v)
+	case v == h.root:
+		return "*"
+	default:
+		return fmt.Sprintf("[%s-%s]", a.Label(h.lo[v]), a.Label(h.hi[v]))
+	}
+}
+
+// validate checks tree invariants; builders call it before returning.
+func (h *Hierarchy) validate() error {
+	if h.n < 1 {
+		return fmt.Errorf("hierarchy: no leaves")
+	}
+	roots := 0
+	for v := range h.parent {
+		if h.parent[v] < 0 {
+			roots++
+			if int32(v) != h.root {
+				return fmt.Errorf("hierarchy: node %d is parentless but not the root", v)
+			}
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("hierarchy: %d roots", roots)
+	}
+	for v := h.n; v < h.NumNodes(); v++ {
+		kids := h.children[v]
+		if len(kids) == 0 {
+			return fmt.Errorf("hierarchy: internal node %d has no children", v)
+		}
+		if h.lo[v] != h.lo[kids[0]] || h.hi[v] != h.hi[kids[len(kids)-1]] {
+			return fmt.Errorf("hierarchy: node %d range does not match children", v)
+		}
+		for i := 1; i < len(kids); i++ {
+			if h.lo[kids[i]] != h.hi[kids[i-1]]+1 {
+				return fmt.Errorf("hierarchy: node %d children not contiguous", v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+)
+
+// Criterion selects the split-impurity measure.
+type Criterion int
+
+const (
+	// Gini is the default impurity (CART-style).
+	Gini Criterion = iota
+	// Entropy uses Shannon entropy (ID3/C4.5-style).
+	Entropy
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// impurity dispatches on the criterion; returns the impurity and total mass.
+func impurity(h []float64, c Criterion) (float64, float64) {
+	if c == Gini {
+		return gini(h)
+	}
+	total := 0.0
+	for _, v := range h {
+		total += v
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	e := 0.0
+	for _, v := range h {
+		if v == 0 {
+			continue
+		}
+		p := v / total
+		e -= p * math.Log2(p)
+	}
+	return e, total
+}
+
+// Prune performs reduced-error pruning against a validation dataset:
+// bottom-up, every internal node whose single-leaf replacement (using the
+// node's label) classifies the validation rows reaching it at least as well
+// as its subtree is collapsed. Returns the number of collapsed subtrees.
+func (t *Tree) Prune(ds *Dataset) (int, error) {
+	if ds.Len() == 0 {
+		return 0, fmt.Errorf("mining: pruning needs a non-empty validation set")
+	}
+	rowsAt := map[*node][]int{}
+	for i := range ds.rows {
+		n := t.root
+		for {
+			rowsAt[n] = append(rowsAt[n], i)
+			if n.feature < 0 {
+				break
+			}
+			if n.children != nil {
+				child, ok := n.children[ds.rows[i][n.feature]]
+				if !ok {
+					break
+				}
+				n = child
+				continue
+			}
+			if ds.rows[i][n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+	}
+	pruned := 0
+	var visit func(n *node) float64 // returns subtree's correct weight
+	visit = func(n *node) float64 {
+		rows := rowsAt[n]
+		leafCorrect := 0.0
+		for _, i := range rows {
+			if ds.class[i] == n.label {
+				leafCorrect += ds.weights[i]
+			}
+		}
+		if n.feature < 0 {
+			return leafCorrect
+		}
+		subtree := 0.0
+		if n.children != nil {
+			// Rows that stopped here (unseen codes) are classified by the
+			// node's own label in Predict; count them for the subtree too.
+			routed := map[int]bool{}
+			for _, c := range n.children {
+				subtree += visit(c)
+				for _, i := range rowsAt[c] {
+					routed[i] = true
+				}
+			}
+			for _, i := range rows {
+				if !routed[i] && ds.class[i] == n.label {
+					subtree += ds.weights[i]
+				}
+			}
+		} else {
+			subtree = visit(n.left) + visit(n.right)
+		}
+		if leafCorrect >= subtree {
+			n.feature = -1
+			n.children = nil
+			n.left, n.right = nil, nil
+			pruned++
+			return leafCorrect
+		}
+		return subtree
+	}
+	visit(t.root)
+	if pruned > 0 {
+		t.recount()
+	}
+	return pruned, nil
+}
+
+// recount refreshes Size and Depth after structural changes.
+func (t *Tree) recount() {
+	t.nodes, t.depth = 0, 0
+	var walk func(n *node, d int)
+	walk = func(n *node, d int) {
+		t.nodes++
+		if d > t.depth {
+			t.depth = d
+		}
+		for _, c := range n.children {
+			walk(c, d+1)
+		}
+		if n.left != nil {
+			walk(n.left, d+1)
+		}
+		if n.right != nil {
+			walk(n.right, d+1)
+		}
+	}
+	walk(t.root, 0)
+}

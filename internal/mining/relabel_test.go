@@ -1,0 +1,226 @@
+package mining
+
+import (
+	"testing"
+)
+
+// buildSimpleTree grows a depth-1 threshold tree on feature 0 of a 10-value
+// ordered domain: codes <= 4 are class 0, codes >= 5 are class 1.
+func buildSimpleTree(t *testing.T) *Tree {
+	t.Helper()
+	ds := mustDataset(t, []int{10}, []bool{true}, 2)
+	for v := int32(0); v < 10; v++ {
+		c := 0
+		if v >= 5 {
+			c = 1
+		}
+		for rep := 0; rep < 10; rep++ {
+			if err := ds.Add([]int32{v}, c, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tree, err := Build(ds, Config{MinLeafWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestRelabelFlipsLabels(t *testing.T) {
+	tree := buildSimpleTree(t)
+	// An inverted labelling dataset: the structure stands, but labels swap.
+	inv := mustDataset(t, []int{10}, []bool{true}, 2)
+	for v := int32(0); v < 10; v++ {
+		c := 1
+		if v >= 5 {
+			c = 0
+		}
+		for rep := 0; rep < 10; rep++ {
+			if err := inv.Add([]int32{v}, c, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tree.Relabel(inv, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]int32{0}) != 1 || tree.Predict([]int32{9}) != 0 {
+		t.Fatal("relabel did not flip leaf labels")
+	}
+}
+
+func TestRelabelFallsBackToParent(t *testing.T) {
+	tree := buildSimpleTree(t)
+	// A labelling dataset that only reaches the left branch: right leaves
+	// get no mass and must inherit the (relabelled) parent's label.
+	left := mustDataset(t, []int{10}, []bool{true}, 2)
+	for rep := 0; rep < 20; rep++ {
+		if err := left.Add([]int32{0}, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Relabel(left, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	// All mass is class 1 at the root, so both branches must predict 1.
+	if tree.Predict([]int32{0}) != 1 || tree.Predict([]int32{9}) != 1 {
+		t.Fatal("starved leaves must inherit the root label")
+	}
+}
+
+func TestRelabelWithAdjust(t *testing.T) {
+	tree := buildSimpleTree(t)
+	same := mustDataset(t, []int{10}, []bool{true}, 2)
+	for v := int32(0); v < 10; v++ {
+		c := 0
+		if v >= 5 {
+			c = 1
+		}
+		if err := same.Add([]int32{v}, c, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	swap := func(obs []float64) []float64 { return []float64{obs[1], obs[0]} }
+	if err := tree.Relabel(same, 1, swap); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]int32{0}) != 1 || tree.Predict([]int32{9}) != 0 {
+		t.Fatal("adjust hook ignored during relabel")
+	}
+}
+
+func TestRelabelEmptyDataset(t *testing.T) {
+	tree := buildSimpleTree(t)
+	empty := mustDataset(t, []int{10}, []bool{true}, 2)
+	if err := tree.Relabel(empty, 1, nil); err == nil {
+		t.Fatal("empty relabel dataset: want error")
+	}
+}
+
+func TestRelabelCategoricalUnseenCode(t *testing.T) {
+	// A categorical tree; relabel rows whose codes miss some children.
+	ds := mustDataset(t, []int{3}, []bool{false}, 2)
+	for v := int32(0); v < 3; v++ {
+		c := int(v % 2)
+		for rep := 0; rep < 20; rep++ {
+			if err := ds.Add([]int32{v}, c, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tree, err := Build(ds, Config{MinLeafWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relabel := mustDataset(t, []int{3}, []bool{false}, 2)
+	for rep := 0; rep < 10; rep++ {
+		if err := relabel.Add([]int32{0}, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Relabel(relabel, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Code 0's leaf saw only class 1 in the relabel set.
+	if tree.Predict([]int32{0}) != 1 {
+		t.Fatal("relabel of categorical child failed")
+	}
+}
+
+func TestEntropyCriterion(t *testing.T) {
+	// Entropy and Gini should both learn a clean threshold.
+	ds := mustDataset(t, []int{10}, []bool{true}, 2)
+	for v := int32(0); v < 10; v++ {
+		c := 0
+		if v >= 3 {
+			c = 1
+		}
+		for rep := 0; rep < 15; rep++ {
+			if err := ds.Add([]int32{v}, c, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tree, err := Build(ds, Config{MinLeafWeight: 5, Criterion: Entropy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Predict([]int32{0}) != 0 || tree.Predict([]int32{9}) != 1 {
+		t.Fatal("entropy criterion failed to learn the threshold")
+	}
+	if Gini.String() != "gini" || Entropy.String() != "entropy" {
+		t.Fatal("Criterion.String")
+	}
+	if Criterion(9).String() == "" {
+		t.Fatal("unknown criterion string empty")
+	}
+}
+
+func TestPruneCollapsesOverfitSubtrees(t *testing.T) {
+	// Training data with a spurious second-level pattern that does not hold
+	// on the validation set: pruning must collapse it.
+	train := mustDataset(t, []int{2, 2}, []bool{false, false}, 2)
+	val := mustDataset(t, []int{2, 2}, []bool{false, false}, 2)
+	// Feature 0 is the real signal; feature 1 is noise that happens to
+	// correlate in training only.
+	for rep := 0; rep < 30; rep++ {
+		train.Add([]int32{0, 0}, 0, 1)
+		train.Add([]int32{0, 1}, 0, 1)
+		train.Add([]int32{1, 0}, 1, 1)
+	}
+	for rep := 0; rep < 10; rep++ {
+		train.Add([]int32{1, 1}, 0, 1) // spurious: makes the tree split on f1
+	}
+	for rep := 0; rep < 30; rep++ {
+		val.Add([]int32{0, 0}, 0, 1)
+		val.Add([]int32{0, 1}, 0, 1)
+		val.Add([]int32{1, 0}, 1, 1)
+		val.Add([]int32{1, 1}, 1, 1) // in validation, f0 alone decides
+	}
+	tree, err := Build(train, Config{MinLeafWeight: 2, MinGain: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.Size()
+	pruned, err := tree.Prune(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned == 0 || tree.Size() >= before {
+		t.Fatalf("expected pruning: pruned=%d size %d -> %d", pruned, before, tree.Size())
+	}
+	// After pruning, the validation-optimal behaviour must hold.
+	if tree.Predict([]int32{1, 1}) != 1 {
+		t.Fatal("pruned tree must follow the validation signal")
+	}
+	if _, err := tree.Prune(mustDataset(t, []int{2, 2}, []bool{false, false}, 2)); err == nil {
+		t.Fatal("empty validation set: want error")
+	}
+}
+
+func TestPruneKeepsGoodSubtrees(t *testing.T) {
+	// When the validation set confirms the structure, nothing collapses.
+	ds := mustDataset(t, []int{4}, []bool{true}, 2)
+	for v := int32(0); v < 4; v++ {
+		c := 0
+		if v >= 2 {
+			c = 1
+		}
+		for rep := 0; rep < 20; rep++ {
+			ds.Add([]int32{v}, c, 1)
+		}
+	}
+	tree, err := Build(ds, Config{MinLeafWeight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.Size()
+	pruned, err := tree.Prune(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 0 || tree.Size() != before {
+		t.Fatalf("confirmed structure was pruned: %d, %d -> %d", pruned, before, tree.Size())
+	}
+}

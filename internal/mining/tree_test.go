@@ -1,0 +1,265 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustDataset(t *testing.T, nv []int, ordered []bool, nc int) *Dataset {
+	t.Helper()
+	ds, err := NewDataset(nv, ordered, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(nil, nil, 2); err == nil {
+		t.Fatal("no features: want error")
+	}
+	if _, err := NewDataset([]int{3}, []bool{true, false}, 2); err == nil {
+		t.Fatal("ordered length mismatch: want error")
+	}
+	if _, err := NewDataset([]int{0}, []bool{true}, 2); err == nil {
+		t.Fatal("empty feature domain: want error")
+	}
+	if _, err := NewDataset([]int{3}, []bool{true}, 1); err == nil {
+		t.Fatal("single class: want error")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	ds := mustDataset(t, []int{3, 2}, []bool{true, false}, 2)
+	if err := ds.Add([]int32{0}, 0, 1); err == nil {
+		t.Fatal("short features: want error")
+	}
+	if err := ds.Add([]int32{3, 0}, 0, 1); err == nil {
+		t.Fatal("feature out of domain: want error")
+	}
+	if err := ds.Add([]int32{0, 0}, 2, 1); err == nil {
+		t.Fatal("class out of range: want error")
+	}
+	if err := ds.Add([]int32{0, 0}, 0, 0); err == nil {
+		t.Fatal("zero weight: want error")
+	}
+	if err := ds.Add([]int32{0, 0}, 0, 1); err != nil {
+		t.Fatalf("valid add rejected: %v", err)
+	}
+	if ds.Len() != 1 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	ds := mustDataset(t, []int{2}, []bool{true}, 2)
+	if _, err := Build(ds, Config{}); err == nil {
+		t.Fatal("empty dataset: want error")
+	}
+}
+
+// A perfectly separable ordered feature must be learned exactly.
+func TestOrderedThresholdLearned(t *testing.T) {
+	ds := mustDataset(t, []int{10}, []bool{true}, 2)
+	for v := int32(0); v < 10; v++ {
+		class := 0
+		if v >= 6 {
+			class = 1
+		}
+		for rep := 0; rep < 20; rep++ {
+			if err := ds.Add([]int32{v}, class, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tree, err := Build(ds, Config{MinLeafWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 10; v++ {
+		want := 0
+		if v >= 6 {
+			want = 1
+		}
+		if got := tree.Predict([]int32{v}); got != want {
+			t.Fatalf("Predict(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if tree.Depth() < 1 || tree.Size() < 3 {
+		t.Fatalf("tree too small: depth %d size %d", tree.Depth(), tree.Size())
+	}
+}
+
+// A separable categorical feature (XOR-free) must be learned exactly, and
+// unseen codes must fall back to the parent label.
+func TestCategoricalSplitLearned(t *testing.T) {
+	ds := mustDataset(t, []int{4}, []bool{false}, 2)
+	classOf := map[int32]int{0: 0, 1: 1, 2: 0}
+	total := map[int]int{}
+	for v, c := range classOf {
+		for rep := 0; rep < 30; rep++ {
+			if err := ds.Add([]int32{v}, c, 1); err != nil {
+				t.Fatal(err)
+			}
+			total[c]++
+		}
+	}
+	tree, err := Build(ds, Config{MinLeafWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range classOf {
+		if got := tree.Predict([]int32{v}); got != c {
+			t.Fatalf("Predict(%d) = %d, want %d", v, got, c)
+		}
+	}
+	// Code 3 was never seen: prediction must be the root's majority (class
+	// 0 has 60 rows, class 1 has 30).
+	if got := tree.Predict([]int32{3}); got != 0 {
+		t.Fatalf("unseen code predicted %d, want majority 0", got)
+	}
+}
+
+// AND over two categorical features needs depth 2 (the first split is
+// informative, unlike XOR, so the greedy grower must find it).
+func TestANDNeedsTwoLevels(t *testing.T) {
+	ds := mustDataset(t, []int{2, 2}, []bool{false, false}, 2)
+	for a := int32(0); a < 2; a++ {
+		for b := int32(0); b < 2; b++ {
+			class := int(a & b)
+			for rep := 0; rep < 40; rep++ {
+				if err := ds.Add([]int32{a, b}, class, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	tree, err := Build(ds, Config{MinLeafWeight: 5, MinGain: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := int32(0); a < 2; a++ {
+		for b := int32(0); b < 2; b++ {
+			if got := tree.Predict([]int32{a, b}); got != int(a&b) {
+				t.Fatalf("Predict(%d,%d) = %d, want %d", a, b, got, a&b)
+			}
+		}
+	}
+	if tree.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", tree.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := mustDataset(t, []int{50}, []bool{true}, 2)
+	for i := 0; i < 2000; i++ {
+		v := int32(rng.Intn(50))
+		c := 0
+		if rng.Float64() < float64(v)/50 {
+			c = 1
+		}
+		if err := ds.Add([]int32{v}, c, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := Build(ds, Config{MaxDepth: 2, MinLeafWeight: 1, MinGain: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 2 {
+		t.Fatalf("Depth = %d > MaxDepth 2", tree.Depth())
+	}
+}
+
+// Weights matter: a heavily weighted minority flips the majority label.
+func TestWeightsFlipLabel(t *testing.T) {
+	ds := mustDataset(t, []int{2}, []bool{false}, 2)
+	for rep := 0; rep < 10; rep++ {
+		if err := ds.Add([]int32{0}, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Add([]int32{0}, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(ds, Config{MaxDepth: 1, MinLeafWeight: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]int32{0}); got != 1 {
+		t.Fatalf("weighted majority = %d, want 1", got)
+	}
+}
+
+// The Adjust hook changes labelling: a corrector that swaps the histogram
+// entries must flip predictions.
+func TestAdjustHook(t *testing.T) {
+	ds := mustDataset(t, []int{2}, []bool{false}, 2)
+	for rep := 0; rep < 20; rep++ {
+		if err := ds.Add([]int32{0}, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for rep := 0; rep < 5; rep++ {
+		if err := ds.Add([]int32{0}, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	swap := func(obs []float64) []float64 { return []float64{obs[1], obs[0]} }
+	tree, err := Build(ds, Config{MaxDepth: 1, MinLeafWeight: 1000, Adjust: swap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]int32{0}); got != 1 {
+		t.Fatalf("adjusted label = %d, want 1", got)
+	}
+}
+
+// Property: trees never crash on random data and always predict a valid
+// class.
+func TestPredictAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nf := 1 + rng.Intn(3)
+		nv := make([]int, nf)
+		ordered := make([]bool, nf)
+		for j := range nv {
+			nv[j] = 2 + rng.Intn(6)
+			ordered[j] = rng.Intn(2) == 0
+		}
+		nc := 2 + rng.Intn(3)
+		ds, err := NewDataset(nv, ordered, nc)
+		if err != nil {
+			return false
+		}
+		n := 20 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			feats := make([]int32, nf)
+			for j := range feats {
+				feats[j] = int32(rng.Intn(nv[j]))
+			}
+			if err := ds.Add(feats, rng.Intn(nc), 1+rng.Float64()*5); err != nil {
+				return false
+			}
+		}
+		tree, err := Build(ds, Config{MaxDepth: 6, MinLeafWeight: 2, MinGain: 1e-9})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 50; trial++ {
+			feats := make([]int32, nf)
+			for j := range feats {
+				feats[j] = int32(rng.Intn(nv[j]))
+			}
+			if c := tree.Predict(feats); c < 0 || c >= nc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package perturb implements Phase 1 of perturbed generalization: uniform
+// random perturbation of the sensitive attribute with retention probability
+// p (the paper's P1/P2, rooted in randomized response [32] and the
+// perturbation operators of Evfimievski et al. [6] and Agrawal et al. [7]).
+// It also provides the transition probabilities P[a→b] of Equation 11 and
+// the distribution-reconstruction estimators that the mining stack uses to
+// undo the perturbation in aggregate.
+package perturb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pgpub/internal/dataset"
+)
+
+// Perturber applies uniform perturbation over a sensitive domain of a given
+// cardinality with retention probability P.
+type Perturber struct {
+	// P is the retention probability: with probability P the original value
+	// is kept, otherwise a uniform value from the domain replaces it.
+	P float64
+	// Domain is |U^s|.
+	Domain int
+}
+
+// NewPerturber validates the parameters.
+func NewPerturber(p float64, domain int) (*Perturber, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("perturb: retention probability %v outside [0,1]", p)
+	}
+	if domain < 1 {
+		return nil, fmt.Errorf("perturb: sensitive domain must be non-empty, got %d", domain)
+	}
+	return &Perturber{P: p, Domain: domain}, nil
+}
+
+// Value perturbs one sensitive value per step P2 of the paper: keep with
+// probability P, otherwise redraw uniformly from U^s (note the redraw may
+// coincide with the original value).
+func (pb *Perturber) Value(x int32, rng *rand.Rand) int32 {
+	if rng.Float64() < pb.P {
+		return x
+	}
+	return int32(rng.Intn(pb.Domain))
+}
+
+// Table returns D^p: a deep copy of d with every tuple's sensitive value
+// perturbed independently (QI attributes untouched, per P1).
+func (pb *Perturber) Table(d *dataset.Table, rng *rand.Rand) (*dataset.Table, error) {
+	if d.Schema.SensitiveDomain() != pb.Domain {
+		return nil, fmt.Errorf("perturb: perturber domain %d != sensitive domain %d",
+			pb.Domain, d.Schema.SensitiveDomain())
+	}
+	out := d.Clone()
+	for i := 0; i < out.Len(); i++ {
+		out.SetSensitive(i, pb.Value(out.Sensitive(i), rng))
+	}
+	return out, nil
+}
+
+// TransitionProb returns P[a→b] of Equation 11: p + (1-p)/|U^s| when a == b,
+// (1-p)/|U^s| otherwise.
+func (pb *Perturber) TransitionProb(a, b int32) float64 {
+	off := (1 - pb.P) / float64(pb.Domain)
+	if a == b {
+		return pb.P + off
+	}
+	return off
+}
+
+// Matrix materializes the full |U^s| x |U^s| transition matrix M with
+// M[a][b] = P[a→b]. Every row sums to 1.
+func (pb *Perturber) Matrix() [][]float64 {
+	m := make([][]float64, pb.Domain)
+	off := (1 - pb.P) / float64(pb.Domain)
+	for a := range m {
+		row := make([]float64, pb.Domain)
+		for b := range row {
+			row[b] = off
+		}
+		row[a] += pb.P
+		m[a] = row
+	}
+	return m
+}

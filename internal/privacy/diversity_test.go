@@ -1,0 +1,140 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCLDiversityGuarantee(t *testing.T) {
+	// The paper's worked example: (1/2, 3)-diversity over a 100-value
+	// domain gives prior 1/99 and posterior bound 1/3.
+	g, err := CLDiversityGuarantee(0.5, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Prior-1.0/99) > 1e-15 {
+		t.Fatalf("Prior = %v, want 1/99", g.Prior)
+	}
+	if math.Abs(g.Rho2-1.0/3) > 1e-15 {
+		t.Fatalf("Rho2 = %v, want 1/3", g.Rho2)
+	}
+	if math.Abs(g.Growth-(1.0/3-1.0/99)) > 1e-15 {
+		t.Fatalf("Growth = %v", g.Growth)
+	}
+	if _, err := CLDiversityGuarantee(0, 3, 100); err == nil {
+		t.Fatal("c=0: want error")
+	}
+	if _, err := CLDiversityGuarantee(0.5, 1, 100); err == nil {
+		t.Fatal("l=1: want error")
+	}
+	if _, err := CLDiversityGuarantee(0.5, 102, 100); err == nil {
+		t.Fatal("l too large: want error")
+	}
+}
+
+func TestLemma1Prior(t *testing.T) {
+	// The paper's Figure-1 walkthrough: u=6, l=3, |U^s|=100 gives 5/99.
+	got, err := Lemma1Prior(6, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5.0/99) > 1e-15 {
+		t.Fatalf("Lemma1Prior = %v, want 5/99", got)
+	}
+	if _, err := Lemma1Prior(6, 1, 100); err == nil {
+		t.Fatal("l < 2: want error")
+	}
+	if _, err := Lemma1Prior(1, 3, 100); err == nil {
+		t.Fatal("u < l-1: want error")
+	}
+	if _, err := Lemma1Prior(200, 3, 100); err == nil {
+		t.Fatal("u > domain: want error")
+	}
+	// In practice u << |U^s| keeps the prior far below 1, which is what
+	// makes Lemma 1 damning: tiny prior, certain posterior.
+	small, err := Lemma1Prior(6, 3, 1000)
+	if err != nil || small > 0.01 {
+		t.Fatalf("prior = %v, want < 0.01", small)
+	}
+}
+
+func TestDownwardRho12(t *testing.T) {
+	g, err := NewDownwardRho12(0.7, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Breached(0.7, 0.49) {
+		t.Fatal("expected downward breach")
+	}
+	if g.Breached(0.69, 0.1) {
+		t.Fatal("prior below rho1 cannot breach")
+	}
+	if g.Breached(0.8, 0.5) {
+		t.Fatal("posterior at rho2 is not a breach")
+	}
+	if g.String() != "downward 0.7-to-0.5" {
+		t.Fatalf("String = %q", g.String())
+	}
+	if _, err := NewDownwardRho12(0.5, 0.7); err == nil {
+		t.Fatal("rho2 > rho1: want error")
+	}
+	if _, err := NewDownwardRho12(1.1, 0.5); err == nil {
+		t.Fatal("rho1 > 1: want error")
+	}
+	up, err := g.Complement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up.Rho1-0.3) > 1e-15 || math.Abs(up.Rho2-0.5) > 1e-15 {
+		t.Fatalf("complement = %+v, want 0.3-to-0.5", up)
+	}
+}
+
+// Footnote 1: every downward breach corresponds to an upward breach of the
+// complement guarantee on the complement predicate.
+func TestDownwardImpliedByUpward(t *testing.T) {
+	f := func(r1Raw, r2Raw, priorRaw, postRaw uint16) bool {
+		rho1 := 0.05 + float64(r1Raw%90)/100    // (0.05, 0.95)
+		rho2 := rho1 * float64(r2Raw%100) / 101 // < rho1
+		g, err := NewDownwardRho12(rho1, rho2)
+		if err != nil {
+			return false
+		}
+		prior := float64(priorRaw%1001) / 1000
+		post := float64(postRaw%1001) / 1000
+		return g.ImpliedByUpward(prior, post)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoBreachTheorem2Downward(t *testing.T) {
+	// At p=0.3, k=6 the upward 0.2-to-0.46 guarantee holds (Table III), so
+	// the downward 0.8-to-0.54 guarantee holds by footnote 1.
+	g, err := NewDownwardRho12(0.8, 0.54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := NoBreachTheorem2Downward(0.3, 0.1, g, 6, 50)
+	if err != nil || !ok {
+		t.Fatalf("downward 0.8-to-0.54 should be certified: %v, %v", ok, err)
+	}
+	// A stricter downward target (0.8-to-0.56 means posterior must stay
+	// above 0.56 — complement upward 0.2-to-0.44) fails, mirroring the
+	// upward threshold.
+	g2, err := NewDownwardRho12(0.8, 0.56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = NoBreachTheorem2Downward(0.3, 0.1, g2, 6, 50)
+	if err != nil || ok {
+		t.Fatalf("downward 0.8-to-0.56 should NOT be certified: %v, %v", ok, err)
+	}
+	// Degenerate complement.
+	g3 := DownwardRho12{Rho1: 1, Rho2: 0.5}
+	if _, err := NoBreachTheorem2Downward(0.3, 0.1, g3, 6, 50); err == nil {
+		t.Fatal("rho1=1: want error")
+	}
+}

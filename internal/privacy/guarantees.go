@@ -1,0 +1,67 @@
+package privacy
+
+import "fmt"
+
+// Guarantee is a background-sensitive guarantee (Section II-B): a constraint
+// relating an adversary's prior and posterior confidence.
+type Guarantee interface {
+	// Breached reports whether the (prior, posterior) pair violates the
+	// guarantee.
+	Breached(prior, post float64) bool
+	// String names the guarantee.
+	String() string
+}
+
+// Rho12 is the ρ₁-to-ρ₂ guarantee of Definition 2 (after Evfimievski et
+// al. [6]): if the prior confidence is at most ρ₁, the posterior must not
+// exceed ρ₂. Upward breaches only, per the paper's footnote 1.
+type Rho12 struct {
+	Rho1, Rho2 float64
+}
+
+// NewRho12 validates 0 <= ρ₁ < ρ₂ <= 1.
+func NewRho12(rho1, rho2 float64) (Rho12, error) {
+	if !(rho1 >= 0 && rho1 < rho2 && rho2 <= 1) {
+		return Rho12{}, fmt.Errorf("privacy: need 0 <= rho1 < rho2 <= 1, got %v, %v", rho1, rho2)
+	}
+	return Rho12{Rho1: rho1, Rho2: rho2}, nil
+}
+
+// Breached implements Guarantee: a ρ₁-to-ρ₂ breach occurs iff prior <= ρ₁
+// and posterior > ρ₂. A powerful adversary (prior > ρ₁) never constitutes a
+// breach of this guarantee.
+func (g Rho12) Breached(prior, post float64) bool {
+	return prior <= g.Rho1 && post > g.Rho2
+}
+
+// String implements Guarantee.
+func (g Rho12) String() string { return fmt.Sprintf("%g-to-%g", g.Rho1, g.Rho2) }
+
+// DeltaGrowth is the Δ-growth guarantee of Definition 3: the posterior may
+// exceed the prior by at most Δ, whatever the prior.
+type DeltaGrowth struct {
+	Delta float64
+}
+
+// NewDeltaGrowth validates Δ in (0, 1].
+func NewDeltaGrowth(delta float64) (DeltaGrowth, error) {
+	if !(delta > 0 && delta <= 1) {
+		return DeltaGrowth{}, fmt.Errorf("privacy: need delta in (0,1], got %v", delta)
+	}
+	return DeltaGrowth{Delta: delta}, nil
+}
+
+// Breached implements Guarantee.
+func (g DeltaGrowth) Breached(prior, post float64) bool {
+	return post-prior > g.Delta
+}
+
+// String implements Guarantee.
+func (g DeltaGrowth) String() string { return fmt.Sprintf("%g-growth", g.Delta) }
+
+// Implies reports the paper's observation that setting Δ = ρ₂ - ρ₁ makes
+// the Δ-growth guarantee subsume the ρ₁-to-ρ₂ one: whenever the Δ-growth
+// guarantee holds for Δ <= ρ₂-ρ₁, no ρ₁-to-ρ₂ breach is possible.
+func (g DeltaGrowth) Implies(r Rho12) bool {
+	return g.Delta <= r.Rho2-r.Rho1
+}

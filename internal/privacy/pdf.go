@@ -1,0 +1,143 @@
+// Package privacy implements the paper's privacy formalism: λ-skewed
+// background knowledge (Definition 4), the ρ₁-to-ρ₂ and Δ-growth
+// background-sensitive guarantees (Definitions 2 and 3), the posterior
+// derivation of Section V-B (Equations 5–12), and the formal results of
+// Section VI (Inequality 20 and Theorems 1–3), including the closed-form
+// bounds that generate Table III and the parameter solver that picks the
+// maximum retention probability p meeting a target guarantee level.
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// PDF is a probability density function over the sensitive domain U^s,
+// modelling an adversary's background knowledge about a victim's sensitive
+// value (Definition 4): PDF[x] = P[X = x].
+type PDF []float64
+
+// Uniform returns the zero-knowledge pdf: every value equally likely. Its
+// skew is the minimum possible, 1/|U^s|.
+func Uniform(n int) PDF {
+	p := make(PDF, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}
+
+// PointMass returns the pdf of an adversary who is certain the victim's
+// value is x (skew 1; no protection possible, per the paper's remark).
+func PointMass(n int, x int32) (PDF, error) {
+	if x < 0 || int(x) >= n {
+		return nil, fmt.Errorf("privacy: point mass at %d outside domain of %d", x, n)
+	}
+	p := make(PDF, n)
+	p[x] = 1
+	return p, nil
+}
+
+// Excluding returns the pdf of an adversary who has ruled out the given
+// values and considers all others equally likely — the background knowledge
+// type targeted by (c,l)-diversity (Section III-A): excluding l-2 values
+// yields prior 1/(|U^s|-l+2) for each remaining value.
+func Excluding(n int, excluded ...int32) (PDF, error) {
+	out := make(PDF, n)
+	ex := make(map[int32]bool, len(excluded))
+	for _, x := range excluded {
+		if x < 0 || int(x) >= n {
+			return nil, fmt.Errorf("privacy: excluded value %d outside domain of %d", x, n)
+		}
+		ex[x] = true
+	}
+	remain := n - len(ex)
+	if remain <= 0 {
+		return nil, fmt.Errorf("privacy: excluding all %d values leaves an empty support", n)
+	}
+	for i := range out {
+		if !ex[int32(i)] {
+			out[i] = 1 / float64(remain)
+		}
+	}
+	return out, nil
+}
+
+// Validate checks non-negativity and unit mass.
+func (p PDF) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("privacy: empty pdf")
+	}
+	sum := 0.0
+	for i, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("privacy: pdf[%d] = %v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("privacy: pdf sums to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Skew returns max_x P[X = x], the λ of Definition 4: the pdf is λ-skewed
+// for every λ >= Skew().
+func (p PDF) Skew() float64 {
+	m := 0.0
+	for _, v := range p {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Clone deep-copies the pdf.
+func (p PDF) Clone() PDF { return append(PDF(nil), p...) }
+
+// Predicate is the attack target Q: the set of sensitive values satisfying
+// the adversary's (arbitrarily complex) condition, as a membership mask over
+// U^s (the paper's Q(X)).
+type Predicate []bool
+
+// ExactReconstruction returns the predicate Q_r : o.A^s = r, the special
+// form targeted by (c,l)-diversity.
+func ExactReconstruction(n int, r int32) (Predicate, error) {
+	if r < 0 || int(r) >= n {
+		return nil, fmt.Errorf("privacy: value %d outside domain of %d", r, n)
+	}
+	q := make(Predicate, n)
+	q[r] = true
+	return q, nil
+}
+
+// PredicateOf builds a predicate from a value set.
+func PredicateOf(n int, values ...int32) (Predicate, error) {
+	q := make(Predicate, n)
+	for _, v := range values {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("privacy: value %d outside domain of %d", v, n)
+		}
+		q[v] = true
+	}
+	return q, nil
+}
+
+// Holds reports whether the predicate is satisfied by value y.
+func (q Predicate) Holds(y int32) bool { return y >= 0 && int(y) < len(q) && q[y] }
+
+// Confidence returns sum over x in Q(X) of P[X = x] — Equation 5 when
+// applied to a prior pdf, Equation 10 when applied to a posterior pdf.
+func (p PDF) Confidence(q Predicate) (float64, error) {
+	if len(q) != len(p) {
+		return 0, fmt.Errorf("privacy: predicate over %d values, pdf over %d", len(q), len(p))
+	}
+	c := 0.0
+	for x, in := range q {
+		if in {
+			c += p[x]
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,344 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	p := Uniform(50)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Skew()-0.02) > 1e-12 {
+		t.Fatalf("Skew = %v, want 0.02", p.Skew())
+	}
+}
+
+func TestPointMass(t *testing.T) {
+	p, err := PointMass(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Skew() != 1 || p[3] != 1 {
+		t.Fatal("point mass wrong")
+	}
+	if _, err := PointMass(10, 10); err == nil {
+		t.Fatal("out-of-domain point mass: want error")
+	}
+	if _, err := PointMass(10, -1); err == nil {
+		t.Fatal("negative point mass: want error")
+	}
+}
+
+func TestExcluding(t *testing.T) {
+	// The (c,l)-diversity background type: excluding l-2 values yields
+	// prior 1/(|U^s|-l+2) per Equation 2. With |U^s|=100, l=3 (exclude 1
+	// value), the prior for any remaining value is 1/99.
+	p, err := Excluding(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p[7] != 0 {
+		t.Fatal("excluded value must have zero mass")
+	}
+	if math.Abs(p[0]-1.0/99) > 1e-15 {
+		t.Fatalf("prior = %v, want 1/99", p[0])
+	}
+	// Duplicated exclusions count once.
+	p2, err := Excluding(10, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2[0]-1.0/8) > 1e-15 {
+		t.Fatalf("prior = %v, want 1/8", p2[0])
+	}
+	if _, err := Excluding(3, 0, 1, 2); err == nil {
+		t.Fatal("excluding everything: want error")
+	}
+	if _, err := Excluding(3, 5); err == nil {
+		t.Fatal("excluding out-of-domain: want error")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := (PDF{}).Validate(); err == nil {
+		t.Fatal("empty pdf: want error")
+	}
+	if err := (PDF{0.5, 0.4}).Validate(); err == nil {
+		t.Fatal("deficient mass: want error")
+	}
+	if err := (PDF{1.5, -0.5}).Validate(); err == nil {
+		t.Fatal("negative mass: want error")
+	}
+	if err := (PDF{math.NaN(), 1}).Validate(); err == nil {
+		t.Fatal("NaN mass: want error")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	q, err := ExactReconstruction(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Holds(2) || q.Holds(1) || q.Holds(-1) || q.Holds(5) {
+		t.Fatal("ExactReconstruction membership wrong")
+	}
+	if _, err := ExactReconstruction(5, 5); err == nil {
+		t.Fatal("out-of-domain: want error")
+	}
+	q2, err := PredicateOf(5, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.Holds(0) || !q2.Holds(4) || q2.Holds(2) {
+		t.Fatal("PredicateOf membership wrong")
+	}
+	if _, err := PredicateOf(5, 9); err == nil {
+		t.Fatal("out-of-domain: want error")
+	}
+	p := Uniform(5)
+	c, err := p.Confidence(q2)
+	if err != nil || math.Abs(c-0.4) > 1e-12 {
+		t.Fatalf("Confidence = %v, %v; want 0.4", c, err)
+	}
+	if _, err := p.Confidence(Predicate{true}); err == nil {
+		t.Fatal("length mismatch: want error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := Uniform(4)
+	c := p.Clone()
+	c[0] = 0.9
+	if p[0] == 0.9 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: Posterior is a valid pdf and reduces to the prior at h = 0 or
+// p = 0 (observing a totally perturbed value is uninformative).
+func TestPosteriorProperties(t *testing.T) {
+	f := func(seed int64, yRaw, pRaw, hRaw uint8) bool {
+		n := 8
+		// Build a random pdf from the seed.
+		raw := make(PDF, n)
+		s := uint64(seed)
+		sum := 0.0
+		for i := range raw {
+			s = s*6364136223846793005 + 1442695040888963407
+			raw[i] = float64(s%1000) + 1
+			sum += raw[i]
+		}
+		for i := range raw {
+			raw[i] /= sum
+		}
+		y := int32(yRaw) % int32(n)
+		p := float64(pRaw%101) / 100
+		h := float64(hRaw%101) / 100
+
+		post, err := Posterior(raw, y, p, h)
+		if err != nil {
+			return false
+		}
+		if err := post.Validate(); err != nil {
+			return false
+		}
+		// h = 0: posterior == prior.
+		p0, err := Posterior(raw, y, p, 0)
+		if err != nil {
+			return false
+		}
+		for i := range p0 {
+			if math.Abs(p0[i]-raw[i]) > 1e-12 {
+				return false
+			}
+		}
+		// p = 0: conditional == prior, so posterior == prior for any h.
+		pp, err := Posterior(raw, y, 0, h)
+		if err != nil {
+			return false
+		}
+		for i := range pp {
+			if math.Abs(pp[i]-raw[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 1 (the posterior-confidence form): when the observed value y does
+// not satisfy Q, the posterior confidence never exceeds the prior.
+func TestTheorem1(t *testing.T) {
+	f := func(seed int64, yRaw, pRaw, hRaw, qBits uint8) bool {
+		n := 8
+		raw := make(PDF, n)
+		s := uint64(seed)
+		sum := 0.0
+		for i := range raw {
+			s = s*2862933555777941757 + 3037000493
+			raw[i] = float64(s%1000) + 1
+			sum += raw[i]
+		}
+		for i := range raw {
+			raw[i] /= sum
+		}
+		y := int32(yRaw) % int32(n)
+		p := float64(pRaw%101) / 100
+		h := float64(hRaw%101) / 100
+		q := make(Predicate, n)
+		for i := 0; i < n; i++ {
+			q[i] = qBits&(1<<i) != 0
+		}
+		q[y] = false // force y ∉ Q
+		prior, err := raw.Confidence(q)
+		if err != nil {
+			return false
+		}
+		post, err := PosteriorConfidence(raw, q, y, p, h)
+		if err != nil {
+			return false
+		}
+		return post <= prior+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionalGivenY(t *testing.T) {
+	// Uniform prior, p = 1: conditional is a point mass at y.
+	cond, err := ConditionalGivenY(Uniform(4), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond[2] != 1 || cond[0] != 0 {
+		t.Fatalf("cond = %v, want point mass at 2", cond)
+	}
+	// p = 1 with prior[y] = 0: impossible observation falls back to prior.
+	pm, _ := PointMass(4, 0)
+	cond, err = ConditionalGivenY(pm, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond[0] != 1 {
+		t.Fatalf("impossible observation: cond = %v, want prior", cond)
+	}
+	if _, err := ConditionalGivenY(Uniform(4), 9, 0.5); err == nil {
+		t.Fatal("y out of domain: want error")
+	}
+	if _, err := ConditionalGivenY(Uniform(4), 1, 1.5); err == nil {
+		t.Fatal("p out of range: want error")
+	}
+	if _, err := Posterior(Uniform(4), 1, 0.5, -0.1); err == nil {
+		t.Fatal("h out of range: want error")
+	}
+}
+
+func TestGuarantees(t *testing.T) {
+	g, err := NewRho12(0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's example: prior bounded by 0.3, posterior exceeding 0.5 is
+	// a breach...
+	if !g.Breached(0.3, 0.51) {
+		t.Fatal("expected breach")
+	}
+	// ...but a prior above 0.3 never constitutes a 0.3-to-0.5 breach.
+	if g.Breached(0.31, 0.99) {
+		t.Fatal("powerful adversary must not count as breach")
+	}
+	if g.Breached(0.3, 0.5) {
+		t.Fatal("posterior exactly at rho2 is not a breach")
+	}
+	if g.String() != "0.3-to-0.5" {
+		t.Fatalf("String = %q", g.String())
+	}
+	if _, err := NewRho12(0.5, 0.3); err == nil {
+		t.Fatal("rho1 >= rho2: want error")
+	}
+	if _, err := NewRho12(-0.1, 0.3); err == nil {
+		t.Fatal("negative rho1: want error")
+	}
+
+	d, err := NewDeltaGrowth(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Breached(0.05, 0.26) || d.Breached(0.05, 0.25) {
+		t.Fatal("DeltaGrowth.Breached wrong")
+	}
+	if d.String() != "0.2-growth" {
+		t.Fatalf("String = %q", d.String())
+	}
+	if _, err := NewDeltaGrowth(0); err == nil {
+		t.Fatal("delta = 0: want error")
+	}
+	if _, err := NewDeltaGrowth(1.1); err == nil {
+		t.Fatal("delta > 1: want error")
+	}
+	// Δ = ρ₂ - ρ₁ subsumes the ρ₁-to-ρ₂ guarantee.
+	if !d.Implies(g) {
+		t.Fatal("0.2-growth must imply 0.3-to-0.5")
+	}
+	if (DeltaGrowth{Delta: 0.21}).Implies(g) {
+		t.Fatal("0.21-growth must not imply 0.3-to-0.5")
+	}
+}
+
+// Property: when y satisfies Q, the posterior confidence is monotone
+// non-decreasing in h — more certainty of ownership can only help the
+// adversary (the structural fact behind bounding h by h-top in Theorems
+// 2 and 3).
+func TestPosteriorMonotoneInH(t *testing.T) {
+	f := func(seed int64, yRaw, pRaw, h1Raw, h2Raw, qBits uint8) bool {
+		n := 8
+		raw := make(PDF, n)
+		s := uint64(seed)
+		sum := 0.0
+		for i := range raw {
+			s = s*6364136223846793005 + 1442695040888963407
+			raw[i] = float64(s%1000) + 1
+			sum += raw[i]
+		}
+		for i := range raw {
+			raw[i] /= sum
+		}
+		y := int32(yRaw) % int32(n)
+		p := float64(pRaw%101) / 100
+		h1 := float64(h1Raw%101) / 100
+		h2 := float64(h2Raw%101) / 100
+		if h1 > h2 {
+			h1, h2 = h2, h1
+		}
+		q := make(Predicate, n)
+		for i := 0; i < n; i++ {
+			q[i] = qBits&(1<<i) != 0
+		}
+		q[y] = true // force y ∈ Q
+		c1, err := PosteriorConfidence(raw, q, y, p, h1)
+		if err != nil {
+			return false
+		}
+		c2, err := PosteriorConfidence(raw, q, y, p, h2)
+		if err != nil {
+			return false
+		}
+		return c2 >= c1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package privacy
+
+import "fmt"
+
+// This file implements the posterior-confidence derivation of Section V-B:
+// given the observed (possibly perturbed) sensitive value y of the crucial
+// tuple and the probability h that the victim owns that tuple, the
+// adversary's posterior pdf over the victim's true value follows
+// Equations 9 and 12.
+
+// ConditionalGivenY returns P[X = x | Y = y] for all x (Equation 12):
+//
+//	P[X=x | Y=y] = P[X=x] · P[x→y] / (p·P[X=y] + (1-p)/|U^s|)
+//
+// where P[x→y] is the uniform-perturbation transition probability of
+// Equation 11.
+func ConditionalGivenY(prior PDF, y int32, p float64) (PDF, error) {
+	n := len(prior)
+	if y < 0 || int(y) >= n {
+		return nil, fmt.Errorf("privacy: observed value %d outside domain of %d", y, n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("privacy: p = %v outside [0,1]", p)
+	}
+	u := (1 - p) / float64(n)
+	den := p*prior[y] + u
+	out := make(PDF, n)
+	if den == 0 {
+		// p = 1 and prior[y] = 0: observing y is impossible under this
+		// prior; the conditional is undefined. Fall back to the prior.
+		copy(out, prior)
+		return out, nil
+	}
+	for x := range out {
+		trans := u
+		if int32(x) == y {
+			trans += p
+		}
+		out[x] = prior[x] * trans / den
+	}
+	return out, nil
+}
+
+// Posterior returns the adversary's posterior pdf P[X = x | y]
+// (Equation 9): with probability h the victim owns the crucial tuple and the
+// conditional applies; with probability 1-h the published table says nothing
+// about the victim and the background knowledge stands.
+func Posterior(prior PDF, y int32, p, h float64) (PDF, error) {
+	if h < 0 || h > 1 {
+		return nil, fmt.Errorf("privacy: h = %v outside [0,1]", h)
+	}
+	cond, err := ConditionalGivenY(prior, y, p)
+	if err != nil {
+		return nil, err
+	}
+	out := make(PDF, len(prior))
+	for x := range out {
+		out[x] = h*cond[x] + (1-h)*prior[x]
+	}
+	return out, nil
+}
+
+// PosteriorConfidence evaluates Equation 10: the posterior confidence about
+// predicate Q after observing y.
+func PosteriorConfidence(prior PDF, q Predicate, y int32, p, h float64) (float64, error) {
+	post, err := Posterior(prior, y, p, h)
+	if err != nil {
+		return 0, err
+	}
+	return post.Confidence(q)
+}

@@ -1,0 +1,174 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file carries the formal results of Section VI. Throughout, u denotes
+// (1-p)/|U^s|, the off-diagonal transition probability of Equation 11.
+
+// HTop returns h⊤, the right-hand side of Inequality 20: the upper bound on
+// the probability h that the crucial tuple belongs to the victim, for
+// λ-skewed background knowledge, retention probability p, group-size floor k
+// and sensitive-domain cardinality domain.
+func HTop(p, lambda float64, k, domain int) float64 {
+	u := (1 - p) / float64(domain)
+	return (p*lambda + u) / (p*lambda + float64(k)*u)
+}
+
+// theorem2RHS is 1 + p / ((1-p)/|U^s|), the right-hand side of
+// Inequality 23. It diverges as p -> 1.
+func theorem2RHS(p float64, domain int) float64 {
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return 1 + p*float64(domain)/(1-p)
+}
+
+// Theorem2Holds reports whether Theorem 2's sufficient condition holds:
+// with parameters (p, k) and λ-skewed knowledge, no ρ₁-to-ρ₂ breach can
+// happen. ρ₁ must lie in (0,1) and ρ₂ in (ρ₁,1].
+func Theorem2Holds(p, lambda, rho1, rho2 float64, k, domain int) (bool, error) {
+	if rho1 <= 0 || rho1 >= 1 {
+		return false, fmt.Errorf("privacy: rho1 = %v outside (0,1)", rho1)
+	}
+	if rho2 <= rho1 || rho2 > 1 {
+		return false, fmt.Errorf("privacy: rho2 = %v outside (rho1,1]", rho2)
+	}
+	h := HTop(p, lambda, k, domain)
+	rho2p := (rho2 - rho1*(1-h)) / h
+	if rho2p <= rho1 {
+		return false, nil
+	}
+	if rho2p >= 1 {
+		return true, nil
+	}
+	lhs := rho2p * (1 - rho1) / (rho1 * (1 - rho2p))
+	return lhs >= theorem2RHS(p, domain), nil
+}
+
+// MinRho2 returns the smallest ρ₂ for which Theorem 2 certifies absence of
+// ρ₁-to-ρ₂ breaches at the given parameters: the equality point of
+// Inequality 23 mapped back through ρ₂ = h⊤·ρ₂' + (1-h⊤)·ρ₁. This is the
+// generator of the ρ₂ rows of Table III.
+func MinRho2(p, lambda, rho1 float64, k, domain int) (float64, error) {
+	if rho1 <= 0 || rho1 >= 1 {
+		return 0, fmt.Errorf("privacy: rho1 = %v outside (0,1)", rho1)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("privacy: p = %v outside [0,1]", p)
+	}
+	h := HTop(p, lambda, k, domain)
+	if p >= 1 {
+		return 1, nil
+	}
+	r := theorem2RHS(p, domain)
+	rho2p := r * rho1 / (1 - rho1 + r*rho1)
+	rho2 := h*rho2p + (1-h)*rho1
+	if rho2 > 1 {
+		rho2 = 1
+	}
+	return rho2, nil
+}
+
+// F is the function of Theorem 3: F(w) = (-p·w² + p·w) / (p·w + u) with
+// u = (1-p)/|U^s|.
+func F(w, p float64, domain int) float64 {
+	u := (1 - p) / float64(domain)
+	den := p*w + u
+	if den == 0 {
+		return 0
+	}
+	return (-p*w*w + p*w) / den
+}
+
+// Wm is the maximizer of F on (0,1): w_m = (sqrt(u² + p·u) - u) / p.
+func Wm(p float64, domain int) float64 {
+	if p == 0 {
+		// F ≡ 0; any point maximizes. Return 0 by convention.
+		return 0
+	}
+	u := (1 - p) / float64(domain)
+	return (math.Sqrt(u*u+p*u) - u) / p
+}
+
+// MinDelta returns the smallest Δ for which Theorem 3 certifies absence of
+// Δ-growth breaches: h⊤·F(λ) when λ <= w_m, else h⊤·F(w_m). This is the
+// generator of the Δ rows of Table III. At p = 1 the bound degenerates to 1
+// (no useful guarantee), mirroring the supremum of F as u -> 0.
+func MinDelta(p, lambda float64, k, domain int) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("privacy: p = %v outside [0,1]", p)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return 0, fmt.Errorf("privacy: lambda = %v outside (0,1]", lambda)
+	}
+	if p == 1 {
+		return 1, nil
+	}
+	h := HTop(p, lambda, k, domain)
+	wm := Wm(p, domain)
+	w := lambda
+	if lambda > wm {
+		w = wm
+	}
+	return h * F(w, p, domain), nil
+}
+
+// Theorem3Holds reports whether Theorem 3 certifies absence of Δ-growth
+// breaches at the given parameters.
+func Theorem3Holds(p, lambda, delta float64, k, domain int) (bool, error) {
+	min, err := MinDelta(p, lambda, k, domain)
+	if err != nil {
+		return false, err
+	}
+	return delta >= min-1e-12, nil
+}
+
+// MaxRetentionRho12 returns the largest retention probability p in [0,1]
+// such that Theorem 2 still certifies the ρ₁-to-ρ₂ guarantee (Section VI,
+// last paragraph: "p is set to the minimum value that guarantees absence of
+// the corresponding breaches" — minimal perturbation means maximal p).
+// It returns an error when even p = 0 cannot meet the target.
+func MaxRetentionRho12(lambda, rho1, rho2 float64, k, domain int) (float64, error) {
+	check := func(p float64) bool {
+		m, err := MinRho2(p, lambda, rho1, k, domain)
+		return err == nil && m <= rho2+1e-12
+	}
+	if !check(0) {
+		return 0, fmt.Errorf("privacy: no retention probability meets the %g-to-%g guarantee (k=%d)", rho1, rho2, k)
+	}
+	return bisectMaxP(check), nil
+}
+
+// MaxRetentionDelta returns the largest p in [0,1] such that Theorem 3
+// still certifies the Δ-growth guarantee.
+func MaxRetentionDelta(lambda, delta float64, k, domain int) (float64, error) {
+	check := func(p float64) bool {
+		m, err := MinDelta(p, lambda, k, domain)
+		return err == nil && m <= delta+1e-12
+	}
+	if !check(0) {
+		return 0, fmt.Errorf("privacy: no retention probability meets the %g-growth guarantee (k=%d)", delta, k)
+	}
+	return bisectMaxP(check), nil
+}
+
+// bisectMaxP finds sup{p in [0,1] : check(p)} assuming check is monotone
+// (true below the threshold). check(0) must be true.
+func bisectMaxP(check func(float64) bool) float64 {
+	if check(1) {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if check(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"pgpub/internal/pg"
+	"pgpub/internal/sal"
+)
+
+func TestIncomeMidpoint(t *testing.T) {
+	if IncomeMidpoint(0) != 1000 || IncomeMidpoint(49) != 99000 {
+		t.Fatal("IncomeMidpoint endpoints wrong")
+	}
+}
+
+func TestTrueSum(t *testing.T) {
+	d, err := sal.Generate(2000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fullQuery(d.Schema)
+	sum, err := TrueSum(d, q, IncomeMidpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < d.Len(); i++ {
+		want += IncomeMidpoint(d.Sensitive(i))
+	}
+	if math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("TrueSum = %v, want %v", sum, want)
+	}
+	q.Sensitive = make([]bool, d.Schema.SensitiveDomain())
+	if _, err := TrueSum(d, q, IncomeMidpoint); err == nil {
+		t.Fatal("sensitive mask on SUM: want error")
+	}
+	bad := fullQuery(d.Schema)
+	bad.QI[0] = Range{Lo: 9, Hi: 1}
+	if _, err := TrueSum(d, bad, IncomeMidpoint); err == nil {
+		t.Fatal("bad range: want error")
+	}
+}
+
+func TestEstimateSumAndAvg(t *testing.T) {
+	d, err := sal.Generate(30000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 6, P: 0.3, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-region SUM: must land within a few percent of the truth.
+	q := fullQuery(d.Schema)
+	truth, err := TrueSum(d, q, IncomeMidpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateSum(pub, q, IncomeMidpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est-truth) / truth; rel > 0.05 {
+		t.Fatalf("full-region SUM off by %v (est %v, truth %v)", rel, est, truth)
+	}
+	// AVG over a restricted region: mid-career people earn above the
+	// global average in the SAL model; the estimator must see that.
+	ageIdx := d.Schema.QIIndex("Age")
+	q2 := fullQuery(d.Schema)
+	q2.QI[ageIdx] = Range{Lo: 28, Hi: 43} // ages 45..60
+	avgRegion, err := EstimateAvg(pub, q2, IncomeMidpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgAll, err := EstimateAvg(pub, q, IncomeMidpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(avgRegion > avgAll) {
+		t.Fatalf("mid-career AVG %v not above global AVG %v", avgRegion, avgAll)
+	}
+	// And it should be near the true region average.
+	trueSum, err := TrueSum(d, q2, IncomeMidpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCount, err := TrueCount(d, CountQuery{QI: q2.QI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueAvg := trueSum / float64(trueCount)
+	if rel := math.Abs(avgRegion-trueAvg) / trueAvg; rel > 0.1 {
+		t.Fatalf("region AVG off by %v (est %v, truth %v)", rel, avgRegion, trueAvg)
+	}
+}
+
+func TestEstimateSumErrors(t *testing.T) {
+	d, err := sal.Generate(1000, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub0, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 4, P: 0, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fullQuery(d.Schema)
+	if _, err := EstimateSum(pub0, q, IncomeMidpoint); err == nil {
+		t.Fatal("p=0 SUM: want error")
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 4, P: 0.3, Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := fullQuery(d.Schema)
+	masked.Sensitive = make([]bool, d.Schema.SensitiveDomain())
+	if _, err := EstimateSum(pub, masked, IncomeMidpoint); err == nil {
+		t.Fatal("sensitive mask on SUM: want error")
+	}
+	bad := fullQuery(d.Schema)
+	bad.QI = bad.QI[:1]
+	if _, err := EstimateSum(pub, bad, IncomeMidpoint); err == nil {
+		t.Fatal("short ranges: want error")
+	}
+	if _, err := EstimateAvg(pub, bad, IncomeMidpoint); err == nil {
+		t.Fatal("short ranges (AVG): want error")
+	}
+}

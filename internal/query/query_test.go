@@ -1,0 +1,294 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/pg"
+	"pgpub/internal/sal"
+)
+
+func fullQuery(s *dataset.Schema) CountQuery {
+	q := CountQuery{QI: make([]Range, s.D())}
+	for j, a := range s.QI {
+		q.QI[j] = Range{Lo: 0, Hi: int32(a.Size() - 1)}
+	}
+	return q
+}
+
+func TestTrueCount(t *testing.T) {
+	d := dataset.Hospital()
+	q := fullQuery(d.Schema)
+	n, err := TrueCount(d, q)
+	if err != nil || n != d.Len() {
+		t.Fatalf("full query count = %d, %v", n, err)
+	}
+	// Only the two male patients aged <= 40 (Bob, Calvin).
+	q.QI[0] = Range{Lo: 0, Hi: 20} // ages 20..40
+	q.QI[1] = Range{Lo: 0, Hi: 0}  // M
+	n, err = TrueCount(d, q)
+	if err != nil || n != 2 {
+		t.Fatalf("young males = %d, %v; want 2", n, err)
+	}
+	// Sensitive restriction: pneumonia only (Calvin).
+	mask := make([]bool, d.Schema.SensitiveDomain())
+	mask[d.Schema.Sensitive.MustCode("pneumonia")] = true
+	q.Sensitive = mask
+	n, err = TrueCount(d, q)
+	if err != nil || n != 1 {
+		t.Fatalf("young male pneumonia = %d, %v; want 1", n, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := dataset.Hospital()
+	q := fullQuery(d.Schema)
+	q.QI = q.QI[:1]
+	if _, err := TrueCount(d, q); err == nil {
+		t.Fatal("short QI ranges: want error")
+	}
+	q = fullQuery(d.Schema)
+	q.QI[0] = Range{Lo: 5, Hi: 2}
+	if _, err := TrueCount(d, q); err == nil {
+		t.Fatal("inverted range: want error")
+	}
+	q = fullQuery(d.Schema)
+	q.QI[0] = Range{Lo: 0, Hi: 9999}
+	if _, err := TrueCount(d, q); err == nil {
+		t.Fatal("overflowing range: want error")
+	}
+	q = fullQuery(d.Schema)
+	q.Sensitive = []bool{true}
+	if _, err := TrueCount(d, q); err == nil {
+		t.Fatal("short sensitive mask: want error")
+	}
+}
+
+// The full-domain query is estimated exactly: every box is fully covered and
+// G values sum to |D|.
+func TestEstimateFullQueryExact(t *testing.T) {
+	d, err := sal.Generate(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 6, P: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Estimate(pub, fullQuery(d.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-float64(d.Len())) > 1e-9 {
+		t.Fatalf("full-query estimate = %v, want %d", got, d.Len())
+	}
+}
+
+// QI-only range queries: the estimator should land within a modest relative
+// error of the truth for mid-selectivity queries (uniformity assumption).
+func TestEstimateQIRanges(t *testing.T) {
+	d, err := sal.Generate(20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 6, P: 0.3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	queries, err := Workload(d.Schema, WorkloadConfig{
+		Queries: 40, QIFraction: 0.5, RestrictAttrs: 2, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rels []float64
+	for _, q := range queries {
+		truth, err := TrueCount(d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth < 500 {
+			continue // tiny counts are dominated by sampling noise
+		}
+		got, err := Estimate(pub, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels = append(rels, math.Abs(got-float64(truth))/float64(truth))
+	}
+	if len(rels) < 10 {
+		t.Fatalf("only %d usable queries", len(rels))
+	}
+	sort.Float64s(rels)
+	// The uniformity assumption inside kd-cells bounds what any consumer of
+	// D* can do: cells at the domain edge cover empty space. Median error
+	// should be modest and nothing should explode.
+	if med := rels[len(rels)/2]; med > 0.25 {
+		t.Fatalf("median relative error %v on mid-selectivity QI queries", med)
+	}
+	if worst := rels[len(rels)-1]; worst > 0.9 {
+		t.Fatalf("worst relative error %v", worst)
+	}
+}
+
+// Sensitive-restricted queries: the corrected estimator must be roughly
+// unbiased while the naive estimator is systematically off.
+func TestEstimateSensitiveCorrection(t *testing.T) {
+	d, err := sal.Generate(30000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 0.3
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 6, P: p, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q: income in the top half, no QI restriction. True fraction is ~0.35.
+	q := fullQuery(d.Schema)
+	mask := make([]bool, d.Schema.SensitiveDomain())
+	for x := 25; x < 50; x++ {
+		mask[x] = true
+	}
+	q.Sensitive = mask
+	truth, err := TrueCount(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Estimate(pub, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := EstimateNaive(pub, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relCorrected := math.Abs(got-float64(truth)) / float64(truth)
+	relNaive := math.Abs(naive-float64(truth)) / float64(truth)
+	if relCorrected > 0.15 {
+		t.Fatalf("corrected estimator off by %v (est %v, truth %d)", relCorrected, got, truth)
+	}
+	if relNaive < relCorrected {
+		t.Fatalf("naive estimator (%v rel err) should not beat the corrected one (%v)",
+			relNaive, relCorrected)
+	}
+	// The naive estimator's bias direction is known: it pulls the count
+	// toward (1-p)*|S|/|U|*|D| + p*truth.
+	expectedNaive := p*float64(truth) + (1-p)*0.5*float64(d.Len())
+	if math.Abs(naive-expectedNaive)/expectedNaive > 0.1 {
+		t.Fatalf("naive estimate %v far from its analytic expectation %v", naive, expectedNaive)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	d, err := sal.Generate(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 4, P: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fullQuery(d.Schema)
+	q.Sensitive = make([]bool, d.Schema.SensitiveDomain())
+	q.Sensitive[0] = true
+	if _, err := Estimate(pub, q); err == nil {
+		t.Fatal("sensitive predicate at p=0: want error")
+	}
+	bad := fullQuery(d.Schema)
+	bad.QI[0] = Range{Lo: -1, Hi: 0}
+	if _, err := Estimate(pub, bad); err == nil {
+		t.Fatal("negative range: want error")
+	}
+	if _, err := EstimateNaive(pub, bad); err == nil {
+		t.Fatal("negative range (naive): want error")
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	s := sal.Schema()
+	rng := rand.New(rand.NewSource(10))
+	qs, err := Workload(s, WorkloadConfig{
+		Queries: 25, QIFraction: 0.3, RestrictAttrs: 3, SensitiveFraction: 0.2, Rng: rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 25 {
+		t.Fatalf("workload size = %d", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.validate(s); err != nil {
+			t.Fatalf("generated query invalid: %v", err)
+		}
+		restricted := 0
+		for j, r := range q.QI {
+			if r.Lo != 0 || int(r.Hi) != s.QI[j].Size()-1 {
+				restricted++
+			}
+		}
+		if restricted > 3 {
+			t.Fatalf("query restricts %d attributes, want <= 3", restricted)
+		}
+		if q.Sensitive == nil {
+			t.Fatal("sensitive predicate requested but absent")
+		}
+		f := q.sensitiveFraction(s.SensitiveDomain())
+		if f <= 0 || f > 0.3 {
+			t.Fatalf("sensitive fraction = %v, want about 0.2", f)
+		}
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	s := sal.Schema()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Workload(s, WorkloadConfig{Queries: 0, QIFraction: 0.5, Rng: rng}); err == nil {
+		t.Fatal("zero queries: want error")
+	}
+	if _, err := Workload(s, WorkloadConfig{Queries: 1, QIFraction: 0.5}); err == nil {
+		t.Fatal("nil rng: want error")
+	}
+	if _, err := Workload(s, WorkloadConfig{Queries: 1, QIFraction: 0, Rng: rng}); err == nil {
+		t.Fatal("zero fraction: want error")
+	}
+}
+
+// Property: estimates are non-negative and never exceed |D| for QI-only
+// queries (each tuple contributes at most its G).
+func TestEstimateBounds(t *testing.T) {
+	d, err := sal.Generate(3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 5, P: 0.3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		qs, err := Workload(d.Schema, WorkloadConfig{
+			Queries: 5, QIFraction: 0.4, RestrictAttrs: 2, Rng: rng,
+		})
+		if err != nil {
+			return false
+		}
+		for _, q := range qs {
+			got, err := Estimate(pub, q)
+			if err != nil {
+				return false
+			}
+			if got < 0 || got > float64(d.Len())+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

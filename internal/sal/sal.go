@@ -1,0 +1,211 @@
+// Package sal synthesizes the SAL census database of Section VII-A. The
+// original is an IPUMS extract (700k tuples, 9 attributes) that is not
+// redistributable; this generator produces a schema-compatible substitute
+// whose Income column is statistically predictable — but not deterministic —
+// from the QI attributes, which is exactly the property the decision-tree
+// utility experiments (Figures 2 and 3) exercise. See DESIGN.md §3.
+package sal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+)
+
+// Attribute domain sizes, mirroring the shape of the IPUMS columns.
+const (
+	AgeMin, AgeMax  = 17, 90 // 74 values
+	EducationLevels = 16
+	Birthplaces     = 50
+	Occupations     = 50
+	Races           = 8
+	WorkClasses     = 8
+	MaritalStatuses = 6
+	// IncomeDomain is |U^s| = 50: bucket i covers [2000i, 2000(i+1)) USD,
+	// exactly the paper's Income domain.
+	IncomeDomain = 50
+)
+
+// Schema builds the SAL schema: 8 QI attributes and the sensitive Income.
+func Schema() *dataset.Schema {
+	mk := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = prefix + strconv.Itoa(i)
+		}
+		return out
+	}
+	qi := []*dataset.Attribute{
+		dataset.MustIntAttribute("Age", AgeMin, AgeMax),
+		dataset.MustAttribute("Gender", "M", "F"),
+		dataset.MustAttribute("Education", mk("Edu", EducationLevels)...),
+		dataset.MustAttribute("Birthplace", mk("BP", Birthplaces)...),
+		dataset.MustAttribute("Occupation", mk("Occ", Occupations)...),
+		dataset.MustAttribute("Race", mk("Race", Races)...),
+		dataset.MustAttribute("Work-class", mk("WC", WorkClasses)...),
+		dataset.MustAttribute("Marital-status", mk("MS", MaritalStatuses)...),
+	}
+	income := dataset.MustIntAttribute("Income", 0, IncomeDomain-1)
+	// Income is ordered (bracket codes), which lets trees threshold on it
+	// when it is ever used as a feature; as the sensitive attribute its
+	// order is irrelevant to privacy.
+	return dataset.MustSchema(qi, income)
+}
+
+// Hierarchies builds the generalization hierarchies used by Phase 2 on SAL.
+// All are uniform, enabling both TDS and full-domain recoding.
+func Hierarchies(s *dataset.Schema) []*hierarchy.Hierarchy {
+	return []*hierarchy.Hierarchy{
+		hierarchy.MustInterval(s.QI[0].Size(), 5, 10, 20, 40), // Age bands
+		hierarchy.MustFlat(s.QI[1].Size()),                    // Gender
+		hierarchy.MustInterval(s.QI[2].Size(), 2, 4, 8),       // Education
+		hierarchy.MustInterval(s.QI[3].Size(), 5, 25),         // Birthplace regions
+		hierarchy.MustInterval(s.QI[4].Size(), 5, 25),         // Occupation families
+		hierarchy.MustInterval(s.QI[5].Size(), 2, 4),          // Race
+		hierarchy.MustInterval(s.QI[6].Size(), 2, 4),          // Work-class
+		hierarchy.MustInterval(s.QI[7].Size(), 3),             // Marital status
+	}
+}
+
+// Model parameterizes the latent earning-score process so experiments can
+// vary the signal strength (Extra E8): income = clamp(50·score + offset)
+// with score = weights · (normalized education, occupation, age factor,
+// work-class) + gender gap + Gaussian noise.
+type Model struct {
+	EduWeight, OccWeight, AgeWeight, WCWeight float64
+	GenderGap                                 float64
+	NoiseSigma                                float64
+	Offset                                    float64
+}
+
+// DefaultModel returns the calibration used throughout the evaluation: the
+// lower income bracket ([0,24]) holds roughly 60-65% of tuples and decision
+// trees reach good-but-imperfect accuracy.
+func DefaultModel() Model {
+	return Model{
+		EduWeight: 0.36, OccWeight: 0.26, AgeWeight: 0.16, WCWeight: 0.08,
+		GenderGap: 0.05, NoiseSigma: 0.13, Offset: -2,
+	}
+}
+
+// Generate synthesizes n tuples with the given seed under DefaultModel. The
+// latent model: education is right-skewed; occupation correlates with
+// education; work-class with occupation; income follows a linear earning
+// score over education, occupation, age (peaking mid-career), gender and
+// work-class, plus Gaussian noise — so trees can reach good-but-imperfect
+// accuracy.
+func Generate(n int, seed int64) (*dataset.Table, error) {
+	return GenerateWithModel(n, seed, DefaultModel())
+}
+
+// GenerateWithModel synthesizes n tuples under an explicit earning model.
+func GenerateWithModel(n int, seed int64, m Model) (*dataset.Table, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sal: need at least 1 tuple, got %d", n)
+	}
+	if m.NoiseSigma < 0 {
+		return nil, fmt.Errorf("sal: noise sigma must be non-negative, got %v", m.NoiseSigma)
+	}
+	s := Schema()
+	t := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		t.MustAppend(generateRow(rng, m))
+	}
+	return t, nil
+}
+
+// generateRow draws one individual.
+func generateRow(rng *rand.Rand, m Model) []int32 {
+	age := int32(AgeMin + rng.Intn(AgeMax-AgeMin+1))
+	gender := int32(rng.Intn(2))
+
+	// Education: triangular-ish, clustered around the middle levels.
+	edu := int32((rng.Intn(EducationLevels) + rng.Intn(EducationLevels)) / 2)
+
+	birthplace := int32(rng.Intn(Birthplaces))
+	race := int32(rng.Intn(Races))
+
+	// Occupation tracks education with noise.
+	occBase := float64(edu) / float64(EducationLevels-1) * float64(Occupations-1)
+	occ := clampInt(int(occBase+rng.NormFloat64()*8), 0, Occupations-1)
+
+	// Work-class tracks occupation with noise.
+	wcBase := float64(occ) / float64(Occupations-1) * float64(WorkClasses-1)
+	wc := clampInt(int(wcBase+rng.NormFloat64()*1.5), 0, WorkClasses-1)
+
+	// Marital status loosely tracks age.
+	msBase := float64(age-AgeMin) / float64(AgeMax-AgeMin) * float64(MaritalStatuses-1)
+	ms := clampInt(int(msBase+rng.NormFloat64()*1.2), 0, MaritalStatuses-1)
+
+	income := incomeOf(age, gender, edu, int32(occ), int32(wc), rng, m)
+
+	return []int32{
+		age - AgeMin, gender, edu, birthplace, int32(occ),
+		race, int32(wc), int32(ms), income,
+	}
+}
+
+// incomeOf draws the income bucket from the earning-score model.
+func incomeOf(age, gender, edu, occ, wc int32, rng *rand.Rand, m Model) int32 {
+	eduN := float64(edu) / float64(EducationLevels-1)
+	occN := float64(occ) / float64(Occupations-1)
+	wcN := float64(wc) / float64(WorkClasses-1)
+	// Age factor: ramps up to a mid-career plateau around 45-60.
+	a := float64(age)
+	ageF := 1 - math.Abs(a-52)/52
+	if ageF < 0 {
+		ageF = 0
+	}
+	genderF := 0.0
+	if gender == 0 {
+		genderF = m.GenderGap // the gender pay gap present in census data
+	}
+	score := m.EduWeight*eduN + m.OccWeight*occN + m.AgeWeight*ageF + m.WCWeight*wcN + genderF +
+		rng.NormFloat64()*m.NoiseSigma
+	income := int(score*50 + m.Offset)
+	return int32(clampInt(income, 0, IncomeDomain-1))
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CategoryBounds returns the income-category upper bounds of Section VII-A:
+// m = 2 -> [0,24],[25,49]; m = 3 -> [0,24],[25,36],[37,49].
+func CategoryBounds(m int) ([]int32, error) {
+	switch m {
+	case 2:
+		return []int32{24, 49}, nil
+	case 3:
+		return []int32{24, 36, 49}, nil
+	default:
+		return nil, fmt.Errorf("sal: the paper varies m between 2 and 3, got %d", m)
+	}
+}
+
+// Categorizer returns the classOf function for m income categories.
+func Categorizer(m int) (func(int32) int, error) {
+	bounds, err := CategoryBounds(m)
+	if err != nil {
+		return nil, err
+	}
+	return func(income int32) int {
+		for c, hi := range bounds {
+			if income <= hi {
+				return c
+			}
+		}
+		return len(bounds) - 1
+	}, nil
+}

@@ -1,0 +1,52 @@
+// Package sampling implements Phase 3 of perturbed generalization:
+// stratified sampling over QI-groups (steps S1–S4 of the paper, after
+// Chaudhuri et al. [8]), plus the simple-random-sampling baseline the paper
+// uses when discussing the trivial s < 1 solution for generalization.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stratum is one sampled QI-group: the row chosen at step S2 and the group
+// size stored in the published attribute G (step S3).
+type Stratum struct {
+	// Row is the index (into the grouped table) of the sampled tuple.
+	Row int
+	// GroupSize is t.G: the cardinality of the source QI-group.
+	GroupSize int
+	// Group identifies the source QI-group (index into the Groups the
+	// sample was drawn from).
+	Group int
+}
+
+// Stratified draws one uniformly random tuple from each group (S1–S4). The
+// groups are given as row-index lists; the result has exactly one Stratum
+// per group, in group order.
+func Stratified(groups [][]int, rng *rand.Rand) ([]Stratum, error) {
+	out := make([]Stratum, 0, len(groups))
+	for gi, rows := range groups {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("sampling: group %d is empty", gi)
+		}
+		out = append(out, Stratum{
+			Row:       rows[rng.Intn(len(rows))],
+			GroupSize: len(rows),
+			Group:     gi,
+		})
+	}
+	return out, nil
+}
+
+// SRS draws a simple random sample of n distinct indices from [0, total),
+// the baseline the paper's "trivial solution" and the optimistic/pessimistic
+// yardsticks use.
+func SRS(total, n int, rng *rand.Rand) ([]int, error) {
+	if n < 0 || n > total {
+		return nil, fmt.Errorf("sampling: cannot draw %d from %d", n, total)
+	}
+	perm := rng.Perm(total)
+	out := append([]int(nil), perm[:n]...)
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStratifiedBasic(t *testing.T) {
+	groups := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	rng := rand.New(rand.NewSource(1))
+	s, err := Stratified(groups, rng)
+	if err != nil {
+		t.Fatalf("Stratified: %v", err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("strata = %d, want 3", len(s))
+	}
+	for gi, st := range s {
+		if st.Group != gi {
+			t.Fatalf("stratum %d has Group %d", gi, st.Group)
+		}
+		if st.GroupSize != len(groups[gi]) {
+			t.Fatalf("stratum %d GroupSize = %d, want %d", gi, st.GroupSize, len(groups[gi]))
+		}
+		found := false
+		for _, r := range groups[gi] {
+			if r == st.Row {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stratum %d sampled row %d outside its group", gi, st.Row)
+		}
+	}
+}
+
+func TestStratifiedEmptyGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Stratified([][]int{{0}, {}}, rng); err == nil {
+		t.Fatal("empty group: want error")
+	}
+}
+
+func TestStratifiedUniformity(t *testing.T) {
+	// Each member of a group of 4 should be drawn ~uniformly (step S2).
+	group := [][]int{{10, 11, 12, 13}}
+	rng := rand.New(rand.NewSource(99))
+	counts := map[int]int{}
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		s, err := Stratified(group, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s[0].Row]++
+	}
+	for r, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.25) > 0.01 {
+			t.Fatalf("row %d frequency %v, want 0.25", r, got)
+		}
+	}
+}
+
+func TestSRS(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := SRS(10, 4, rng)
+	if err != nil || len(s) != 4 {
+		t.Fatalf("SRS: %v len=%d", err, len(s))
+	}
+	seen := map[int]bool{}
+	for _, i := range s {
+		if i < 0 || i >= 10 || seen[i] {
+			t.Fatalf("bad draw %d", i)
+		}
+		seen[i] = true
+	}
+	if _, err := SRS(5, 6, rng); err == nil {
+		t.Fatal("n > total: want error")
+	}
+	if _, err := SRS(5, -1, rng); err == nil {
+		t.Fatal("negative n: want error")
+	}
+	if out, err := SRS(5, 0, rng); err != nil || len(out) != 0 {
+		t.Fatal("n = 0 should draw nothing")
+	}
+}
+
+// Property: stratified sampling always emits one stratum per group with the
+// correct G value (the invariant behind the published attribute t.G).
+func TestStratifiedInvariant(t *testing.T) {
+	f := func(seed int64, sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 20 {
+			sizes = sizes[:20]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		next := 0
+		groups := make([][]int, 0, len(sizes))
+		for _, raw := range sizes {
+			n := int(raw%5) + 1
+			g := make([]int, n)
+			for i := range g {
+				g[i] = next
+				next++
+			}
+			groups = append(groups, g)
+		}
+		s, err := Stratified(groups, rng)
+		if err != nil || len(s) != len(groups) {
+			return false
+		}
+		for gi, st := range s {
+			if st.GroupSize != len(groups[gi]) {
+				return false
+			}
+			if st.Row < groups[gi][0] || st.Row > groups[gi][len(groups[gi])-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides the small statistical utilities shared by the
+// mining and query layers: weighted histograms, contingency tables,
+// confusion matrices and summary accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a weighted count vector over an integer-coded domain.
+type Histogram struct {
+	counts []float64
+	total  float64
+}
+
+// NewHistogram creates a histogram over n codes.
+func NewHistogram(n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", n)
+	}
+	return &Histogram{counts: make([]float64, n)}, nil
+}
+
+// Add accumulates weight w at code x.
+func (h *Histogram) Add(x int32, w float64) error {
+	if x < 0 || int(x) >= len(h.counts) {
+		return fmt.Errorf("stats: code %d out of [0,%d)", x, len(h.counts))
+	}
+	if w < 0 || math.IsNaN(w) {
+		return fmt.Errorf("stats: weight %v invalid", w)
+	}
+	h.counts[x] += w
+	h.total += w
+	return nil
+}
+
+// Count returns the weight at code x.
+func (h *Histogram) Count(x int32) float64 { return h.counts[x] }
+
+// Total returns the accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Counts returns the underlying vector (read-only).
+func (h *Histogram) Counts() []float64 { return h.counts }
+
+// Mode returns the code with the largest weight.
+func (h *Histogram) Mode() int32 {
+	best, bi := math.Inf(-1), int32(0)
+	for i, c := range h.counts {
+		if c > best {
+			best, bi = c, int32(i)
+		}
+	}
+	return bi
+}
+
+// Entropy returns the Shannon entropy (nats) of the normalized histogram.
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		p := c / h.total
+		e -= p * math.Log(p)
+	}
+	return e
+}
+
+// Confusion is a classification confusion matrix: rows are true classes,
+// columns predicted.
+type Confusion struct {
+	n     int
+	cells []int
+}
+
+// NewConfusion creates an n-class confusion matrix.
+func NewConfusion(n int) (*Confusion, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("stats: confusion matrix needs at least 2 classes, got %d", n)
+	}
+	return &Confusion{n: n, cells: make([]int, n*n)}, nil
+}
+
+// Observe records one (true, predicted) pair.
+func (c *Confusion) Observe(truth, predicted int) error {
+	if truth < 0 || truth >= c.n || predicted < 0 || predicted >= c.n {
+		return fmt.Errorf("stats: class pair (%d,%d) out of [0,%d)", truth, predicted, c.n)
+	}
+	c.cells[truth*c.n+predicted]++
+	return nil
+}
+
+// Cell returns the count of (true, predicted).
+func (c *Confusion) Cell(truth, predicted int) int { return c.cells[truth*c.n+predicted] }
+
+// Accuracy is the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	total, correct := 0, 0
+	for t := 0; t < c.n; t++ {
+		for p := 0; p < c.n; p++ {
+			v := c.cells[t*c.n+p]
+			total += v
+			if t == p {
+				correct += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns the per-class recall (diagonal over row sum); NaN-free:
+// classes with no true examples report 0.
+func (c *Confusion) Recall(class int) float64 {
+	row := 0
+	for p := 0; p < c.n; p++ {
+		row += c.cells[class*c.n+p]
+	}
+	if row == 0 {
+		return 0
+	}
+	return float64(c.cells[class*c.n+class]) / float64(row)
+}
+
+// Summary accumulates a stream of values for mean and variance.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe adds one value (Welford's algorithm).
+func (s *Summary) Observe(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean (0 before any observation).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the sample variance (0 with fewer than 2 observations).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHistogram(0); err == nil {
+		t.Fatal("empty histogram: want error")
+	}
+	for _, x := range []int32{0, 1, 1, 3} {
+		if err := h.Add(x, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Total() != 8 || h.Count(1) != 4 || h.Count(2) != 0 {
+		t.Fatalf("counts wrong: %v", h.Counts())
+	}
+	if h.Mode() != 1 {
+		t.Fatalf("Mode = %d", h.Mode())
+	}
+	if err := h.Add(9, 1); err == nil {
+		t.Fatal("out-of-range add: want error")
+	}
+	if err := h.Add(0, -1); err == nil {
+		t.Fatal("negative weight: want error")
+	}
+	if err := h.Add(0, math.NaN()); err == nil {
+		t.Fatal("NaN weight: want error")
+	}
+	// Entropy of (2,4,0,2)/8 = entropy of (1/4, 1/2, 1/4).
+	want := -(0.25*math.Log(0.25) + 0.5*math.Log(0.5) + 0.25*math.Log(0.25))
+	if math.Abs(h.Entropy()-want) > 1e-12 {
+		t.Fatalf("Entropy = %v, want %v", h.Entropy(), want)
+	}
+	empty, _ := NewHistogram(3)
+	if empty.Entropy() != 0 {
+		t.Fatal("empty entropy must be 0")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewConfusion(1); err == nil {
+		t.Fatal("single class: want error")
+	}
+	pairs := [][2]int{{0, 0}, {0, 0}, {0, 1}, {1, 1}, {2, 0}}
+	for _, p := range pairs {
+		if err := c.Observe(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Observe(3, 0); err == nil {
+		t.Fatal("class out of range: want error")
+	}
+	if c.Cell(0, 0) != 2 || c.Cell(0, 1) != 1 || c.Cell(2, 0) != 1 {
+		t.Fatal("cells wrong")
+	}
+	if math.Abs(c.Accuracy()-3.0/5) > 1e-12 {
+		t.Fatalf("Accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Recall(0)-2.0/3) > 1e-12 {
+		t.Fatalf("Recall(0) = %v", c.Recall(0))
+	}
+	if c.Recall(2) != 0 {
+		t.Fatalf("Recall(2) = %v, want 0", c.Recall(2))
+	}
+	fresh, _ := NewConfusion(2)
+	if fresh.Accuracy() != 0 || fresh.Recall(1) != 0 {
+		t.Fatal("empty confusion metrics must be 0")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("zero-value Summary wrong")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.N() != 8 || math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v N = %d", s.Mean(), s.N())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("Stddev = %v", s.Stddev())
+	}
+}
+
+// Property: Welford matches the two-pass formulas.
+func TestSummaryMatchesTwoPass(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		var s Summary
+		xs := make([]float64, len(raw))
+		sum := 0.0
+		for i, r := range raw {
+			xs[i] = float64(r) / 7
+			s.Observe(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(xs) - 1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-v) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

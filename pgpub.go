@@ -1,0 +1,320 @@
+// Package pgpub is a Go implementation of "On Anti-Corruption Privacy
+// Preserving Publication" (Tao, Xiao, Li, Zhang — ICDE 2008): perturbed
+// generalization (PG), an anonymization technique combining uniform
+// perturbation of the sensitive attribute, k-anonymous global recoding of
+// the quasi-identifiers, and stratified sampling, which provides
+// background-sensitive privacy guarantees (ρ₁-to-ρ₂ and Δ-growth) that hold
+// even when an adversary has corrupted arbitrarily many individuals.
+//
+// The package is a facade over the internal implementation:
+//
+//   - microdata modelling (schemas, tables, CSV I/O),
+//   - generalization hierarchies and three Phase-2 recoding algorithms
+//     (kd-cell partitioning, top-down specialization, full-domain search),
+//   - the PG pipeline itself (Publish),
+//   - the privacy formalism of the paper's Theorems 1–3 (guarantee bounds
+//     and retention-probability solvers),
+//   - the corruption-aided linking-attack model (NewExternal, LinkAttack),
+//   - decision-tree mining of published data (TrainPG, TrainTable), and
+//   - a synthetic substitute for the paper's SAL census data (GenerateSAL).
+//
+// A minimal publication round trip:
+//
+//	d, _ := pgpub.GenerateSAL(100000, 42)
+//	p, _ := pgpub.MaxRetentionRho12(0.1, 0.2, 0.45, 6, 50) // Table III level
+//	pub, _ := pgpub.Publish(d, pgpub.SALHierarchies(d.Schema), pgpub.Config{K: 6, P: p})
+//	pub.WriteCSV(os.Stdout)
+package pgpub
+
+import (
+	"pgpub/internal/attack"
+	"pgpub/internal/dataset"
+	"pgpub/internal/generalize"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/mining"
+	"pgpub/internal/minv"
+	"pgpub/internal/pg"
+	"pgpub/internal/privacy"
+	"pgpub/internal/query"
+	"pgpub/internal/repub"
+	"pgpub/internal/sal"
+)
+
+// Data-model types.
+type (
+	// Attribute is one microdata column with an integer-coded domain.
+	Attribute = dataset.Attribute
+	// Schema is a microdata layout: QI attributes plus one sensitive.
+	Schema = dataset.Schema
+	// Table is a microdata relation D.
+	Table = dataset.Table
+	// Hierarchy is a generalization taxonomy over an attribute domain.
+	Hierarchy = hierarchy.Hierarchy
+)
+
+// Publication types.
+type (
+	// Config parameterizes Publish (K or S, retention probability P, ...).
+	Config = pg.Config
+	// Published is the anonymized table D*.
+	Published = pg.Published
+	// Row is one published tuple (generalized box, observed value, G).
+	Row = pg.Row
+	// Algorithm selects the Phase-2 recoding algorithm.
+	Algorithm = pg.Algorithm
+)
+
+// Phase-2 algorithms.
+const (
+	// KD is Mondrian-style kd-cell partitioning (the default).
+	KD = pg.KD
+	// TDS is top-down specialization, the algorithm the paper adapts.
+	TDS = pg.TDS
+	// FullDomain is Incognito-style full-domain recoding.
+	FullDomain = pg.FullDomain
+)
+
+// Privacy-formalism types.
+type (
+	// PDF is an adversary's background knowledge over the sensitive domain.
+	PDF = privacy.PDF
+	// Predicate is an attack target Q as a membership mask over U^s.
+	Predicate = privacy.Predicate
+)
+
+// Attack-model types.
+type (
+	// External is the external database ℰ of the linking-attack model.
+	External = attack.External
+	// Adversary couples background knowledge with a corruption set 𝒞.
+	Adversary = attack.Adversary
+	// AttackResult carries an attack's posterior and its derivation.
+	AttackResult = attack.Result
+	// Conventional is a classic generalized publication (all tuples, exact
+	// sensitive values) — the baseline Lemmas 1 and 2 break.
+	Conventional = attack.Conventional
+	// Recoding is a cut-based global recoding of the QI attributes.
+	Recoding = generalize.Recoding
+)
+
+// Conventional-generalization baseline (Section III).
+var (
+	// PublishConventional groups a table under a recoding with s = 1.
+	PublishConventional = attack.PublishConventional
+	// TopRecoding fully suppresses every QI attribute.
+	TopRecoding = generalize.TopRecoding
+)
+
+// Mining types.
+type (
+	// MiningConfig tunes the decision-tree growers.
+	MiningConfig = mining.Config
+	// PGClassifier is a tree mined from a PG publication.
+	PGClassifier = mining.PGClassifier
+	// TableClassifier is a tree mined from raw microdata.
+	TableClassifier = mining.TableClassifier
+)
+
+// Schema construction.
+var (
+	// NewAttribute creates a discrete attribute from labels.
+	NewAttribute = dataset.NewAttribute
+	// NewIntAttribute creates an ordered attribute over an integer range.
+	NewIntAttribute = dataset.NewIntAttribute
+	// NewSchema assembles QI attributes and a sensitive attribute.
+	NewSchema = dataset.NewSchema
+	// NewTable creates an empty microdata table.
+	NewTable = dataset.NewTable
+	// ReadCSV loads a table written by Table.WriteCSV.
+	ReadCSV = dataset.ReadCSV
+)
+
+// Hierarchy construction.
+var (
+	// NewIntervalHierarchy builds nested fixed-width interval levels.
+	NewIntervalHierarchy = hierarchy.NewInterval
+	// NewBalancedHierarchy groups codes by a constant fanout per level.
+	NewBalancedHierarchy = hierarchy.NewBalanced
+	// NewFlatHierarchy offers only full suppression.
+	NewFlatHierarchy = hierarchy.NewFlat
+)
+
+// Publish runs the three PG phases on the microdata and returns D*.
+var Publish = pg.Publish
+
+// Release I/O.
+var (
+	// ReadPublishedCSV loads a release written by Published.WriteCSV; the
+	// retention probability comes from the release metadata.
+	ReadPublishedCSV = pg.ReadCSV
+	// ReadReleaseMetadata parses the JSON document written by
+	// Metadata.Write.
+	ReadReleaseMetadata = pg.ReadMetadata
+	// InferSchema derives a schema (and table) from an arbitrary CSV.
+	InferSchema = dataset.InferSchema
+)
+
+// ReleaseMetadata is the publication metadata announced with a release.
+type ReleaseMetadata = pg.Metadata
+
+// Guarantee mathematics (Section VI).
+var (
+	// HTop is the ownership-probability bound h⊤ of Inequality 20.
+	HTop = privacy.HTop
+	// MinRho2 is the smallest certifiable ρ₂ (Theorem 2) — Table III.
+	MinRho2 = privacy.MinRho2
+	// MinDelta is the smallest certifiable Δ (Theorem 3) — Table III.
+	MinDelta = privacy.MinDelta
+	// MaxRetentionRho12 solves for the largest p meeting a ρ₁-to-ρ₂ level.
+	MaxRetentionRho12 = privacy.MaxRetentionRho12
+	// MaxRetentionDelta solves for the largest p meeting a Δ-growth level.
+	MaxRetentionDelta = privacy.MaxRetentionDelta
+	// UniformPDF is the zero-knowledge background pdf.
+	UniformPDF = privacy.Uniform
+	// ExcludingPDF rules out known-impossible values, the (c,l)-diversity
+	// background type.
+	ExcludingPDF = privacy.Excluding
+	// PredicateOf builds an attack target from a value set.
+	PredicateOf = privacy.PredicateOf
+	// Amplification is the operator's γ (equals Theorem 2's threshold).
+	Amplification = privacy.Amplification
+	// LocalDPEpsilon is ln γ: the perturbation's ε-local-DP level.
+	LocalDPEpsilon = privacy.LocalDPEpsilon
+	// RetentionForEpsilon inverts LocalDPEpsilon.
+	RetentionForEpsilon = privacy.RetentionForEpsilon
+)
+
+// Attack model (Section V).
+var (
+	// NewExternal builds ℰ from the microdata and a voter list.
+	NewExternal = attack.NewExternal
+	// LinkAttack performs the corruption-aided linking attack A1–A3.
+	LinkAttack = attack.LinkAttack
+)
+
+// Mining (Section VII).
+var (
+	// TrainPG grows a reconstruction-weighted honest tree on a publication.
+	TrainPG = mining.TrainPG
+	// TrainNBPG fits a reconstruction-corrected naive-Bayes model on a
+	// publication (the second mining modality).
+	TrainNBPG = mining.TrainNBPG
+	// TrainTable grows a tree on raw microdata (the paper's yardsticks).
+	TrainTable = mining.TrainTable
+	// Accuracy evaluates a classifier against microdata ground truth.
+	Accuracy = mining.Accuracy
+)
+
+// NBConfig tunes the naive-Bayes miner.
+type NBConfig = mining.NBConfig
+
+// Hospital returns the paper's running example: the microdata of Table Ia.
+func Hospital() *Table { return dataset.Hospital() }
+
+// HospitalNames lists the voter registration list of Table Ib; index = ID.
+func HospitalNames() []string { return dataset.HospitalNames }
+
+// HospitalVoterQI returns the QI vectors of the Table Ib voter list.
+func HospitalVoterQI() [][]int32 { return dataset.HospitalVoterQI() }
+
+// HospitalHierarchies builds generalization hierarchies at the granularity
+// of the paper's Table Ic for the hospital schema.
+func HospitalHierarchies(s *Schema) []*Hierarchy {
+	age, err := hierarchy.NewInterval(s.QI[0].Size(), 5, 20)
+	if err != nil {
+		panic(err) // the hospital schema's domains are static
+	}
+	gender, err := hierarchy.NewFlat(s.QI[1].Size())
+	if err != nil {
+		panic(err)
+	}
+	zip, err := hierarchy.NewInterval(s.QI[2].Size(), 5, 20)
+	if err != nil {
+		panic(err)
+	}
+	return []*Hierarchy{age, gender, zip}
+}
+
+// SAL census substitute (Section VII-A; see DESIGN.md §3).
+var (
+	// GenerateSAL synthesizes an n-row SAL table.
+	GenerateSAL = sal.Generate
+	// SALHierarchies builds the Phase-2 hierarchies for the SAL schema.
+	SALHierarchies = sal.Hierarchies
+	// SALCategorizer maps Income codes to the paper's m categories.
+	SALCategorizer = sal.Categorizer
+)
+
+// Aggregate-query types (COUNT estimation over D*).
+type (
+	// CountQuery is a conjunctive counting predicate over QI ranges and an
+	// optional sensitive-value set.
+	CountQuery = query.CountQuery
+	// QueryRange is one attribute's inclusive code interval.
+	QueryRange = query.Range
+	// WorkloadConfig drives the random-query generator.
+	WorkloadConfig = query.WorkloadConfig
+)
+
+// Aggregate-query estimation.
+var (
+	// TrueCount evaluates a query against microdata ground truth.
+	TrueCount = query.TrueCount
+	// EstimateCount estimates a query from D* alone (stratified weights,
+	// box-uniformity, aggregate perturbation inversion).
+	EstimateCount = query.Estimate
+	// QueryWorkload generates random counting queries for evaluation.
+	QueryWorkload = query.Workload
+)
+
+// Re-publication types (Section IX future work; see internal/repub).
+type (
+	// Series is a sequence of independent PG releases of the microdata.
+	Series = repub.Series
+	// Observation is one release's evidence about a victim.
+	Observation = repub.Observation
+)
+
+// Re-publication analysis.
+var (
+	// PublishSeries produces T independent releases.
+	PublishSeries = repub.PublishSeries
+	// MultiReleaseAttack composes per-release linking attacks.
+	MultiReleaseAttack = repub.MultiReleaseAttack
+	// ComposedGrowthBound bounds the growth achievable from T releases.
+	ComposedGrowthBound = repub.ComposedGrowthBound
+	// MaxRetentionForSeries plans a per-release p for a T-release budget.
+	MaxRetentionForSeries = repub.MaxRetentionForSeries
+)
+
+// m-invariance (deterministic re-publication; see internal/minv).
+type (
+	// MInvState is the cross-release signature ledger.
+	MInvState = minv.State
+	// MInvRelease is one m-invariant publication round.
+	MInvRelease = minv.Release
+	// MInvSignature is a group's sorted sensitive-value set.
+	MInvSignature = minv.Signature
+)
+
+// m-invariance operations.
+var (
+	// NewMInvState starts a fresh ledger for parameter m.
+	NewMInvState = minv.NewState
+	// VerifyMInvariance checks a release sequence against its tables.
+	VerifyMInvariance = minv.Verify
+	// IntersectionAttack intersects a victim's signatures across releases.
+	IntersectionAttack = minv.IntersectionAttack
+)
+
+// SUM/AVG estimation over D*.
+var (
+	// EstimateSum estimates SUM(value(sensitive)) over a QI region.
+	EstimateSum = query.EstimateSum
+	// EstimateAvg estimates AVG(value(sensitive)) over a QI region.
+	EstimateAvg = query.EstimateAvg
+	// TrueSum evaluates the SUM against microdata ground truth.
+	TrueSum = query.TrueSum
+	// IncomeMidpoint maps Income buckets to dollar midpoints.
+	IncomeMidpoint = query.IncomeMidpoint
+)
