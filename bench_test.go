@@ -2,6 +2,7 @@ package pgpub
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"pgpub/internal/anatomy"
@@ -204,6 +205,46 @@ func BenchmarkPublish(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pg.Publish(d, hiers, pg.Config{K: 6, P: 0.3, Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublishParallel is BenchmarkPublish with the pipeline's worker
+// pool at GOMAXPROCS. Same seed ⇒ byte-identical output to the sequential
+// run (see TestPublishDeterministicAcrossWorkers); compare the two
+// benchmarks for the parallel speedup at 20k rows.
+func BenchmarkPublishParallel(b *testing.B) {
+	d := benchData(b, 20000)
+	hiers := sal.Hierarchies(d.Schema)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pg.Publish(d, hiers, pg.Config{K: 6, P: 0.3, Rng: rng, Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublish100k and BenchmarkPublishParallel100k run the acceptance
+// comparison of EXPERIMENTS.md §Parallel pipeline: the full pipeline at
+// census-bench scale (100k SAL rows), sequential vs. GOMAXPROCS workers.
+func BenchmarkPublish100k(b *testing.B) {
+	benchPublishN(b, 100000, 1)
+}
+
+func BenchmarkPublishParallel100k(b *testing.B) {
+	benchPublishN(b, 100000, runtime.GOMAXPROCS(0))
+}
+
+func benchPublishN(b *testing.B, n, workers int) {
+	b.Helper()
+	d := benchData(b, n)
+	hiers := sal.Hierarchies(d.Schema)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pg.Publish(d, hiers, pg.Config{K: 6, P: 0.3, Rng: rng, Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}

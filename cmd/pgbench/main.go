@@ -24,6 +24,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 1, "repetitions per utility point (averaged)")
 	trials := flag.Int("trials", 200, "Monte-Carlo trials per breach scenario")
+	workers := flag.Int("workers", 0, "worker goroutines for sweeps and Monte Carlo (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -59,7 +60,7 @@ func main() {
 
 	utility := func(m int, fig func(experiments.UtilityConfig) ([]experiments.UtilityPoint, error), x, title string) func() error {
 		return func() error {
-			pts, err := fig(experiments.UtilityConfig{N: *n, Seed: *seed, M: m, Reps: *reps})
+			pts, err := fig(experiments.UtilityConfig{N: *n, Seed: *seed, M: m, Reps: *reps, Workers: *workers})
 			if err != nil {
 				return err
 			}
@@ -79,7 +80,7 @@ func main() {
 
 	run("breach", func() error {
 		scenarios, err := experiments.BreachValidation(experiments.BreachConfig{
-			N: 2000, Trials: *trials, Seed: *seed,
+			N: 2000, Trials: *trials, Seed: *seed, Workers: *workers,
 		})
 		if err != nil {
 			return err

@@ -40,6 +40,7 @@ func main() {
 	alg := flag.String("algorithm", "kd", "phase-2 algorithm: kd|tds|full-domain")
 	out := flag.String("out", "", "output file (default stdout)")
 	meta := flag.String("meta", "", "also write release metadata JSON to this file")
+	workers := flag.Int("workers", 0, "pipeline worker goroutines (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -139,7 +140,7 @@ func main() {
 	}
 
 	pub, err := pg.Publish(d, hiers, pg.Config{
-		K: kk, P: retention, Algorithm: algorithm, Seed: *seed,
+		K: kk, P: retention, Algorithm: algorithm, Seed: *seed, Workers: *workers,
 	})
 	if err != nil {
 		fail(err)

@@ -3,10 +3,10 @@ package attack
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/par"
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
 )
@@ -199,29 +199,30 @@ func MonteCarlo(d *dataset.Table, voterQI [][]int32, hiers []*hierarchy.Hierarch
 	type part struct {
 		maxH, maxGrowth, maxPost float64
 		brRho, brDelta           int
-		err                      error
 	}
+	// Slot seeds are drawn sequentially before the fan-out, so results stay
+	// deterministic for a fixed (Rng state, Parallel) pair.
 	parts := make([]part, workers)
-	var wg sync.WaitGroup
+	trials := make([]int, workers)
+	seeds := make([]int64, workers)
 	for w := 0; w < workers; w++ {
-		trials := cfg.Trials / workers
+		trials[w] = cfg.Trials / workers
 		if w < cfg.Trials%workers {
-			trials++
+			trials[w]++
 		}
-		seed := cfg.Rng.Int63()
-		wg.Add(1)
-		go func(slot, trials int, seed int64) {
-			defer wg.Done()
-			p := &parts[slot]
-			p.maxH, p.maxGrowth, p.maxPost, p.brRho, p.brDelta, p.err =
-				worker(trials, rand.New(rand.NewSource(seed)))
-		}(w, trials, seed)
+		seeds[w] = cfg.Rng.Int63()
 	}
-	wg.Wait()
+	err = par.ForEachErr(workers, workers, func(slot int) error {
+		p := &parts[slot]
+		var werr error
+		p.maxH, p.maxGrowth, p.maxPost, p.brRho, p.brDelta, werr =
+			worker(trials[slot], rand.New(rand.NewSource(seeds[slot])))
+		return werr
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range parts {
-		if p.err != nil {
-			return nil, p.err
-		}
 		if p.maxH > res.MaxH {
 			res.MaxH = p.maxH
 		}

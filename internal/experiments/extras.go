@@ -9,6 +9,7 @@ import (
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
 	"pgpub/internal/mining"
+	"pgpub/internal/par"
 	"pgpub/internal/pg"
 	"pgpub/internal/sal"
 )
@@ -41,6 +42,10 @@ type BreachConfig struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers splits each scenario's trials across goroutines via the
+	// Monte-Carlo harness's Parallel knob. 0 means GOMAXPROCS; results are
+	// deterministic for a fixed (Seed, Workers) pair.
+	Workers int
 }
 
 // BreachScenario is one validated setting.
@@ -72,6 +77,7 @@ func BreachValidation(cfg BreachConfig) ([]BreachScenario, error) {
 			Lambda:          Lambda,
 			CorruptFraction: corrupt,
 			Rng:             rng,
+			Parallel:        par.N(cfg.Workers),
 		})
 		if err != nil {
 			return nil, err
@@ -94,6 +100,7 @@ func BreachValidation(cfg BreachConfig) ([]BreachScenario, error) {
 		Lambda:          Lambda,
 		CorruptFraction: 1,
 		Rng:             rng,
+		Parallel:        par.N(cfg.Workers),
 	})
 	if err != nil {
 		return nil, err

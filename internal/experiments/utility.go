@@ -7,6 +7,7 @@ import (
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/mining"
+	"pgpub/internal/par"
 	"pgpub/internal/pg"
 	"pgpub/internal/sal"
 )
@@ -27,6 +28,11 @@ type UtilityConfig struct {
 	// Algorithm is the Phase-2 algorithm (the zero value is pg.KD, the
 	// harness default; see DESIGN.md §3).
 	Algorithm pg.Algorithm
+	// Workers bounds the sweep's parallelism: the x-positions of a figure
+	// are measured concurrently, each from its own seed split off Seed, so
+	// results do not depend on the worker count. 0 means GOMAXPROCS; 1 runs
+	// the sweep sequentially. Publish inherits the same knob per point.
+	Workers int
 }
 
 func (c *UtilityConfig) setDefaults() error {
@@ -74,7 +80,9 @@ func Figure3(cfg UtilityConfig) ([]UtilityPoint, error) {
 }
 
 // utilitySweep runs the PG/optimistic/pessimistic comparison over either a
-// k-sweep (fixed p) or a p-sweep (fixed k).
+// k-sweep (fixed p) or a p-sweep (fixed k). The x-positions are measured in
+// parallel, each from a private RNG split off cfg.Seed, so the figure is
+// reproducible for a fixed seed at any worker count.
 func utilitySweep(cfg UtilityConfig, ks []int, ps []float64, fixedP float64, fixedK int) ([]UtilityPoint, error) {
 	d, err := sal.Generate(cfg.N, cfg.Seed)
 	if err != nil {
@@ -84,27 +92,33 @@ func utilitySweep(cfg UtilityConfig, ks []int, ps []float64, fixedP float64, fix
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-
-	var out []UtilityPoint
-	if ks != nil {
-		for _, k := range ks {
-			pt, err := utilityPoint(d, classOf, cfg, k, fixedP, rng)
-			if err != nil {
-				return nil, err
-			}
-			pt.X = float64(k)
-			out = append(out, pt)
-		}
-		return out, nil
+	points := len(ks)
+	if ks == nil {
+		points = len(ps)
 	}
-	for _, p := range ps {
-		pt, err := utilityPoint(d, classOf, cfg, fixedK, p, rng)
-		if err != nil {
-			return nil, err
+	out := make([]UtilityPoint, points)
+	err = par.ForEachErr(cfg.Workers, points, func(i int) error {
+		rng := rand.New(rand.NewSource(par.SplitSeed(cfg.Seed+1, i)))
+		k, p := fixedK, fixedP
+		if ks != nil {
+			k = ks[i]
+		} else {
+			p = ps[i]
 		}
-		pt.X = p
-		out = append(out, pt)
+		pt, err := utilityPoint(d, classOf, cfg, k, p, rng)
+		if err != nil {
+			return err
+		}
+		if ks != nil {
+			pt.X = float64(k)
+		} else {
+			pt.X = p
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -116,7 +130,7 @@ func utilityPoint(d *dataset.Table, classOf func(int32) int, cfg UtilityConfig, 
 	for rep := 0; rep < cfg.Reps; rep++ {
 		// PG: publish and mine with reconstruction weighting.
 		pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{
-			K: k, P: p, Algorithm: cfg.Algorithm, Rng: rng,
+			K: k, P: p, Algorithm: cfg.Algorithm, Rng: rng, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return pt, err

@@ -1,0 +1,116 @@
+// Package par is the repository's one concurrency idiom: a minimal
+// work-distributing loop over an index range plus the deterministic
+// seed-splitting scheme the pipeline uses to keep parallel randomness
+// reproducible. Every parallel stage in the codebase — Phase 1/3 sharding in
+// pg.Publish, the Monte-Carlo attack validation, the experiment sweeps — is
+// expressed through ForEach/ForEachErr so there is exactly one place where
+// goroutine fan-out, panic plumbing, and worker accounting live.
+//
+// # Deterministic seed splitting
+//
+// Parallel pipelines must not let the schedule touch the random streams:
+// results have to be byte-identical whether one worker or sixteen ran the
+// shards. The scheme used throughout is *fixed sharding + splitmix64 seed
+// derivation*: work is cut into shards of a fixed size (independent of the
+// worker count), and shard i draws its own rand.Rand seeded with
+// SplitSeed(root, i). Workers only decide who executes a shard, never which
+// stream it consumes, so sequential and parallel runs agree bit for bit.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// N resolves a worker-count knob: values <= 0 mean runtime.GOMAXPROCS(0).
+func N(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing the indices over at
+// most workers goroutines (clamped to n; workers <= 1 runs inline). Indices
+// are handed out through an atomic counter, so call order across goroutines
+// is unspecified — fn must only write state owned by its own index. ForEach
+// returns when every call has finished.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = N(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work. Every index runs regardless of
+// failures elsewhere (no early cancellation — results stay deterministic),
+// and the error reported is the one from the smallest failing index, so the
+// returned error does not depend on goroutine scheduling.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	var mu sync.Mutex
+	firstIdx := -1
+	var firstErr error
+	ForEach(workers, n, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if firstIdx == -1 || i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}
+
+// SplitSeed derives the RNG seed of shard i from a root seed with one
+// splitmix64 step: state = root + (i+1)·golden, finalized with the standard
+// splitmix64 mixer. Distinct shards get statistically independent streams,
+// and the derivation is pure — no shared generator to contend on, no
+// schedule sensitivity.
+func SplitSeed(root int64, shard int) int64 {
+	z := uint64(root) + (uint64(shard)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// SpawnDepth translates a worker count into a recursion spawn depth for
+// divide-and-conquer algorithms (generalize.KDPartitionParallel): the
+// smallest depth whose 2^depth leaf tasks cover the workers, plus one level
+// of slack for load balancing. 0 or 1 workers mean fully serial (depth 0).
+func SpawnDepth(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	d := 0
+	for 1<<d < workers {
+		d++
+	}
+	return d + 1
+}

@@ -1,0 +1,97 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestN(t *testing.T) {
+	if N(0) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("N(0) = %d, want GOMAXPROCS = %d", N(0), runtime.GOMAXPROCS(0))
+	}
+	if N(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatal("negative workers must default to GOMAXPROCS")
+	}
+	if N(5) != 5 {
+		t.Fatalf("N(5) = %d", N(5))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 1000} {
+			hits := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachErrReportsSmallestIndex(t *testing.T) {
+	// Regardless of scheduling, the error from index 3 must win over 7.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEachErr(8, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("trial %d: err = %v, want fail at 3", trial, err)
+		}
+	}
+	if err := ForEachErr(4, 50, func(int) error { return nil }); err != nil {
+		t.Fatalf("no-failure run returned %v", err)
+	}
+}
+
+func TestForEachErrRunsEverythingDespiteFailure(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("boom")
+	err := ForEachErr(4, 100, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 indices; no early cancellation allowed", ran.Load())
+	}
+}
+
+func TestSplitSeedDistinctAndStable(t *testing.T) {
+	seen := map[int64]int{}
+	for shard := 0; shard < 10000; shard++ {
+		s := SplitSeed(42, shard)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d collide on seed %d", prev, shard, s)
+		}
+		seen[s] = shard
+	}
+	if SplitSeed(42, 7) != SplitSeed(42, 7) {
+		t.Fatal("SplitSeed must be pure")
+	}
+	if SplitSeed(42, 7) == SplitSeed(43, 7) {
+		t.Fatal("different roots should split differently")
+	}
+}
+
+func TestSpawnDepth(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 2, 3: 3, 4: 3, 8: 4, 9: 5, 16: 5}
+	for workers, want := range cases {
+		if got := SpawnDepth(workers); got != want {
+			t.Fatalf("SpawnDepth(%d) = %d, want %d", workers, got, want)
+		}
+	}
+}

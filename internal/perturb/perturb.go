@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"pgpub/internal/dataset"
+	"pgpub/internal/par"
 )
 
 // Perturber applies uniform perturbation over a sensitive domain of a given
@@ -56,6 +57,38 @@ func (pb *Perturber) Table(d *dataset.Table, rng *rand.Rand) (*dataset.Table, er
 	for i := 0; i < out.Len(); i++ {
 		out.SetSensitive(i, pb.Value(out.Sensitive(i), rng))
 	}
+	return out, nil
+}
+
+// ShardRows is the fixed Phase-1 shard size of TableSharded. It is part of
+// the determinism contract: changing it changes which RNG stream perturbs
+// which row, and therefore the published bytes for a given seed.
+const ShardRows = 4096
+
+// TableSharded is Table with deterministic parallelism: the rows are cut
+// into fixed shards of ShardRows, shard i perturbs its rows with a private
+// rand.Rand seeded par.SplitSeed(rootSeed, i), and at most workers
+// goroutines execute the shards. Because the shard layout and seeds depend
+// only on rootSeed — never on workers or the schedule — the output is
+// byte-identical for every worker count, including fully sequential runs.
+func (pb *Perturber) TableSharded(d *dataset.Table, rootSeed int64, workers int) (*dataset.Table, error) {
+	if d.Schema.SensitiveDomain() != pb.Domain {
+		return nil, fmt.Errorf("perturb: perturber domain %d != sensitive domain %d",
+			pb.Domain, d.Schema.SensitiveDomain())
+	}
+	out := d.Clone()
+	n := out.Len()
+	shards := (n + ShardRows - 1) / ShardRows
+	par.ForEach(workers, shards, func(s int) {
+		rng := rand.New(rand.NewSource(par.SplitSeed(rootSeed, s)))
+		hi := (s + 1) * ShardRows
+		if hi > n {
+			hi = n
+		}
+		for i := s * ShardRows; i < hi; i++ {
+			out.SetSensitive(i, pb.Value(out.Sensitive(i), rng))
+		}
+	})
 	return out, nil
 }
 

@@ -11,7 +11,15 @@ import (
 // must never panic, and every accepted label must yield a valid in-domain
 // interval that round-trips through the printer.
 func FuzzParseBoxLabel(f *testing.F) {
-	for _, seed := range []string{"*", "25", "[20-64]", "[20-", "-]", "[]", "[-]", "[20-64", "20-64]", "[a-b]", "[89-20]"} {
+	for _, seed := range []string{
+		"*", "25", "[20-64]", "[20-", "-]", "[]", "[-]", "[20-64", "20-64]", "[a-b]", "[89-20]",
+		// Degenerate interval punctuation and whitespace shapes.
+		"", " ", "  *", "* ", "[ - ]", "[--]", "[---]", "[20--64]", "[-20-64]", "[20-64-]",
+		// Multi-dash bodies exercise every split position.
+		"[20-40-64]", "[20-20-20-20]", "[*-*]", "[[20-64]]",
+		// Boundary and out-of-domain numerals.
+		"[20-89]", "[19-90]", "[000020-89]", "[+20-64]", "[20-1e2]", "[٢٠-٦٤]",
+	} {
 		f.Add(seed)
 	}
 	a := dataset.MustIntAttribute("Age", 20, 89)
@@ -33,6 +41,23 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("Age,Gender,Zipcode,Disease,G\n[20-39],F,[10-29],pneumonia,3\n")
 	f.Add("garbage")
 	f.Add("Age,Gender,Zipcode,Disease,G\n*,M,*,bronchitis,-1\n")
+	// Empty and whitespace fields in every position.
+	f.Add("Age,Gender,Zipcode,Disease,G\n,,,,\n")
+	f.Add("Age,Gender,Zipcode,Disease,G\n , , , , \n")
+	f.Add("Age,Gender,Zipcode,Disease,G\n*,M,*,bronchitis,\n")
+	f.Add("Age,Gender,Zipcode,Disease,G\n\"\",M,*,bronchitis,2\n")
+	// Header-only, truncated, and shape-violating bodies.
+	f.Add("Age,Gender,Zipcode,Disease,G\n")
+	f.Add("Age,Gender,Zipcode,Disease\n*,M,*,bronchitis\n")
+	f.Add("Age,Gender,Zipcode,Disease,G,Extra\n*,M,*,bronchitis,2,9\n")
+	f.Add("G,Disease,Zipcode,Gender,Age\n2,bronchitis,*,M,*\n")
+	// Interval-label corner cases inside a record, quoting, CRLF, huge G.
+	f.Add("Age,Gender,Zipcode,Disease,G\n[20-39-64],M,[--],bronchitis,2\n")
+	f.Add("Age,Gender,Zipcode,Disease,G\r\n\"[20-39]\",F,\"[10-29]\",pneumonia,3\r\n")
+	f.Add("Age,Gender,Zipcode,Disease,G\n*,M,*,bronchitis,999999999999999999999\n")
+	f.Add("Age,Gender,Zipcode,Disease,G\n*,M,*,bronchitis,+2\n")
+	// Overlapping rows must be rejected by Validate, not accepted silently.
+	f.Add("Age,Gender,Zipcode,Disease,G\n*,M,*,bronchitis,2\n*,M,*,flu,2\n")
 	schema := dataset.HospitalSchema()
 	f.Fuzz(func(t *testing.T, body string) {
 		pub, err := ReadCSV(schema, strings.NewReader(body), 0.3)
@@ -41,6 +66,32 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if err := pub.Validate(); err != nil {
 			t.Fatalf("accepted invalid publication: %v", err)
+		}
+	})
+}
+
+// FuzzReadMetadata exercises the release-metadata parser with arbitrary —
+// including malformed — documents: never panic, and every accepted document
+// must carry fields inside their documented ranges.
+func FuzzReadMetadata(f *testing.F) {
+	f.Add(`{"retention_probability":0.3,"k":6,"algorithm":"kd","rows":100}`)
+	f.Add(`{"retention_probability":-1,"k":6,"algorithm":"kd","rows":100}`)
+	f.Add(`{"retention_probability":0.3,"k":0,"algorithm":"","rows":-5}`)
+	f.Add(`{"retention_probability":"0.3"}`)
+	f.Add(`{"k":1e99}`)
+	f.Add(`{"retention_probability":0.3,"k":6,"rows":1,"guarantee":{"lambda":0.1}}`)
+	f.Add(`{"unknown_field":true}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add("{\"retention_probability\":0.3,\"k\":6,\"rows\":1}\n{\"k\":2}")
+	f.Fuzz(func(t *testing.T, body string) {
+		m, err := ReadMetadata(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if m.P < 0 || m.P > 1 || m.K < 1 || m.Rows < 0 {
+			t.Fatalf("accepted out-of-range metadata: %+v", m)
 		}
 	})
 }

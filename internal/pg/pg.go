@@ -20,6 +20,7 @@ import (
 	"pgpub/internal/dataset"
 	"pgpub/internal/generalize"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/par"
 	"pgpub/internal/perturb"
 	"pgpub/internal/privacy"
 	"pgpub/internal/sampling"
@@ -75,8 +76,19 @@ type Config struct {
 	NumClasses int
 	// Seed seeds the pipeline's randomness when Rng is nil.
 	Seed int64
-	// Rng overrides the random source (takes precedence over Seed).
+	// Rng overrides the random source (takes precedence over Seed). Publish
+	// draws a single root seed from it and splits shard streams off that
+	// root, so a shared Rng advances by exactly one Int63 per call
+	// regardless of table size or worker count.
 	Rng *rand.Rand
+	// Workers bounds the pipeline's parallelism: Phase 1 and Phase 3 are
+	// sharded across this many goroutines, KD recursion fans out to match,
+	// and the TDS/FullDomain per-group recoding application is spread the
+	// same way. 0 (the default) means runtime.GOMAXPROCS(0); 1 runs fully
+	// sequential. The published table is byte-identical across Workers
+	// values for a fixed Seed/Rng — shard RNG streams are derived from the
+	// root seed with par.SplitSeed, never from the schedule.
+	Workers int
 }
 
 // Row is one published tuple of D*: the generalized QI box, the observed —
@@ -119,17 +131,24 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 	if cfg.P < 0 || cfg.P > 1 {
 		return nil, fmt.Errorf("pg: retention probability %v outside [0,1]", cfg.P)
 	}
-	rng := cfg.Rng
-	if rng == nil {
-		rng = rand.New(rand.NewSource(cfg.Seed))
+	workers := par.N(cfg.Workers)
+	// The root seed fixes every random stream of the pipeline. Per-phase
+	// roots are split off it, and each phase splits per-shard seeds off its
+	// root, so the streams depend only on (root, shard index) — running the
+	// shards on one goroutine or sixteen cannot change the output bytes.
+	root := cfg.Seed
+	if cfg.Rng != nil {
+		root = cfg.Rng.Int63()
 	}
+	phase1Root := par.SplitSeed(root, 0)
+	phase3Root := par.SplitSeed(root, 1)
 
-	// Phase 1: perturbation.
+	// Phase 1: perturbation, sharded across the workers.
 	pb, err := perturb.NewPerturber(cfg.P, d.Schema.SensitiveDomain())
 	if err != nil {
 		return nil, err
 	}
-	dp, err := pb.Table(d, rng)
+	dp, err := pb.TableSharded(d, phase1Root, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -147,9 +166,7 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
 		}
 		pub.Recoding = res.Recoding
-		for _, key := range res.Groups.Keys {
-			boxes = append(boxes, res.Recoding.BoxOf(key))
-		}
+		boxes = applyRecoding(res.Recoding, res.Groups.Keys, workers)
 		groupRows = res.Groups.Rows
 	case FullDomain:
 		res, err := generalize.SearchFullDomain(dp, hiers, generalize.FullDomainConfig{
@@ -159,12 +176,10 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
 		}
 		pub.Recoding = res.Recoding
-		for _, key := range res.Groups.Keys {
-			boxes = append(boxes, res.Recoding.BoxOf(key))
-		}
+		boxes = applyRecoding(res.Recoding, res.Groups.Keys, workers)
 		groupRows = res.Groups.Rows
 	case KD:
-		res, err := generalize.KDPartition(dp, k)
+		res, err := generalize.KDPartitionParallel(dp, k, par.SpawnDepth(workers))
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
 		}
@@ -174,8 +189,8 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 		return nil, fmt.Errorf("pg: unknown algorithm %v", cfg.Algorithm)
 	}
 
-	// Phase 3: stratified sampling (S1–S4).
-	strata, err := sampling.Stratified(groupRows, rng)
+	// Phase 3: stratified sampling (S1–S4), sharded across the workers.
+	strata, err := sampling.StratifiedSeeded(groupRows, phase3Root, workers)
 	if err != nil {
 		return nil, fmt.Errorf("pg: phase 3: %w", err)
 	}
@@ -188,6 +203,17 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 		})
 	}
 	return pub, nil
+}
+
+// applyRecoding materializes every group key's box, spreading the per-group
+// recoding application over the workers. Boxes are written at their own
+// index, so the result is identical to the sequential loop.
+func applyRecoding(r *generalize.Recoding, keys [][]int32, workers int) []generalize.Box {
+	boxes := make([]generalize.Box, len(keys))
+	par.ForEach(workers, len(keys), func(i int) {
+		boxes[i] = r.BoxOf(keys[i])
+	})
+	return boxes
 }
 
 // resolveK applies the paper's rule k = ceil(1/s).

@@ -47,7 +47,7 @@ func TestEstimateSumAndAvg(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 6, P: 0.3, Seed: 33})
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 6, P: 0.3, Seed: 36})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,6 +24,17 @@
 //	p, _ := pgpub.MaxRetentionRho12(0.1, 0.2, 0.45, 6, 50) // Table III level
 //	pub, _ := pgpub.Publish(d, pgpub.SALHierarchies(d.Schema), pgpub.Config{K: 6, P: p})
 //	pub.WriteCSV(os.Stdout)
+//
+// # Parallelism and determinism
+//
+// Publish runs all three phases on a worker pool sized by Config.Workers
+// (0 means runtime.GOMAXPROCS(0)). The output is byte-identical for every
+// worker count: work is cut into shards of fixed size, and each shard's
+// random stream is derived from the publication's root seed and the shard
+// index with a splitmix64 mix (internal/par.SplitSeed), so scheduling never
+// influences which stream a shard consumes. The root seed is Config.Seed,
+// or — when Config.Rng is set — a single Int63 draw from it, so a shared
+// Rng advances by exactly one value per Publish call regardless of Workers.
 package pgpub
 
 import (
