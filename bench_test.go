@@ -10,6 +10,7 @@ import (
 	"pgpub/internal/dataset"
 	"pgpub/internal/experiments"
 	"pgpub/internal/generalize"
+	"pgpub/internal/hierarchy"
 	"pgpub/internal/mining"
 	"pgpub/internal/minv"
 	"pgpub/internal/perturb"
@@ -360,9 +361,9 @@ func BenchmarkPhase2KDParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkIncognito measures the pruned full-domain lattice search on the
-// hospital example.
-func BenchmarkIncognito(b *testing.B) {
+// BenchmarkIncognitoHospital measures the pruned full-domain lattice search
+// on the tiny hospital example.
+func BenchmarkIncognitoHospital(b *testing.B) {
 	d := dataset.Hospital()
 	hiers := []*Hierarchy{
 		mustInterval(b, d.Schema.QI[0].Size(), 5, 20),
@@ -375,6 +376,109 @@ func BenchmarkIncognito(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Grouping-engine benchmarks (EXPERIMENTS.md §Grouping engine) ---
+//
+// The three benchmarks below are the acceptance surface of the incremental
+// grouping engine: QI-grouping, TDS, and Incognito at 100k rows. Compare
+// against the numbers recorded in EXPERIMENTS.md / BENCH_pg.json.
+
+// BenchmarkGroupBy measures a full-table QI-grouping of 100k SAL rows under
+// mid-level cuts (the finest grouping the engine's packed-key path serves).
+func BenchmarkGroupBy(b *testing.B) {
+	d := benchData(b, 100000)
+	hiers := sal.Hierarchies(d.Schema)
+	cuts := make([]*hierarchy.Cut, len(hiers))
+	for j, h := range hiers {
+		c, err := hierarchy.LevelCut(h, (h.Height()+1)/2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cuts[j] = c
+	}
+	rec, err := generalize.NewRecoding(d.Schema, hiers, cuts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := generalize.GroupBy(d, rec); g.Len() == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkTDS measures top-down specialization on 100k SAL rows (the Phase-2
+// workload the incremental refinement engine targets).
+func BenchmarkTDS(b *testing.B) {
+	d := benchData(b, 100000)
+	hiers := sal.Hierarchies(d.Schema)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := generalize.TDS(d, hiers, generalize.TDSConfig{K: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncognito measures the lattice search on a 100k-row synthetic
+// table over three QI attributes of mixed hierarchy shape — large enough that
+// per-node grouping cost dominates, small enough that the lattice stays
+// enumerable (Incognito on the full 8-attribute SAL lattice is intractable by
+// design; full-domain recoding is used on low-dimensional QI sets).
+func BenchmarkIncognito(b *testing.B) {
+	d, hiers := benchIncognitoData(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := generalize.Incognito(d, hiers, generalize.IncognitoConfig{K: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchIncognitoData(b *testing.B, n int) (*dataset.Table, []*Hierarchy) {
+	b.Helper()
+	s, err := dataset.NewSchema(
+		[]*dataset.Attribute{
+			mustIntAttr(b, "A", 16),
+			mustIntAttr(b, "B", 8),
+			mustIntAttr(b, "C", 8),
+		},
+		mustIntAttr(b, "S", 4),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(20080402))
+	skew := func(size int) int32 {
+		// Exponentially skewed codes: rare tail values keep the lattice
+		// bottom from satisfying, so the search actually climbs.
+		v := int(rng.ExpFloat64() * float64(size) / 5)
+		if v >= size {
+			v = size - 1
+		}
+		return int32(v)
+	}
+	for i := 0; i < n; i++ {
+		t.MustAppend([]int32{skew(16), skew(8), skew(8), int32(rng.Intn(4))})
+	}
+	hiers := []*Hierarchy{
+		mustInterval(b, 16, 2, 4, 8),
+		mustInterval(b, 8, 2, 4),
+		hierarchy.MustBalanced(8, 2),
+	}
+	return t, hiers
+}
+
+func mustIntAttr(b *testing.B, name string, size int) *dataset.Attribute {
+	b.Helper()
+	a, err := dataset.NewIntAttribute(name, 0, size-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
 }
 
 // BenchmarkAnatomize measures the Anatomy baseline on 20k tuples.

@@ -11,21 +11,55 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"pgpub/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|repub|miners|all")
+	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|repub|miners|perf|all")
 	n := flag.Int("n", 100000, "SAL microdata cardinality for utility experiments")
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 1, "repetitions per utility point (averaged)")
 	trials := flag.Int("trials", 200, "Monte-Carlo trials per breach scenario")
 	workers := flag.Int("workers", 0, "worker goroutines for sweeps and Monte Carlo (0 = GOMAXPROCS)")
+	perfIters := flag.Int("perfiters", 3, "iterations per perf stage (-exp perf)")
+	benchout := flag.String("benchout", "", "write the perf report as JSON to this file (-exp perf), e.g. BENCH_pg.json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pgbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pgbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -144,9 +178,29 @@ func main() {
 		return nil
 	})
 
+	run("perf", func() error {
+		rep, err := experiments.Perf(*n, *seed, 6, *perfIters, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Perf: Phase-2 primitives and full pipeline wall-clock")
+		fmt.Print(experiments.RenderPerf(rep))
+		if *benchout != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchout)
+		}
+		return nil
+	})
+
 	switch *exp {
 	case "all", "table3a", "table3b", "fig2a", "fig2b", "fig3a", "fig3b",
-		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "repub", "miners":
+		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "repub", "miners", "perf":
 	default:
 		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/generalize"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/pg"
+	"pgpub/internal/sal"
+)
+
+// PerfResult is one timed pipeline stage. NsPerOp mirrors the unit of a
+// `go test -bench` line so perf trackers can ingest either source.
+type PerfResult struct {
+	Name    string  `json:"name"`
+	Rows    int     `json:"rows"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// PerfReport is the machine-readable output of the perf experiment
+// (pgbench -exp perf -benchout BENCH_pg.json).
+type PerfReport struct {
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	N         int          `json:"n"`
+	Seed      int64        `json:"seed"`
+	K         int          `json:"k"`
+	Results   []PerfResult `json:"results"`
+}
+
+// Perf times the hot Phase-2 primitives and the full pipeline on n SAL rows:
+// grouping under mid-level cuts, TDS, the greedy full-domain search, Publish
+// with the default KD algorithm — and Incognito on a skewed synthetic 3-QI
+// table (the full SAL lattice over 8 attributes is not a realistic Incognito
+// input). Each stage runs iters times; NsPerOp is the mean.
+func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
+	if n <= 0 {
+		n = 100000
+	}
+	if iters <= 0 {
+		iters = 3
+	}
+	rep := &PerfReport{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), N: n, Seed: seed, K: k}
+	d, err := sal.Generate(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	hiers := sal.Hierarchies(d.Schema)
+
+	time1 := func(name string, rows, iters int, f func() error) error {
+		var total time.Duration
+		for it := 0; it < iters; it++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			total += time.Since(start)
+		}
+		rep.Results = append(rep.Results, PerfResult{
+			Name: name, Rows: rows, Iters: iters,
+			NsPerOp: float64(total.Nanoseconds()) / float64(iters),
+		})
+		return nil
+	}
+
+	cuts := make([]*hierarchy.Cut, len(hiers))
+	for j, h := range hiers {
+		if cuts[j], err = hierarchy.LevelCut(h, (h.Height()+1)/2); err != nil {
+			return nil, err
+		}
+	}
+	rec, err := generalize.NewRecoding(d.Schema, hiers, cuts)
+	if err != nil {
+		return nil, err
+	}
+	if err := time1("groupby-midcuts", n, iters, func() error {
+		if generalize.GroupByWorkers(d, rec, workers).Len() == 0 {
+			return fmt.Errorf("no groups")
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := time1("tds", n, iters, func() error {
+		_, err := generalize.TDS(d, hiers, generalize.TDSConfig{K: k, Workers: workers})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := time1("fulldomain-greedy", n, iters, func() error {
+		_, err := generalize.SearchFullDomain(d, hiers, generalize.FullDomainConfig{
+			Principle: generalize.KAnonymity{K: k}, Workers: workers,
+		})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := time1("publish-kd", n, iters, func() error {
+		_, err := pg.Publish(d, hiers, pg.Config{K: k, P: 0.3, Seed: seed, Workers: workers})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	synth, synthHiers := perfIncognitoTable(n, seed)
+	if err := time1("incognito-synth3qi", n, iters, func() error {
+		_, err := generalize.Incognito(synth, synthHiers, generalize.IncognitoConfig{K: k, Workers: workers})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// RenderPerf formats the perf report as a table.
+func RenderPerf(rep *PerfReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, %d CPUs, n=%d, seed=%d, k=%d\n", rep.GoVersion, rep.NumCPU, rep.N, rep.Seed, rep.K)
+	fmt.Fprintf(&b, "%-20s %10s %7s %14s\n", "stage", "rows", "iters", "ms/op")
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "%-20s %10d %7d %14.2f\n", r.Name, r.Rows, r.Iters, r.NsPerOp/1e6)
+	}
+	return b.String()
+}
+
+// perfIncognitoTable builds the skewed 3-QI synthetic table the Incognito
+// stage runs on; exponential skew leaves rare tail values so the lattice
+// search has real work to do.
+func perfIncognitoTable(n int, seed int64) (*dataset.Table, []*hierarchy.Hierarchy) {
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{
+			dataset.MustIntAttribute("A", 0, 15),
+			dataset.MustIntAttribute("B", 0, 7),
+			dataset.MustIntAttribute("C", 0, 7),
+		},
+		dataset.MustAttribute("S", "s0", "s1", "s2", "s3"),
+	)
+	tbl := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(seed))
+	draw := func(size int) int32 {
+		v := int(rng.ExpFloat64() * float64(size) / 5)
+		if v >= size {
+			v = size - 1
+		}
+		return int32(v)
+	}
+	for i := 0; i < n; i++ {
+		tbl.MustAppend([]int32{draw(16), draw(8), draw(8), int32(rng.Intn(4))})
+	}
+	return tbl, []*hierarchy.Hierarchy{
+		hierarchy.MustInterval(16, 2, 4, 8),
+		hierarchy.MustInterval(8, 2, 4),
+		hierarchy.MustBalanced(8, 2),
+	}
+}

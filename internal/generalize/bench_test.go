@@ -1,0 +1,299 @@
+package generalize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+)
+
+// The benchmarks in this file pit the grouping engine against test-only
+// copies of the code paths it replaced: byte-string map keys for GroupBy,
+// a full-table re-scan per TDS round, and a full-table re-group per
+// Incognito lattice node. The legacy copies are kept here — not in the
+// library — so the comparison can't rot silently while the engine evolves.
+
+// benchGenTable builds a skewed random table over three QI attributes;
+// the exponential skew leaves rare tail values so k-anonymity does real work.
+func benchGenTable(n int) (*dataset.Table, []*hierarchy.Hierarchy) {
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{
+			dataset.MustIntAttribute("A", 0, 15),
+			dataset.MustIntAttribute("B", 0, 7),
+			dataset.MustIntAttribute("C", 0, 7),
+		},
+		dataset.MustAttribute("S", "s0", "s1", "s2", "s3"),
+	)
+	tbl := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(20080402))
+	draw := func(size int) int32 {
+		v := int(rng.ExpFloat64() * float64(size) / 5)
+		if v >= size {
+			v = size - 1
+		}
+		return int32(v)
+	}
+	for i := 0; i < n; i++ {
+		tbl.MustAppend([]int32{draw(16), draw(8), draw(8), int32(rng.Intn(4))})
+	}
+	hiers := []*hierarchy.Hierarchy{
+		hierarchy.MustInterval(16, 2, 4, 8),
+		hierarchy.MustInterval(8, 2, 4),
+		hierarchy.MustBalanced(8, 2),
+	}
+	return tbl, hiers
+}
+
+func benchMidRecoding(b *testing.B, tbl *dataset.Table, hiers []*hierarchy.Hierarchy) *Recoding {
+	cuts := make([]*hierarchy.Cut, len(hiers))
+	for j, h := range hiers {
+		c, err := hierarchy.LevelCut(h, (h.Height()+1)/2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cuts[j] = c
+	}
+	rec, err := NewRecoding(tbl.Schema, hiers, cuts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rec
+}
+
+func BenchmarkGroupByEngine(b *testing.B) {
+	tbl, hiers := benchGenTable(100_000)
+	rec := benchMidRecoding(b, tbl, hiers)
+	for _, bc := range []struct {
+		name string
+		run  func() *Groups
+	}{
+		{"legacy-bytes", func() *Groups { return groupByBytes(tbl, rec) }},
+		{"packed", func() *Groups { return GroupByWorkers(tbl, rec, 1) }},
+		{"packed-8workers", func() *Groups { return GroupByWorkers(tbl, rec, 8) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if g := bc.run(); g.Len() == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTDSEngine(b *testing.B) {
+	tbl, hiers := benchGenTable(100_000)
+	for _, bc := range []struct {
+		name string
+		run  func() (*Groups, error)
+	}{
+		{"legacy-rescan", func() (*Groups, error) { return legacyTDS(tbl, hiers, 6) }},
+		{"engine", func() (*Groups, error) {
+			res, err := TDS(tbl, hiers, TDSConfig{K: 6})
+			if err != nil {
+				return nil, err
+			}
+			return res.Groups, nil
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLatticeMinSize measures Incognito's per-node work: the minimum
+// group size at every level vector of the full lattice — by re-grouping the
+// table per node (the old path) vs the evaluator's roll-up.
+func BenchmarkLatticeMinSize(b *testing.B) {
+	tbl, hiers := benchGenTable(100_000)
+	walk := func(visit func(levels []int) error) error {
+		levels := make([]int, len(hiers))
+		for {
+			if err := visit(levels); err != nil {
+				return err
+			}
+			j := 0
+			for ; j < len(levels); j++ {
+				levels[j]++
+				if levels[j] <= hiers[j].Height() {
+					break
+				}
+				levels[j] = 0
+			}
+			if j == len(levels) {
+				return nil
+			}
+		}
+	}
+	b.Run("legacy-rescan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			err := walk(func(levels []int) error {
+				cuts := make([]*hierarchy.Cut, len(hiers))
+				for j, h := range hiers {
+					c, err := hierarchy.LevelCut(h, levels[j])
+					if err != nil {
+						return err
+					}
+					cuts[j] = c
+				}
+				rec, err := NewRecoding(tbl.Schema, hiers, cuts)
+				if err != nil {
+					return err
+				}
+				if GroupBy(tbl, rec).MinSize() == 0 {
+					return nil
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rollup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eval, err := NewLatticeEvaluator(tbl, hiers, make([]int, len(hiers)), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = walk(func(levels []int) error {
+				_, err := eval.MinSizeAt(levels)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// legacyTDS is the pre-engine TDS inner loop: a full-table GroupBy after
+// every specialization round, with candidate statistics rebuilt from scratch
+// by re-scanning every group. Kept verbatim (modulo names) for benchmarks.
+func legacyTDS(t *dataset.Table, hiers []*hierarchy.Hierarchy, k int) (*Groups, error) {
+	class := make([]int, t.Len())
+	for i := range class {
+		class[i] = int(t.Sensitive(i))
+	}
+	numClasses := t.Schema.SensitiveDomain()
+	rec, err := TopRecoding(t.Schema, hiers)
+	if err != nil {
+		return nil, err
+	}
+	groups := GroupBy(t, rec)
+	maxRounds := 0
+	for _, h := range hiers {
+		maxRounds += h.NumNodes() - h.Leaves()
+	}
+	for rounds := 0; rounds < maxRounds; rounds++ {
+		attr, node, ok := legacyBestSpecialization(t, rec, groups, class, numClasses, k)
+		if !ok {
+			break
+		}
+		refined, err := rec.Cuts[attr].Refine(node)
+		if err != nil {
+			return nil, err
+		}
+		rec.Cuts[attr] = refined
+		groups = GroupBy(t, rec)
+	}
+	return groups, nil
+}
+
+type legacyCandidate struct {
+	attr       int
+	node       int32
+	total      []int
+	perChild   map[int32][]int
+	groupChild []map[int32]int
+	groupIdx   map[int]int
+	groupSize  []int
+}
+
+func legacyBestSpecialization(t *dataset.Table, rec *Recoding, groups *Groups, class []int, numClasses, k int) (attr int, node int32, ok bool) {
+	d := rec.D()
+	cands := make(map[[2]int32]*legacyCandidate)
+	for gi, rows := range groups.Rows {
+		key := groups.Keys[gi]
+		for a := 0; a < d; a++ {
+			v := key[a]
+			h := rec.Hierarchies[a]
+			if h.IsLeaf(v) {
+				continue
+			}
+			ck := [2]int32{int32(a), v}
+			c := cands[ck]
+			if c == nil {
+				c = &legacyCandidate{
+					attr:     a,
+					node:     v,
+					total:    make([]int, numClasses),
+					perChild: make(map[int32][]int),
+					groupIdx: make(map[int]int),
+				}
+				cands[ck] = c
+			}
+			slot := len(c.groupChild)
+			c.groupIdx[gi] = slot
+			c.groupChild = append(c.groupChild, make(map[int32]int))
+			c.groupSize = append(c.groupSize, len(rows))
+			for _, i := range rows {
+				leaf := t.QI(i, a)
+				child := childToward(h, v, leaf)
+				c.total[class[i]]++
+				hist := c.perChild[child]
+				if hist == nil {
+					hist = make([]int, numClasses)
+					c.perChild[child] = hist
+				}
+				hist[class[i]]++
+				c.groupChild[slot][child]++
+			}
+		}
+	}
+	curMin := groups.MinSize()
+	bestScore := math.Inf(-1)
+	for _, c := range cands {
+		minAfter := math.MaxInt
+		valid := true
+		for _, split := range c.groupChild {
+			for _, cnt := range split {
+				if cnt < k {
+					valid = false
+					break
+				}
+				if cnt < minAfter {
+					minAfter = cnt
+				}
+			}
+			if !valid {
+				break
+			}
+		}
+		if !valid {
+			continue
+		}
+		gain := infoGain(c.total, c.perChild)
+		loss := float64(curMin - minAfter)
+		if loss < 0 {
+			loss = 0
+		}
+		score := gain / (loss + 1)
+		if score > bestScore {
+			bestScore = score
+			attr, node, ok = c.attr, c.node, true
+		}
+	}
+	return attr, node, ok
+}

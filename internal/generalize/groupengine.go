@@ -1,0 +1,381 @@
+package generalize
+
+// This file is the grouping engine: the allocation-lean primitives every
+// Phase-2 algorithm builds its QI-groups with.
+//
+//   - GroupBy / GroupByWorkers: one-shot grouping of a table under a
+//     recoding, with generalized QI vectors packed into a single uint64 hash
+//     key whenever the hierarchies' node-ID widths fit (they essentially
+//     always do), and the row scan sharded through par for large tables.
+//     Shards are fixed-size and merged in shard order, so the result is
+//     byte-identical for any worker count — and identical to the
+//     byte-keyed reference grouping it replaced.
+//
+//   - LatticeEvaluator: the roll-up engine behind Incognito and
+//     SearchFullDomain. The table is scanned exactly once, at the lattice's
+//     bottom; every other level vector's grouping is derived by lifting the
+//     base groups' keys through the hierarchies and merging — O(#groups·d)
+//     for a size check, O(n) to materialize rows — instead of re-scanning and
+//     re-hashing all n rows per lattice node.
+//
+// The engine's contract, enforced by TestLatticeRollupMatchesGroupBy and
+// TestTDSIncrementalMatchesRescan, is exact equivalence with a from-scratch
+// GroupBy: same keys, same row sets, rows ascending within each group, and
+// groups in first-appearance order of their first row.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/par"
+)
+
+// keyPacker packs a generalized QI vector (one hierarchy node ID per
+// attribute) into a uint64. Attribute j gets bits.Len(NumNodes(j)-1) bits, so
+// packing is injective whenever the widths sum to at most 64.
+type keyPacker struct {
+	shift []uint
+	fits  bool
+}
+
+func newKeyPacker(hiers []*hierarchy.Hierarchy) keyPacker {
+	p := keyPacker{shift: make([]uint, len(hiers))}
+	total := uint(0)
+	for j, h := range hiers {
+		w := uint(bits.Len(uint(h.NumNodes() - 1)))
+		if w == 0 {
+			w = 1
+		}
+		p.shift[j] = total
+		total += w
+	}
+	p.fits = total <= 64
+	return p
+}
+
+func (p keyPacker) pack(gv []int32) uint64 {
+	var k uint64
+	for j, n := range gv {
+		k |= uint64(uint32(n)) << p.shift[j]
+	}
+	return k
+}
+
+// groupShardSize is the fixed shard width of the sharded row scan. It is
+// independent of the worker count, so shard-local groupings — and therefore
+// the merged result — cannot depend on how many goroutines ran them.
+const groupShardSize = 1 << 14
+
+// GroupBy partitions the table under the recoding. Groups appear in
+// first-appearance order of their first row, and row indices within a group
+// ascend.
+func GroupBy(t *dataset.Table, r *Recoding) *Groups {
+	return GroupByWorkers(t, r, 1)
+}
+
+// GroupByWorkers is GroupBy with the row scan sharded over at most workers
+// goroutines (0 means GOMAXPROCS). The result is identical for every worker
+// count.
+func GroupByWorkers(t *dataset.Table, r *Recoding, workers int) *Groups {
+	n := t.Len()
+	p := newKeyPacker(r.Hierarchies)
+	if !p.fits {
+		// Node IDs overflow a uint64 key; fall back to byte-string keys.
+		// This needs >64 key bits, i.e. an extravagantly wide QI schema, so
+		// the fallback stays sequential.
+		return groupByBytes(t, r)
+	}
+	shards := (n + groupShardSize - 1) / groupShardSize
+	if par.N(workers) <= 1 || shards <= 1 {
+		part := groupPackedRange(t, r, p, 0, n)
+		return &Groups{Keys: part.keys, Rows: part.rows}
+	}
+	parts := make([]*packedPart, shards)
+	par.ForEach(workers, shards, func(s int) {
+		lo := s * groupShardSize
+		hi := lo + groupShardSize
+		if hi > n {
+			hi = n
+		}
+		parts[s] = groupPackedRange(t, r, p, lo, hi)
+	})
+	// Sequential merge in shard order. Shards cover contiguous ascending row
+	// ranges, so first-appearance order and ascending rows are preserved.
+	out := &Groups{}
+	idx := make(map[uint64]int, 2*len(parts[0].packed))
+	for _, part := range parts {
+		for li, pk := range part.packed {
+			gi, ok := idx[pk]
+			if !ok {
+				gi = len(out.Keys)
+				idx[pk] = gi
+				out.Keys = append(out.Keys, part.keys[li])
+				out.Rows = append(out.Rows, part.rows[li])
+				continue
+			}
+			out.Rows[gi] = append(out.Rows[gi], part.rows[li]...)
+		}
+	}
+	return out
+}
+
+// packedPart is one shard's grouping: parallel slices of packed key, node
+// vector, and row list.
+type packedPart struct {
+	packed []uint64
+	keys   [][]int32
+	rows   [][]int
+}
+
+func groupPackedRange(t *dataset.Table, r *Recoding, p keyPacker, lo, hi int) *packedPart {
+	d := t.Schema.D()
+	gv := make([]int32, d)
+	idx := make(map[uint64]int32, 64)
+	part := &packedPart{}
+	for i := lo; i < hi; i++ {
+		r.GeneralizeInto(gv, t.Row(i)[:d])
+		pk := p.pack(gv)
+		gi, ok := idx[pk]
+		if !ok {
+			gi = int32(len(part.packed))
+			idx[pk] = gi
+			part.packed = append(part.packed, pk)
+			part.keys = append(part.keys, append([]int32(nil), gv...))
+			part.rows = append(part.rows, nil)
+		}
+		part.rows[gi] = append(part.rows[gi], i)
+	}
+	return part
+}
+
+// groupByBytes is the byte-keyed fallback for schemas whose packed keys do
+// not fit in 64 bits.
+func groupByBytes(t *dataset.Table, r *Recoding) *Groups {
+	d := t.Schema.D()
+	key := make([]byte, 4*d)
+	gv := make([]int32, d)
+	idx := make(map[string]int, t.Len()/4+1)
+	out := &Groups{}
+	for i := 0; i < t.Len(); i++ {
+		r.GeneralizeInto(gv, t.Row(i)[:d])
+		for j, n := range gv {
+			binary.LittleEndian.PutUint32(key[4*j:], uint32(n))
+		}
+		gi, ok := idx[string(key)]
+		if !ok {
+			gi = len(out.Keys)
+			idx[string(key)] = gi
+			out.Keys = append(out.Keys, append([]int32(nil), gv...))
+			out.Rows = append(out.Rows, nil)
+		}
+		out.Rows[gi] = append(out.Rows[gi], i)
+	}
+	return out
+}
+
+// LatticeEvaluator evaluates full-domain level vectors by roll-up: the table
+// is grouped once at a base level vector, and any coarser vector's grouping
+// is derived by lifting the base groups' keys through the hierarchies and
+// merging groups whose lifted keys coincide (LeFevre et al.'s frequency-set
+// roll-up, generalized to a whole level vector). All hierarchies must be
+// uniform and every queried vector must dominate the base component-wise.
+type LatticeEvaluator struct {
+	t       *dataset.Table
+	hiers   []*hierarchy.Hierarchy
+	baseLev []int
+	base    *Groups
+	packer  keyPacker
+
+	// rowGroup maps each table row to its base group, so materializing a
+	// rolled-up grouping's row lists is a single ordered pass over the rows
+	// (which also yields ascending rows and first-appearance group order for
+	// free — the GroupBy contract).
+	rowGroup []int32
+	// keyIdx[g][j] is the index of base group g's j-th key node within the
+	// base cut of attribute j (the row of the lift tables below).
+	keyIdx [][]int32
+	// lift[j][dl][i] is the ancestor dl levels above the i-th base cut node
+	// of attribute j.
+	lift [][][]int32
+	// cuts memoizes hierarchy.LevelCut per attribute and level.
+	cuts [][]*hierarchy.Cut
+}
+
+// NewLatticeEvaluator groups the table at baseLevels (the evaluator's one
+// full scan, sharded over workers) and precomputes the lift tables.
+func NewLatticeEvaluator(t *dataset.Table, hiers []*hierarchy.Hierarchy, baseLevels []int, workers int) (*LatticeEvaluator, error) {
+	if len(hiers) != t.Schema.D() || len(baseLevels) != len(hiers) {
+		return nil, fmt.Errorf("generalize: %d hierarchies, %d base levels for %d QI attributes",
+			len(hiers), len(baseLevels), t.Schema.D())
+	}
+	for j, h := range hiers {
+		if !h.Uniform() {
+			return nil, fmt.Errorf("generalize: hierarchy %d is not uniform; lattice roll-up needs level cuts", j)
+		}
+		if baseLevels[j] < 0 || baseLevels[j] > h.Height() {
+			return nil, fmt.Errorf("generalize: base level %d of attribute %d out of [0,%d]", baseLevels[j], j, h.Height())
+		}
+	}
+	e := &LatticeEvaluator{
+		t:       t,
+		hiers:   hiers,
+		baseLev: append([]int(nil), baseLevels...),
+		packer:  newKeyPacker(hiers),
+		cuts:    make([][]*hierarchy.Cut, len(hiers)),
+	}
+	for j, h := range hiers {
+		e.cuts[j] = make([]*hierarchy.Cut, h.Height()+1)
+	}
+	rec, err := e.RecodingAt(baseLevels)
+	if err != nil {
+		return nil, err
+	}
+	e.base = GroupByWorkers(t, rec, workers)
+
+	e.rowGroup = make([]int32, t.Len())
+	for g, rows := range e.base.Rows {
+		for _, i := range rows {
+			e.rowGroup[i] = int32(g)
+		}
+	}
+
+	// Lift tables: for each attribute, the base cut nodes and their ancestors
+	// at every level above the base.
+	e.lift = make([][][]int32, len(hiers))
+	nodeIdx := make([][]int32, len(hiers))
+	for j, h := range hiers {
+		baseNodes := rec.Cuts[j].Nodes()
+		nodeIdx[j] = make([]int32, h.NumNodes())
+		for i, v := range baseNodes {
+			nodeIdx[j][v] = int32(i)
+		}
+		steps := h.Height() - baseLevels[j]
+		e.lift[j] = make([][]int32, steps+1)
+		cur := append([]int32(nil), baseNodes...)
+		for dl := 0; dl <= steps; dl++ {
+			e.lift[j][dl] = append([]int32(nil), cur...)
+			for i, v := range cur {
+				if p := h.Parent(v); p >= 0 {
+					cur[i] = p
+				}
+			}
+		}
+	}
+	e.keyIdx = make([][]int32, len(e.base.Keys))
+	for g, key := range e.base.Keys {
+		ki := make([]int32, len(key))
+		for j, v := range key {
+			ki[j] = nodeIdx[j][v]
+		}
+		e.keyIdx[g] = ki
+	}
+	return e, nil
+}
+
+// Base returns the grouping at the evaluator's base level vector (the one
+// produced by its single table scan). Read-only.
+func (e *LatticeEvaluator) Base() *Groups { return e.base }
+
+// checkLevels validates that levels dominates the base component-wise.
+func (e *LatticeEvaluator) checkLevels(levels []int) error {
+	if len(levels) != len(e.hiers) {
+		return fmt.Errorf("generalize: level vector has %d components, want %d", len(levels), len(e.hiers))
+	}
+	for j, l := range levels {
+		if l < e.baseLev[j] || l > e.hiers[j].Height() {
+			return fmt.Errorf("generalize: level %d of attribute %d out of [%d,%d]",
+				l, j, e.baseLev[j], e.hiers[j].Height())
+		}
+	}
+	return nil
+}
+
+// MinSizeAt returns the smallest group cardinality of the grouping at the
+// level vector, in O(#base-groups · d) without materializing row lists —
+// the k-anonymity check Incognito's lattice walk performs per node.
+func (e *LatticeEvaluator) MinSizeAt(levels []int) (int, error) {
+	if err := e.checkLevels(levels); err != nil {
+		return 0, err
+	}
+	sizes := make(map[uint64]int, len(e.base.Keys))
+	for g, ki := range e.keyIdx {
+		var pk uint64
+		for j, l := range levels {
+			pk |= uint64(uint32(e.lift[j][l-e.baseLev[j]][ki[j]])) << e.packer.shift[j]
+		}
+		sizes[pk] += len(e.base.Rows[g])
+	}
+	min := math.MaxInt
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+	}
+	if min == math.MaxInt {
+		min = 0
+	}
+	return min, nil
+}
+
+// GroupsAt materializes the grouping at the level vector. The result is
+// identical — keys, row sets, and order — to GroupBy under RecodingAt(levels).
+func (e *LatticeEvaluator) GroupsAt(levels []int) (*Groups, error) {
+	if err := e.checkLevels(levels); err != nil {
+		return nil, err
+	}
+	d := len(e.hiers)
+	out := &Groups{}
+	idx := make(map[uint64]int32, len(e.base.Keys))
+	gidOf := make([]int32, len(e.base.Keys))
+	var counts []int
+	gv := make([]int32, d)
+	for g, ki := range e.keyIdx {
+		var pk uint64
+		for j, l := range levels {
+			gv[j] = e.lift[j][l-e.baseLev[j]][ki[j]]
+			pk |= uint64(uint32(gv[j])) << e.packer.shift[j]
+		}
+		gi, ok := idx[pk]
+		if !ok {
+			gi = int32(len(out.Keys))
+			idx[pk] = gi
+			out.Keys = append(out.Keys, append([]int32(nil), gv...))
+			counts = append(counts, 0)
+		}
+		gidOf[g] = gi
+		counts[gi] += len(e.base.Rows[g])
+	}
+	out.Rows = make([][]int, len(out.Keys))
+	for gi, c := range counts {
+		out.Rows[gi] = make([]int, 0, c)
+	}
+	for i := range e.rowGroup {
+		gi := gidOf[e.rowGroup[i]]
+		out.Rows[gi] = append(out.Rows[gi], i)
+	}
+	return out, nil
+}
+
+// RecodingAt returns the full-domain recoding of the level vector, memoizing
+// the level cuts per attribute.
+func (e *LatticeEvaluator) RecodingAt(levels []int) (*Recoding, error) {
+	cuts := make([]*hierarchy.Cut, len(e.hiers))
+	for j, h := range e.hiers {
+		if levels[j] < 0 || levels[j] > h.Height() {
+			return nil, fmt.Errorf("generalize: level %d of attribute %d out of [0,%d]", levels[j], j, h.Height())
+		}
+		if e.cuts[j][levels[j]] == nil {
+			c, err := hierarchy.LevelCut(h, levels[j])
+			if err != nil {
+				return nil, err
+			}
+			e.cuts[j][levels[j]] = c
+		}
+		cuts[j] = e.cuts[j][levels[j]]
+	}
+	return NewRecoding(e.t.Schema, e.hiers, cuts)
+}

@@ -1,0 +1,240 @@
+package generalize
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+)
+
+// engineTable builds a random table over three QI attributes whose
+// hierarchies exercise all three shapes: interval bands, a balanced tree,
+// and a flat (leaf/root only) hierarchy.
+func engineTable(n int, rng *rand.Rand) (*dataset.Table, []*hierarchy.Hierarchy) {
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{
+			dataset.MustIntAttribute("I", 0, 15),
+			dataset.MustIntAttribute("B", 0, 7),
+			dataset.MustIntAttribute("F", 0, 5),
+		},
+		dataset.MustAttribute("S", "s0", "s1", "s2"),
+	)
+	tbl := dataset.NewTable(s)
+	for i := 0; i < n; i++ {
+		tbl.MustAppend([]int32{int32(rng.Intn(16)), int32(rng.Intn(8)), int32(rng.Intn(6)), int32(rng.Intn(3))})
+	}
+	hiers := []*hierarchy.Hierarchy{
+		hierarchy.MustInterval(16, 2, 4, 8),
+		hierarchy.MustBalanced(8, 2),
+		hierarchy.MustFlat(6),
+	}
+	return tbl, hiers
+}
+
+// randomEngineRecoding refines each attribute's cut a random number of steps
+// down from the top.
+func randomEngineRecoding(tbl *dataset.Table, hiers []*hierarchy.Hierarchy, rng *rand.Rand) *Recoding {
+	rec, err := TopRecoding(tbl.Schema, hiers)
+	if err != nil {
+		panic(err)
+	}
+	for j := range rec.Cuts {
+		for step := 0; step < rng.Intn(4); step++ {
+			cand := rec.Cuts[j].Refinable()
+			if len(cand) == 0 {
+				break
+			}
+			refined, err := rec.Cuts[j].Refine(cand[rng.Intn(len(cand))])
+			if err != nil {
+				panic(err)
+			}
+			rec.Cuts[j] = refined
+		}
+	}
+	return rec
+}
+
+// Property: the packed sharded grouping is identical — keys, row sets, and
+// order — to the byte-keyed reference it replaced, for every worker count.
+func TestGroupByWorkersMatchesBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, hiers := engineTable(200+rng.Intn(200), rng)
+		rec := randomEngineRecoding(tbl, hiers, rng)
+		want := groupByBytes(tbl, rec)
+		for _, w := range []int{1, 2, 8} {
+			got := GroupByWorkers(tbl, rec, w)
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The sharded merge path only engages beyond groupShardSize rows; run it
+// once at that scale and require byte-identical results across worker counts.
+func TestGroupByWorkersShardedIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	tbl, hiers := engineTable(3*groupShardSize+17, rng)
+	rec := randomEngineRecoding(tbl, hiers, rng)
+	want := GroupByWorkers(tbl, rec, 1)
+	if !reflect.DeepEqual(want, groupByBytes(tbl, rec)) {
+		t.Fatal("sequential packed grouping disagrees with byte-keyed reference")
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := GroupByWorkers(tbl, rec, w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("GroupByWorkers(%d) differs from workers=1", w)
+		}
+	}
+}
+
+// A schema whose packed key widths exceed 64 bits must route to the byte
+// fallback and still honor the canonical-form contract.
+func TestGroupByWideSchemaFallback(t *testing.T) {
+	const d = 11 // 11 attributes x 6 bits (MustFlat(32) has 33 nodes) = 66 > 64
+	attrs := make([]*dataset.Attribute, d)
+	hiers := make([]*hierarchy.Hierarchy, d)
+	for j := 0; j < d; j++ {
+		attrs[j] = dataset.MustIntAttribute("A"+string(rune('a'+j)), 0, 31)
+		hiers[j] = hierarchy.MustFlat(32)
+	}
+	if p := newKeyPacker(hiers); p.fits {
+		t.Fatal("keyPacker claims 11x6-bit keys fit in 64 bits")
+	}
+	s := dataset.MustSchema(attrs, dataset.MustAttribute("S", "s0", "s1"))
+	tbl := dataset.NewTable(s)
+	rng := rand.New(rand.NewSource(3))
+	row := make([]int32, d+1)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < d; j++ {
+			row[j] = int32(rng.Intn(32))
+		}
+		row[d] = int32(rng.Intn(2))
+		tbl.MustAppend(row)
+	}
+	rec, err := IdentityRecoding(s, hiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GroupByWorkers(tbl, rec, 8)
+	seen := 0
+	lastFirst := -1
+	for gi, rows := range g.Rows {
+		if len(rows) == 0 {
+			t.Fatalf("group %d is empty", gi)
+		}
+		if rows[0] <= lastFirst {
+			t.Fatalf("group %d out of first-appearance order", gi)
+		}
+		lastFirst = rows[0]
+		for k := 1; k < len(rows); k++ {
+			if rows[k] <= rows[k-1] {
+				t.Fatalf("group %d rows not ascending", gi)
+			}
+		}
+		seen += len(rows)
+	}
+	if seen != tbl.Len() {
+		t.Fatalf("groups cover %d of %d rows", seen, tbl.Len())
+	}
+}
+
+// Property: TDS's incremental refinement ends at exactly the grouping a
+// from-scratch GroupBy of its final recoding produces — same keys, same row
+// sets, same canonical order.
+func TestTDSIncrementalMatchesRescan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, hiers := engineTable(150+rng.Intn(150), rng)
+		res, err := TDS(tbl, hiers, TDSConfig{K: 2 + rng.Intn(4)})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(res.Groups, GroupBy(tbl, res.Recoding))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every lattice node's rolled-up grouping equals a from-scratch
+// GroupBy under the node's recoding, and MinSizeAt agrees with the
+// materialized minimum — for random base level vectors.
+func TestLatticeRollupMatchesGroupBy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl, hiers := engineTable(120+rng.Intn(120), rng)
+		base := make([]int, len(hiers))
+		for j, h := range hiers {
+			base[j] = rng.Intn(h.Height() + 1)
+		}
+		eval, err := NewLatticeEvaluator(tbl, hiers, base, 1+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		// Walk every level vector dominating the base.
+		levels := append([]int(nil), base...)
+		for {
+			rec, err := eval.RecodingAt(levels)
+			if err != nil {
+				return false
+			}
+			want := GroupBy(tbl, rec)
+			got, err := eval.GroupsAt(levels)
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+			min, err := eval.MinSizeAt(levels)
+			if err != nil || min != want.MinSize() {
+				return false
+			}
+			j := 0
+			for ; j < len(levels); j++ {
+				levels[j]++
+				if levels[j] <= hiers[j].Height() {
+					break
+				}
+				levels[j] = base[j]
+			}
+			if j == len(levels) {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The evaluator rejects level vectors that do not dominate its base.
+func TestLatticeEvaluatorLevelBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl, hiers := engineTable(64, rng)
+	eval, err := NewLatticeEvaluator(tbl, hiers, []int{1, 1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eval.GroupsAt([]int{0, 1, 0}); err == nil {
+		t.Fatal("GroupsAt below the base: want error")
+	}
+	if _, err := eval.MinSizeAt([]int{1, 1, 2}); err == nil {
+		t.Fatal("MinSizeAt above the hierarchy height: want error")
+	}
+	if _, err := eval.GroupsAt([]int{1, 1}); err == nil {
+		t.Fatal("GroupsAt with short vector: want error")
+	}
+}

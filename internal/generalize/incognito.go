@@ -2,6 +2,7 @@ package generalize
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pgpub/internal/dataset"
@@ -16,6 +17,10 @@ type IncognitoConfig struct {
 	// Loss ranks minimal satisfying vectors; lower is better. Defaults to
 	// discernibility.
 	Loss func(t *dataset.Table, g *Groups) float64
+	// Workers bounds the goroutines of the single sharded table scan at the
+	// lattice bottom. 0 means GOMAXPROCS; the result is identical for every
+	// value.
+	Workers int
 }
 
 // IncognitoResult reports the chosen recoding plus search diagnostics.
@@ -43,6 +48,12 @@ type IncognitoResult struct {
 //   - generalization monotonicity (roll-up): once a vector satisfies, every
 //     ancestor satisfies and needs no evaluation.
 //
+// Grouping itself follows LeFevre et al.'s frequency-set roll-up: the table
+// is scanned once, at the (pruned) lattice bottom, and every other node's
+// groups are derived from that base grouping in O(#groups) by a
+// LatticeEvaluator — the marginal pass likewise rolls per-attribute counts
+// up the hierarchy instead of re-scanning the column per level.
+//
 // All hierarchies must be uniform.
 func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConfig) (*IncognitoResult, error) {
 	if t.Len() == 0 {
@@ -58,6 +69,9 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 		cfg.Loss = func(_ *dataset.Table, g *Groups) float64 { return Discernibility(g) }
 	}
 	d := len(hiers)
+	if d != t.Schema.D() {
+		return nil, fmt.Errorf("generalize: %d hierarchies for %d QI attributes", d, t.Schema.D())
+	}
 	heights := make([]int, d)
 	for j, h := range hiers {
 		if !h.Uniform() {
@@ -66,44 +80,28 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 		heights[j] = h.Height()
 	}
 
-	evalVector := func(levels []int) (*Recoding, *Groups, error) {
-		cuts := make([]*hierarchy.Cut, d)
-		for j, h := range hiers {
-			c, err := hierarchy.LevelCut(h, levels[j])
-			if err != nil {
-				return nil, nil, err
-			}
-			cuts[j] = c
-		}
-		rec, err := NewRecoding(t.Schema, hiers, cuts)
-		if err != nil {
-			return nil, nil, err
-		}
-		return rec, GroupBy(t, rec), nil
-	}
-
 	res := &IncognitoResult{LatticeSize: 1}
 
 	// Subset-property pass (|S| = 1): the minimum marginally feasible level
-	// per attribute.
+	// per attribute, via one column scan and per-level count roll-ups.
 	minLevel := make([]int, d)
-	for j := range hiers {
-		found := false
-		for l := 0; l <= heights[j]; l++ {
-			g := marginalGroups(t, hiers[j], j, l)
-			res.Evaluated++
-			if g.IsKAnonymous(cfg.K) {
-				minLevel[j] = l
-				found = true
-				break
-			}
-		}
-		if !found {
+	for j, h := range hiers {
+		level, evaluated, ok := marginalFloor(t, h, j, cfg.K)
+		res.Evaluated += evaluated
+		if !ok {
 			return nil, fmt.Errorf("generalize: attribute %d cannot be made %d-anonymous even alone", j, cfg.K)
 		}
+		minLevel[j] = level
 	}
 	for j := range hiers {
 		res.LatticeSize *= heights[j] - minLevel[j] + 1
+	}
+
+	// The one full-table grouping: the pruned lattice's bottom. Every other
+	// node rolls up from it.
+	eval, err := NewLatticeEvaluator(t, hiers, minLevel, cfg.Workers)
+	if err != nil {
+		return nil, err
 	}
 
 	// Bottom-up BFS over the reduced lattice, by level-sum.
@@ -165,12 +163,12 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 			satisfied[key(v)] = true // roll-up: no evaluation needed
 			continue
 		}
-		_, g, err := evalVector(v)
+		min, err := eval.MinSizeAt(v)
 		if err != nil {
 			return nil, err
 		}
 		res.Evaluated++
-		if g.IsKAnonymous(cfg.K) {
+		if min >= cfg.K {
 			satisfied[key(v)] = true
 			res.Minimal = append(res.Minimal, append([]int(nil), v...))
 		}
@@ -185,7 +183,11 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 	var bestRec *Recoding
 	var bestGroups *Groups
 	for i, v := range res.Minimal {
-		rec, g, err := evalVector(v)
+		rec, err := eval.RecodingAt(v)
+		if err != nil {
+			return nil, err
+		}
+		g, err := eval.GroupsAt(v)
 		if err != nil {
 			return nil, err
 		}
@@ -201,17 +203,48 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 	return res, nil
 }
 
-// marginalGroups groups the table by a single attribute at a level.
-func marginalGroups(t *dataset.Table, h *hierarchy.Hierarchy, attr, level int) *Groups {
-	counts := map[int32][]int{}
+// marginalFloor finds the lowest level at which a single attribute's marginal
+// grouping is k-anonymous: one scan of the column builds the leaf counts, and
+// each further level sums child counts into their parents (the frequency-set
+// roll-up of [13] for |S| = 1). evaluated reports how many levels were
+// checked; ok is false when even the root level (a single group) fails —
+// impossible for a non-empty table, but kept for symmetry.
+func marginalFloor(t *dataset.Table, h *hierarchy.Hierarchy, attr, k int) (level, evaluated int, ok bool) {
+	counts := make([]int, h.NumNodes())
+	active := make([]int32, 0, h.Leaves())
 	for i := 0; i < t.Len(); i++ {
-		n := h.AncestorAbove(t.QI(i, attr), level)
-		counts[n] = append(counts[n], i)
+		c := t.QI(i, attr)
+		if counts[c] == 0 {
+			active = append(active, c)
+		}
+		counts[c]++
 	}
-	g := &Groups{}
-	for n, rows := range counts {
-		g.Keys = append(g.Keys, []int32{n})
-		g.Rows = append(g.Rows, rows)
+	for l := 0; l <= h.Height(); l++ {
+		evaluated++
+		min := math.MaxInt
+		for _, v := range active {
+			if counts[v] < min {
+				min = counts[v]
+			}
+		}
+		if min >= k {
+			return l, evaluated, true
+		}
+		if l == h.Height() {
+			break
+		}
+		// Roll counts one level up: children sum into parents. The hierarchy
+		// is uniform, so every active node sits at the same depth.
+		next := active[:0]
+		for _, v := range active {
+			p := h.Parent(v)
+			if counts[p] == 0 {
+				next = append(next, p)
+			}
+			counts[p] += counts[v]
+			counts[v] = 0
+		}
+		active = next
 	}
-	return g
+	return 0, evaluated, false
 }

@@ -78,22 +78,7 @@ type KDResult struct {
 // attribute — whereas kd-cells keep QI-groups near the minimal size k, which
 // the paper's cardinality argument |D*| ≈ |D|/k presumes.
 func KDPartition(t *dataset.Table, k int) (*KDResult, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("generalize: KDPartition needs k >= 1, got %d", k)
-	}
-	if t.Len() < k {
-		return nil, fmt.Errorf("generalize: table has %d rows, cannot form cells of %d", t.Len(), k)
-	}
-	d := t.Schema.D()
-	root := Box{Lo: make([]int32, d), Hi: make([]int32, d)}
-	for j, a := range t.Schema.QI {
-		root.Hi[j] = int32(a.Size() - 1)
-	}
-	all := make([]int, t.Len())
-	for i := range all {
-		all[i] = i
-	}
-	return kdRecurse(t, k, root, all, 0), nil
+	return KDPartitionParallel(t, k, 0)
 }
 
 // KDPartitionParallel is KDPartition with the top spawnDepth levels of the
@@ -111,11 +96,7 @@ func KDPartitionParallel(t *dataset.Table, k, spawnDepth int) (*KDResult, error)
 	if t.Len() < k {
 		return nil, fmt.Errorf("generalize: table has %d rows, cannot form cells of %d", t.Len(), k)
 	}
-	d := t.Schema.D()
-	root := Box{Lo: make([]int32, d), Hi: make([]int32, d)}
-	for j, a := range t.Schema.QI {
-		root.Hi[j] = int32(a.Size() - 1)
-	}
+	root := fullDomainBox(t.Schema)
 	all := make([]int, t.Len())
 	for i := range all {
 		all[i] = i
@@ -154,8 +135,21 @@ func kdRecurse(t *dataset.Table, k int, cell Box, rows []int, spawnDepth int) *K
 	}
 }
 
+// fullDomainBox is the box covering the entire QI code space.
+func fullDomainBox(schema *dataset.Schema) Box {
+	d := schema.D()
+	b := Box{Lo: make([]int32, d), Hi: make([]int32, d)}
+	for j, a := range schema.QI {
+		b.Hi[j] = int32(a.Size() - 1)
+	}
+	return b
+}
+
 // chooseKDSplit picks the widest-spread attribute admitting a median split
-// with both sides >= k, like chooseSplit but respecting the current cell.
+// with both sides >= k inside the current cell: attributes are ranked by
+// normalized span of values present in rows, and the first (widest) one
+// admitting a split wins. Mondrian's chooseSplit is this over the full
+// domain.
 func chooseKDSplit(t *dataset.Table, cell Box, rows []int, k int) (attr int, cut int32, ok bool) {
 	if len(rows) < 2*k {
 		return 0, 0, false

@@ -21,6 +21,10 @@ type FullDomainConfig struct {
 	// Loss ranks satisfying recodings; lower is better. Defaults to the
 	// discernibility metric.
 	Loss func(t *dataset.Table, g *Groups) float64
+	// Workers bounds the goroutines of the single sharded table scan at the
+	// lattice bottom. 0 means GOMAXPROCS; the result is identical for every
+	// value.
+	Workers int
 }
 
 // FullDomainResult is the outcome of SearchFullDomain.
@@ -35,6 +39,10 @@ type FullDomainResult struct {
 // SearchFullDomain finds a full-domain recoding satisfying the principle.
 // All hierarchies must be uniform. It returns an error when even the fully
 // suppressed table violates the principle.
+//
+// The table is scanned only once, at the lattice bottom (the identity
+// recoding); every level vector the search visits is grouped by rolling that
+// base grouping up through the hierarchies (see LatticeEvaluator).
 func SearchFullDomain(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg FullDomainConfig) (*FullDomainResult, error) {
 	if t.Len() == 0 {
 		return nil, fmt.Errorf("generalize: full-domain search on an empty table")
@@ -60,20 +68,20 @@ func SearchFullDomain(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg FullDo
 		}
 	}
 
+	eval, err := NewLatticeEvaluator(t, hiers, make([]int, len(hiers)), cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	evalLevels := func(levels []int) (*Recoding, *Groups, error) {
-		cuts := make([]*hierarchy.Cut, len(hiers))
-		for j, h := range hiers {
-			c, err := hierarchy.LevelCut(h, levels[j])
-			if err != nil {
-				return nil, nil, err
-			}
-			cuts[j] = c
-		}
-		rec, err := NewRecoding(t.Schema, hiers, cuts)
+		rec, err := eval.RecodingAt(levels)
 		if err != nil {
 			return nil, nil, err
 		}
-		return rec, GroupBy(t, rec), nil
+		g, err := eval.GroupsAt(levels)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rec, g, nil
 	}
 
 	// The top of the lattice must satisfy the principle, or nothing does

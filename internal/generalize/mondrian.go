@@ -2,7 +2,6 @@ package generalize
 
 import (
 	"fmt"
-	"sort"
 
 	"pgpub/internal/dataset"
 )
@@ -47,57 +46,12 @@ func Mondrian(t *dataset.Table, k int) ([]MondrianBox, error) {
 	return out, nil
 }
 
-// chooseSplit finds the best allowable median split: attributes are ranked
-// by normalized span of values present in rows, and the first (widest) one
-// admitting a split with both sides >= k wins.
+// chooseSplit finds the best allowable median split (the Mondrian split
+// rule). It is chooseKDSplit over the full QI domain: the cell-bound filter
+// is vacuous there, because a cut outside the domain always starves one
+// side and is rejected by the >= k checks anyway.
 func chooseSplit(t *dataset.Table, rows []int, k int) (attr int, median int32, ok bool) {
-	if len(rows) < 2*k {
-		return 0, 0, false
-	}
-	d := t.Schema.D()
-	type span struct {
-		attr  int
-		width float64
-	}
-	spans := make([]span, 0, d)
-	for a := 0; a < d; a++ {
-		lo, hi := t.QI(rows[0], a), t.QI(rows[0], a)
-		for _, i := range rows[1:] {
-			v := t.QI(i, a)
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		if hi > lo {
-			spans = append(spans, span{a, float64(hi-lo) / float64(t.Schema.QI[a].Size()-1)})
-		}
-	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].width > spans[j].width })
-	vals := make([]int32, len(rows))
-	for _, s := range spans {
-		for i, r := range rows {
-			vals[i] = t.QI(r, s.attr)
-		}
-		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-		m := vals[len(vals)/2]
-		// Split is "<= m-1" vs ">= m" unless that starves a side; try both
-		// median conventions.
-		for _, cut := range []int32{m - 1, m} {
-			nl := 0
-			for _, v := range vals {
-				if v <= cut {
-					nl++
-				}
-			}
-			if nl >= k && len(rows)-nl >= k {
-				return s.attr, cut, true
-			}
-		}
-	}
-	return 0, 0, false
+	return chooseKDSplit(t, fullDomainBox(t.Schema), rows, k)
 }
 
 // partition splits rows on attr <= cut.

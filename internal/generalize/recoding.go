@@ -8,7 +8,6 @@
 package generalize
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"pgpub/internal/dataset"
@@ -19,6 +18,13 @@ import (
 // replaces every QI code with the covering cut node; because cuts are
 // antichains, the result satisfies Property G3 (global recoding): two
 // distinct generalized QI-vectors never share a specialization.
+//
+// Ownership rule: a Cut installed in Cuts is an immutable snapshot and may be
+// shared between recodings. Cut has no mutating methods — Cut.Refine returns
+// a fresh cut — so evolving a recoding means replacing Cuts[j], never
+// altering the Cut it points to. The incremental grouping engine
+// (groupengine.go, tds.go) depends on this: groups derived under an earlier
+// cut stay valid because that cut can never change underneath them.
 type Recoding struct {
 	Hierarchies []*hierarchy.Hierarchy
 	Cuts        []*hierarchy.Cut
@@ -102,17 +108,24 @@ func (r *Recoding) Labels(schema *dataset.Schema, g []int32) []string {
 	return out
 }
 
-// Clone deep-copies the recoding (hierarchies are shared; cuts are copied).
+// Clone returns a recoding whose cut vector can evolve independently of the
+// receiver's. Hierarchies and the Cut objects themselves are shared: cuts are
+// immutable snapshots (see the ownership rule on Recoding), so copying the
+// pointer slice is a full logical copy — the former deep copy only hid
+// aliasing bugs that mutation of a shared cut would have caused.
 func (r *Recoding) Clone() *Recoding {
-	cuts := make([]*hierarchy.Cut, len(r.Cuts))
-	for j, c := range r.Cuts {
-		cuts[j] = c.Clone()
+	return &Recoding{
+		Hierarchies: r.Hierarchies,
+		Cuts:        append([]*hierarchy.Cut(nil), r.Cuts...),
 	}
-	return &Recoding{Hierarchies: r.Hierarchies, Cuts: cuts}
 }
 
 // Groups is the partition of a table's rows into QI-groups (strata): rows
 // whose generalized QI-vectors coincide.
+//
+// Canonical form (what GroupBy produces and every incremental path in the
+// grouping engine reproduces): row indices within a group ascend, and groups
+// are ordered by first appearance, i.e. by their smallest row index.
 type Groups struct {
 	// Keys[i] is the generalized QI-vector shared by group i.
 	Keys [][]int32
@@ -137,26 +150,3 @@ func (g *Groups) MinSize() int {
 	return m
 }
 
-// GroupBy partitions the table under the recoding.
-func GroupBy(t *dataset.Table, r *Recoding) *Groups {
-	d := t.Schema.D()
-	key := make([]byte, 4*d)
-	gv := make([]int32, d)
-	idx := make(map[string]int, t.Len()/4+1)
-	out := &Groups{}
-	for i := 0; i < t.Len(); i++ {
-		r.GeneralizeInto(gv, t.Row(i)[:d])
-		for j, n := range gv {
-			binary.LittleEndian.PutUint32(key[4*j:], uint32(n))
-		}
-		gi, ok := idx[string(key)]
-		if !ok {
-			gi = len(out.Keys)
-			idx[string(key)] = gi
-			out.Keys = append(out.Keys, append([]int32(nil), gv...))
-			out.Rows = append(out.Rows, nil)
-		}
-		out.Rows[gi] = append(out.Rows[gi], i)
-	}
-	return out
-}

@@ -3,6 +3,7 @@ package generalize
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
@@ -28,6 +29,10 @@ type TDSConfig struct {
 	// MaxRounds caps the number of specializations; 0 means unbounded
 	// (the algorithm always terminates because cuts only grow).
 	MaxRounds int
+
+	// Workers bounds the goroutines of the initial sharded grouping scan.
+	// 0 means GOMAXPROCS; the result is identical for every value.
+	Workers int
 }
 
 // TDSResult carries the chosen recoding plus search diagnostics.
@@ -41,6 +46,12 @@ type TDSResult struct {
 // TDS runs top-down specialization and returns a global recoding whose
 // grouping is k-anonymous and, subject to that, has (greedily) maximal
 // information gain about the class labels.
+//
+// Grouping is incremental: the table is grouped once under the starting
+// (fully suppressed) recoding, and each specialization round splits only the
+// groups whose key contains the refined cut node — O(affected rows) instead
+// of a full-table re-scan — while candidate scores are maintained from the
+// per-group child statistics the engine keeps between rounds.
 func TDS(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg TDSConfig) (*TDSResult, error) {
 	if t.Len() == 0 {
 		return nil, fmt.Errorf("generalize: TDS on an empty table")
@@ -76,7 +87,7 @@ func TDS(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg TDSConfig) (*TDSRes
 	if err != nil {
 		return nil, err
 	}
-	groups := GroupBy(t, rec)
+	eng := newTDSEngine(t, hiers, rec, class, numClasses, cfg.K, cfg.Workers)
 
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
@@ -88,7 +99,7 @@ func TDS(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg TDSConfig) (*TDSRes
 
 	rounds := 0
 	for ; rounds < maxRounds; rounds++ {
-		attr, node, ok := bestSpecialization(t, rec, groups, class, numClasses, cfg.K)
+		attr, node, ok := eng.bestSpecialization()
 		if !ok {
 			break
 		}
@@ -97,105 +108,221 @@ func TDS(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg TDSConfig) (*TDSRes
 			return nil, fmt.Errorf("generalize: TDS refine: %w", err)
 		}
 		rec.Cuts[attr] = refined
-		groups = GroupBy(t, rec)
+		eng.refine(attr, node)
 	}
 
+	groups := eng.finish()
 	return &TDSResult{Recoding: rec, Groups: groups, Rounds: rounds, MinGroup: groups.MinSize()}, nil
 }
 
-// candidate accumulates, for one (attribute, cut node) specialization, the
-// statistics needed for validity and scoring.
-type candidate struct {
-	attr int
-	node int32
-
-	total      []int           // class histogram of all rows mapping to node
-	perChild   map[int32][]int // child node -> class histogram
-	groupChild []map[int32]int // per affected group: child -> row count
-	groupIdx   map[int]int     // group index -> slot in groupChild
-	groupSize  []int           // size of each affected group
+// tdsGroup is one QI-group of the evolving partition, with the per-attribute
+// child split counts a refinement-validity check needs.
+type tdsGroup struct {
+	key  []int32
+	rows []int
+	// split[a] maps each child of key[a] to the number of the group's rows
+	// underneath it; nil when key[a] is a leaf (not refinable).
+	split []map[int32]int
 }
 
-// bestSpecialization scans every refinable cut node, keeps the valid ones
-// (every split subgroup stays >= k) and returns the one maximizing
-// InfoGain / (AnonyLoss + 1). ok is false when no specialization is valid.
-func bestSpecialization(t *dataset.Table, rec *Recoding, groups *Groups, class []int, numClasses, k int) (attr int, node int32, ok bool) {
-	d := rec.D()
-	cands := make(map[[2]int32]*candidate)
+// tdsCand is the class-histogram state of one (attribute, cut node)
+// specialization candidate. It is built exactly once, when the node enters a
+// group key, and stays valid until the node itself is refined away: splitting
+// groups on a *different* attribute moves rows between groups but never
+// changes the set of rows mapping to this node, so total and perChild are
+// invariants of the candidate.
+type tdsCand struct {
+	total    []int           // class histogram of all rows mapping to the node
+	perChild map[int32][]int // child node -> class histogram
+}
 
-	for gi, rows := range groups.Rows {
-		key := groups.Keys[gi]
-		for a := 0; a < d; a++ {
-			v := key[a]
-			h := rec.Hierarchies[a]
-			if h.IsLeaf(v) {
-				continue
-			}
+// tdsEngine maintains the grouping and candidate statistics across
+// specialization rounds.
+type tdsEngine struct {
+	t          *dataset.Table
+	hiers      []*hierarchy.Hierarchy
+	class      []int
+	numClasses int
+	k          int
+	groups     []*tdsGroup
+	cands      map[[2]int32]*tdsCand
+}
+
+func newTDSEngine(t *dataset.Table, hiers []*hierarchy.Hierarchy, rec *Recoding, class []int, numClasses, k, workers int) *tdsEngine {
+	e := &tdsEngine{
+		t:          t,
+		hiers:      hiers,
+		class:      class,
+		numClasses: numClasses,
+		k:          k,
+		cands:      make(map[[2]int32]*tdsCand),
+	}
+	g := GroupByWorkers(t, rec, workers)
+	for gi := range g.Keys {
+		grp := &tdsGroup{key: g.Keys[gi], rows: g.Rows[gi]}
+		e.addGroup(grp, -1)
+		e.groups = append(e.groups, grp)
+	}
+	return e
+}
+
+// addGroup scans the group's rows once, building its per-attribute child
+// split counts and merging its class statistics into the candidates of
+// attribute candAttr (-1 means every refinable attribute — used for the
+// initial grouping, where every candidate is new).
+func (e *tdsEngine) addGroup(grp *tdsGroup, candAttr int) {
+	d := len(grp.key)
+	grp.split = make([]map[int32]int, d)
+	for a := 0; a < d; a++ {
+		v := grp.key[a]
+		h := e.hiers[a]
+		if h.IsLeaf(v) {
+			continue
+		}
+		grp.split[a] = make(map[int32]int, len(h.Children(v)))
+		var c *tdsCand
+		if a == candAttr || candAttr < 0 {
 			ck := [2]int32{int32(a), v}
-			c := cands[ck]
+			c = e.cands[ck]
 			if c == nil {
-				c = &candidate{
-					attr:     a,
-					node:     v,
-					total:    make([]int, numClasses),
-					perChild: make(map[int32][]int),
-					groupIdx: make(map[int]int),
-				}
-				cands[ck] = c
+				c = &tdsCand{total: make([]int, e.numClasses), perChild: make(map[int32][]int, len(h.Children(v)))}
+				e.cands[ck] = c
 			}
-			slot := len(c.groupChild)
-			c.groupIdx[gi] = slot
-			c.groupChild = append(c.groupChild, make(map[int32]int))
-			c.groupSize = append(c.groupSize, len(rows))
-			for _, i := range rows {
-				leaf := t.QI(i, a)
-				child := childToward(h, v, leaf)
-				c.total[class[i]]++
+		}
+		for _, i := range grp.rows {
+			child := childToward(h, v, e.t.QI(i, a))
+			grp.split[a][child]++
+			if c != nil {
+				cl := e.class[i]
+				c.total[cl]++
 				hist := c.perChild[child]
 				if hist == nil {
-					hist = make([]int, numClasses)
+					hist = make([]int, e.numClasses)
 					c.perChild[child] = hist
 				}
-				hist[class[i]]++
-				c.groupChild[slot][child]++
+				hist[cl]++
 			}
 		}
 	}
+}
 
-	curMin := groups.MinSize()
-	bestScore := math.Inf(-1)
-	for _, c := range cands {
-		minAfter := math.MaxInt
-		valid := true
-		for _, split := range c.groupChild {
-			for _, cnt := range split {
-				if cnt < k {
-					valid = false
-					break
-				}
-				if cnt < minAfter {
-					minAfter = cnt
-				}
+// bestSpecialization aggregates validity over the current groups' split
+// counts, scores every valid candidate from its maintained class histograms,
+// and returns the one maximizing InfoGain / (AnonyLoss + 1). Candidates are
+// ranked in (attribute, node) order, so ties break deterministically. ok is
+// false when no specialization is valid.
+func (e *tdsEngine) bestSpecialization() (attr int, node int32, ok bool) {
+	curMin := math.MaxInt
+	for _, grp := range e.groups {
+		if len(grp.rows) < curMin {
+			curMin = len(grp.rows)
+		}
+	}
+
+	type agg struct {
+		valid    bool
+		minAfter int
+	}
+	aggs := make(map[[2]int32]*agg, len(e.cands))
+	order := make([][2]int32, 0, len(e.cands))
+	for _, grp := range e.groups {
+		for a, split := range grp.split {
+			if split == nil {
+				continue
 			}
-			if !valid {
-				break
+			ck := [2]int32{int32(a), grp.key[a]}
+			ag := aggs[ck]
+			if ag == nil {
+				ag = &agg{valid: true, minAfter: math.MaxInt}
+				aggs[ck] = ag
+				order = append(order, ck)
+			}
+			for _, cnt := range split {
+				if cnt < e.k {
+					ag.valid = false
+				}
+				if cnt < ag.minAfter {
+					ag.minAfter = cnt
+				}
 			}
 		}
-		if !valid {
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+
+	bestScore := math.Inf(-1)
+	for _, ck := range order {
+		ag := aggs[ck]
+		if !ag.valid {
 			continue
 		}
+		c := e.cands[ck]
 		gain := infoGain(c.total, c.perChild)
-		loss := float64(curMin - minAfter)
+		loss := float64(curMin - ag.minAfter)
 		if loss < 0 {
 			loss = 0
 		}
 		score := gain / (loss + 1)
 		if score > bestScore {
 			bestScore = score
-			attr, node, ok = c.attr, c.node, true
+			attr, node, ok = int(ck[0]), ck[1], true
 		}
 	}
 	return attr, node, ok
+}
+
+// refine performs the specialization (attr, node): every group whose key
+// contains the node is split by the node's children, in one pass over the
+// affected rows only. Unaffected groups — and the candidate statistics of
+// every other attribute — are reused as-is.
+func (e *tdsEngine) refine(attr int, node int32) {
+	h := e.hiers[attr]
+	delete(e.cands, [2]int32{int32(attr), node})
+	out := e.groups[:0]
+	var spawned []*tdsGroup
+	for _, grp := range e.groups {
+		if grp.key[attr] != node {
+			out = append(out, grp)
+			continue
+		}
+		sub := make(map[int32]*tdsGroup, len(h.Children(node)))
+		var order []int32
+		for _, i := range grp.rows {
+			child := childToward(h, node, e.t.QI(i, attr))
+			sg := sub[child]
+			if sg == nil {
+				key := append([]int32(nil), grp.key...)
+				key[attr] = child
+				sg = &tdsGroup{key: key, rows: make([]int, 0, grp.split[attr][child])}
+				sub[child] = sg
+				order = append(order, child)
+			}
+			sg.rows = append(sg.rows, i)
+		}
+		for _, child := range order {
+			sg := sub[child]
+			e.addGroup(sg, attr)
+			spawned = append(spawned, sg)
+		}
+	}
+	e.groups = append(out, spawned...)
+}
+
+// finish canonicalizes the partition into the GroupBy contract: groups in
+// first-appearance order of their smallest row index (rows within each group
+// are already ascending, because splits preserve row order).
+func (e *tdsEngine) finish() *Groups {
+	sort.Slice(e.groups, func(i, j int) bool { return e.groups[i].rows[0] < e.groups[j].rows[0] })
+	out := &Groups{Keys: make([][]int32, len(e.groups)), Rows: make([][]int, len(e.groups))}
+	for gi, grp := range e.groups {
+		out.Keys[gi] = grp.key
+		out.Rows[gi] = grp.rows
+	}
+	return out
 }
 
 // childToward returns the child of internal node v on the path toward leaf.
@@ -227,7 +354,8 @@ func entropy(hist []int) float64 {
 	return e
 }
 
-// infoGain is I(parent) - sum_c |R_c|/|R| * I(R_c).
+// infoGain is I(parent) - sum_c |R_c|/|R| * I(R_c). Children are summed in
+// node order so the floating-point result is reproducible across runs.
 func infoGain(total []int, perChild map[int32][]int) float64 {
 	n := 0
 	for _, c := range total {
@@ -236,11 +364,17 @@ func infoGain(total []int, perChild map[int32][]int) float64 {
 	if n == 0 {
 		return 0
 	}
+	children := make([]int32, 0, len(perChild))
+	for c := range perChild {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
 	g := entropy(total)
-	for _, hist := range perChild {
+	for _, c := range children {
+		hist := perChild[c]
 		cn := 0
-		for _, c := range hist {
-			cn += c
+		for _, cc := range hist {
+			cn += cc
 		}
 		g -= float64(cn) / float64(n) * entropy(hist)
 	}

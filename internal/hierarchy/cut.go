@@ -10,6 +10,12 @@ import (
 // node covering it. Top-down specialization (Fung et al.) walks the cut from
 // {root} toward the leaves; full-domain recoding uses the cut of all nodes at
 // a fixed level.
+//
+// A Cut is immutable once constructed: no method mutates the receiver —
+// Refine returns a fresh cut. Holders may therefore share, cache, and alias
+// Cut pointers freely; the generalize package's incremental grouping engine
+// and Recoding.Clone rely on this (see the ownership rule on
+// generalize.Recoding).
 type Cut struct {
 	h      *Hierarchy
 	nodes  []int32 // sorted by covered range

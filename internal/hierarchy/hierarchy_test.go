@@ -285,3 +285,39 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatal("clone refinement affected original")
 	}
 }
+
+// The immutability contract on Cut: Refine must not alter the receiver. The
+// generalize package's grouping engine shares Cut pointers across recoding
+// snapshots, so a mutating Refine would corrupt groups derived earlier.
+func TestRefineLeavesReceiverUntouched(t *testing.T) {
+	h := MustInterval(8, 2, 4)
+	c := TopCut(h)
+	nodes := append([]int32(nil), c.Nodes()...)
+	maps := make([]int32, h.Leaves())
+	for l := range maps {
+		maps[l] = c.Map(int32(l))
+	}
+	refined, err := c.Refine(h.Root())
+	if err != nil {
+		t.Fatalf("Refine: %v", err)
+	}
+	if reflect.DeepEqual(refined.Nodes(), nodes) {
+		t.Fatal("Refine returned an unchanged cut")
+	}
+	if !reflect.DeepEqual(c.Nodes(), nodes) {
+		t.Fatalf("Refine mutated the receiver's nodes: %v", c.Nodes())
+	}
+	for l := range maps {
+		if c.Map(int32(l)) != maps[l] {
+			t.Fatalf("Refine mutated the receiver's mapping at leaf %d", l)
+		}
+	}
+	// And a refinement of the refined cut leaves that one intact too.
+	mid := append([]int32(nil), refined.Nodes()...)
+	if _, err := refined.Refine(refined.Refinable()[0]); err != nil {
+		t.Fatalf("second Refine: %v", err)
+	}
+	if !reflect.DeepEqual(refined.Nodes(), mid) {
+		t.Fatal("second Refine mutated its receiver")
+	}
+}

@@ -160,7 +160,7 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 	switch cfg.Algorithm {
 	case TDS:
 		res, err := generalize.TDS(dp, hiers, generalize.TDSConfig{
-			K: k, Class: cfg.Class, NumClasses: cfg.NumClasses,
+			K: k, Class: cfg.Class, NumClasses: cfg.NumClasses, Workers: workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
@@ -170,7 +170,7 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 		groupRows = res.Groups.Rows
 	case FullDomain:
 		res, err := generalize.SearchFullDomain(dp, hiers, generalize.FullDomainConfig{
-			Principle: generalize.KAnonymity{K: k},
+			Principle: generalize.KAnonymity{K: k}, Workers: workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
