@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|repub|miners|perf|all")
+	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|qserve|repub|miners|perf|all")
 	n := flag.Int("n", 100000, "SAL microdata cardinality for utility experiments")
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 1, "repetitions per utility point (averaged)")
@@ -150,6 +150,15 @@ func main() {
 		fmt.Print(experiments.RenderQueryUtility(rows))
 		return nil
 	})
+	run("qserve", func() error {
+		rep, err := experiments.QueryServing(*n, 1000, *seed, 6, 0.3, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Extra E8: query-serving throughput, scan vs precomputed index (k=6, p=0.3)")
+		fmt.Print(experiments.RenderServing(rep))
+		return nil
+	})
 	run("repub", func() error {
 		rows, err := experiments.Republication(*trials/3, *seed, 0.3)
 		if err != nil {
@@ -200,7 +209,7 @@ func main() {
 
 	switch *exp {
 	case "all", "table3a", "table3b", "fig2a", "fig2b", "fig3a", "fig3b",
-		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "repub", "miners", "perf":
+		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "qserve", "repub", "miners", "perf":
 	default:
 		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -11,6 +11,7 @@ import (
 	"pgpub/internal/generalize"
 	"pgpub/internal/hierarchy"
 	"pgpub/internal/pg"
+	"pgpub/internal/query"
 	"pgpub/internal/sal"
 )
 
@@ -24,14 +25,19 @@ type PerfResult struct {
 }
 
 // PerfReport is the machine-readable output of the perf experiment
-// (pgbench -exp perf -benchout BENCH_pg.json).
+// (pgbench -exp perf -benchout BENCH_pg.json). Workers is the -workers
+// setting the stages ran with (0 = GOMAXPROCS) and GoMaxProcs the runtime's
+// effective parallelism, so a tracked report states the concurrency it was
+// measured under.
 type PerfReport struct {
-	GoVersion string       `json:"go_version"`
-	NumCPU    int          `json:"num_cpu"`
-	N         int          `json:"n"`
-	Seed      int64        `json:"seed"`
-	K         int          `json:"k"`
-	Results   []PerfResult `json:"results"`
+	GoVersion  string       `json:"go_version"`
+	NumCPU     int          `json:"num_cpu"`
+	Workers    int          `json:"workers"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	N          int          `json:"n"`
+	Seed       int64        `json:"seed"`
+	K          int          `json:"k"`
+	Results    []PerfResult `json:"results"`
 }
 
 // Perf times the hot Phase-2 primitives and the full pipeline on n SAL rows:
@@ -46,7 +52,11 @@ func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
 	if iters <= 0 {
 		iters = 3
 	}
-	rep := &PerfReport{GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(), N: n, Seed: seed, K: k}
+	rep := &PerfReport{
+		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0),
+		N: n, Seed: seed, K: k,
+	}
 	d, err := sal.Generate(n, seed)
 	if err != nil {
 		return nil, err
@@ -101,8 +111,55 @@ func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
 	}); err != nil {
 		return nil, err
 	}
+	var pub *pg.Published
 	if err := time1("publish-kd", n, iters, func() error {
-		_, err := pg.Publish(d, hiers, pg.Config{K: k, P: 0.3, Seed: seed, Workers: workers})
+		pub, err = pg.Publish(d, hiers, pg.Config{K: k, P: 0.3, Seed: seed, Workers: workers})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Query-serving stages: the same 1k-query workload answered by the scan
+	// estimator and by the precomputed index, plus the one-time index build.
+	// Rows is the workload size for the serving stages, so ns_per_op/rows is
+	// ns per query.
+	const perfQueries = 1000
+	qs, err := query.Workload(d.Schema, query.WorkloadConfig{
+		Queries: perfQueries, QIFraction: 0.5, RestrictAttrs: 2, SensitiveFraction: 0.4,
+		Rng: rand.New(rand.NewSource(seed + 1)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := time1("query-count-scan", perfQueries, iters, func() error {
+		for _, q := range qs {
+			if _, err := query.Estimate(pub, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var ix *query.Index
+	if err := time1("query-index-build", n, iters, func() error {
+		ix, err = query.NewIndex(pub)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := time1("query-count-index", perfQueries, iters, func() error {
+		for _, q := range qs {
+			if _, err := ix.Count(q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := time1("query-workload", perfQueries, iters, func() error {
+		_, err := ix.AnswerWorkload(qs, workers)
 		return err
 	}); err != nil {
 		return nil, err
@@ -121,7 +178,8 @@ func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
 // RenderPerf formats the perf report as a table.
 func RenderPerf(rep *PerfReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s, %d CPUs, n=%d, seed=%d, k=%d\n", rep.GoVersion, rep.NumCPU, rep.N, rep.Seed, rep.K)
+	fmt.Fprintf(&b, "%s, %d CPUs, workers=%d, gomaxprocs=%d, n=%d, seed=%d, k=%d\n",
+		rep.GoVersion, rep.NumCPU, rep.Workers, rep.GoMaxProcs, rep.N, rep.Seed, rep.K)
 	fmt.Fprintf(&b, "%-20s %10s %7s %14s\n", "stage", "rows", "iters", "ms/op")
 	for _, r := range rep.Results {
 		fmt.Fprintf(&b, "%-20s %10d %7d %14.2f\n", r.Name, r.Rows, r.Iters, r.NsPerOp/1e6)

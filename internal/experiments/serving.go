@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+	"pgpub/internal/sal"
+)
+
+// ServingReport is the query-serving throughput experiment: one publication,
+// one random COUNT workload, answered three ways — the per-query scan
+// estimator, the precomputed index sequentially, and the index through the
+// batched AnswerWorkload — with the indexed answers checked against the scan
+// answers before any timing is reported.
+type ServingReport struct {
+	N       int     `json:"n"`
+	Queries int     `json:"queries"`
+	Groups  int     `json:"groups"` // distinct QI boxes the index serves from
+	Workers int     `json:"workers"`
+	BuildMs float64 `json:"build_ms"` // one-time index construction
+
+	ScanQPS     float64 `json:"scan_qps"`
+	IndexQPS    float64 `json:"index_qps"`
+	WorkloadQPS float64 `json:"workload_qps"`
+	Speedup     float64 `json:"speedup"` // indexed (sequential) over scan
+
+	MaxRelDiff float64 `json:"max_rel_diff"` // worst scan-vs-index disagreement
+}
+
+// QueryServing measures serving throughput on n SAL rows with a
+// queries-query workload shaped like cmd/pgquery's default (half-width
+// ranges on two attributes, 40% of queries with a sensitive band).
+func QueryServing(n, queries int, seed int64, k int, p float64, workers int) (*ServingReport, error) {
+	if n <= 0 {
+		n = 100000
+	}
+	if queries <= 0 {
+		queries = 1000
+	}
+	d, err := sal.Generate(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: k, P: p, Seed: seed, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	qs, err := query.Workload(d.Schema, query.WorkloadConfig{
+		Queries: queries, QIFraction: 0.5, RestrictAttrs: 2, SensitiveFraction: 0.4,
+		Rng: rand.New(rand.NewSource(seed + 1)),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	ix, err := query.NewIndex(pub)
+	if err != nil {
+		return nil, err
+	}
+	build := time.Since(start)
+	rep := &ServingReport{
+		N: n, Queries: queries, Groups: ix.Groups(), Workers: workers,
+		BuildMs: float64(build.Nanoseconds()) / 1e6,
+	}
+
+	scan := make([]float64, len(qs))
+	start = time.Now()
+	for i, q := range qs {
+		if scan[i], err = query.Estimate(pub, q); err != nil {
+			return nil, err
+		}
+	}
+	rep.ScanQPS = qps(len(qs), time.Since(start))
+
+	indexed := make([]float64, len(qs))
+	start = time.Now()
+	for i, q := range qs {
+		if indexed[i], err = ix.Count(q); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	rep.IndexQPS = qps(len(qs), elapsed)
+	rep.Speedup = rep.IndexQPS / rep.ScanQPS
+
+	start = time.Now()
+	batched, err := ix.AnswerWorkload(qs, workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.WorkloadQPS = qps(len(qs), time.Since(start))
+
+	for i := range qs {
+		if batched[i] != indexed[i] {
+			return nil, fmt.Errorf("serving: query %d: batched answer %v differs from sequential %v", i, batched[i], indexed[i])
+		}
+		diff := math.Abs(scan[i]-indexed[i]) / (1 + math.Abs(scan[i]))
+		if diff > rep.MaxRelDiff {
+			rep.MaxRelDiff = diff
+		}
+	}
+	if rep.MaxRelDiff > 1e-9 {
+		return nil, fmt.Errorf("serving: index disagrees with scan by %v (relative)", rep.MaxRelDiff)
+	}
+	return rep, nil
+}
+
+func qps(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / d.Seconds()
+}
+
+// RenderServing formats the serving report.
+func RenderServing(rep *ServingReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d, %d queries, %d groups indexed, build %.1f ms, workers=%d\n",
+		rep.N, rep.Queries, rep.Groups, rep.BuildMs, rep.Workers)
+	fmt.Fprintf(&b, "%-18s %14s\n", "path", "queries/sec")
+	fmt.Fprintf(&b, "%-18s %14.0f\n", "scan", rep.ScanQPS)
+	fmt.Fprintf(&b, "%-18s %14.0f\n", "index", rep.IndexQPS)
+	fmt.Fprintf(&b, "%-18s %14.0f\n", "index+workers", rep.WorkloadQPS)
+	fmt.Fprintf(&b, "index speedup over scan: %.1fx (answers agree to %.1e)\n", rep.Speedup, rep.MaxRelDiff)
+	return b.String()
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The serving experiment must produce a self-consistent report: the agreement
+// check runs inside QueryServing, so a returned report already certifies the
+// index matched the scan path; here we sanity-check the throughput fields.
+func TestQueryServingExperiment(t *testing.T) {
+	rep, err := QueryServing(5000, 200, 17, 6, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups <= 0 || rep.Groups > 5000 {
+		t.Fatalf("groups = %d", rep.Groups)
+	}
+	if rep.ScanQPS <= 0 || rep.IndexQPS <= 0 || rep.WorkloadQPS <= 0 {
+		t.Fatalf("non-positive throughput: %+v", rep)
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup = %v", rep.Speedup)
+	}
+	if rep.MaxRelDiff > 1e-9 {
+		t.Fatalf("max rel diff = %v", rep.MaxRelDiff)
+	}
+	txt := RenderServing(rep)
+	for _, want := range []string{"queries/sec", "scan", "index+workers", "speedup"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("render missing %q:\n%s", want, txt)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package pg
+
+import (
+	"encoding/binary"
+
+	"pgpub/internal/generalize"
+)
+
+// BoxAggregate is the per-box collapse of a publication: every published row
+// whose generalized QI box has the same coordinates is folded into one entry
+// carrying the box, the summed stratification weight G, and a G-weighted
+// histogram of the observed sensitive values. Under Property G3 the boxes of
+// D* are pairwise disjoint, so rows sharing a box are rows of the same
+// QI-group and the collapse is lossless for any estimator that touches a row
+// only through (Box, Value, G) — which is all of them: the consumer-side
+// estimators never see SourceRow.
+type BoxAggregate struct {
+	// Box is the shared generalized QI box.
+	Box generalize.Box
+	// G is the total group-size weight of the rows folded into this entry.
+	G int
+	// Hist is the G-weighted histogram of observed sensitive values:
+	// Hist[y] = Σ G over the entry's rows with Value == y. Its length is the
+	// sensitive domain size and its sum equals G.
+	Hist []int64
+}
+
+// Aggregates collapses D* into one BoxAggregate per distinct QI box, in
+// first-appearance order of the boxes. It is the construction hook for
+// query-serving indexes: a release is immutable once published, so the
+// collapse (and anything built on it) is computed once and amortized over
+// every query answered against the release.
+func (p *Published) Aggregates() []BoxAggregate {
+	domain := p.Schema.SensitiveDomain()
+	idx := make(map[string]int, len(p.Rows))
+	out := make([]BoxAggregate, 0, len(p.Rows))
+	var key []byte
+	for _, r := range p.Rows {
+		key = key[:0]
+		for j := range r.Box.Lo {
+			key = binary.LittleEndian.AppendUint32(key, uint32(r.Box.Lo[j]))
+			key = binary.LittleEndian.AppendUint32(key, uint32(r.Box.Hi[j]))
+		}
+		i, ok := idx[string(key)]
+		if !ok {
+			i = len(out)
+			idx[string(key)] = i
+			out = append(out, BoxAggregate{Box: r.Box, Hist: make([]int64, domain)})
+		}
+		out[i].G += r.G
+		out[i].Hist[r.Value] += int64(r.G)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package pg
+
+import (
+	"testing"
+
+	"pgpub/internal/generalize"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/sal"
+)
+
+// Aggregates folds rows sharing a box into one entry, in first-appearance
+// order, with G-weighted histograms.
+func TestAggregatesCollapse(t *testing.T) {
+	s := sal.Schema()
+	box := func(lo, hi int32) generalize.Box {
+		d := s.D()
+		b := generalize.Box{Lo: make([]int32, d), Hi: make([]int32, d)}
+		for j := range b.Lo {
+			b.Lo[j], b.Hi[j] = lo, hi
+		}
+		return b
+	}
+	pub := &Published{Schema: s, P: 0.3, K: 2, Rows: []Row{
+		{Box: box(0, 3), Value: 0, G: 2},
+		{Box: box(4, 7), Value: 1, G: 4},
+		{Box: box(0, 3), Value: 1, G: 3},
+	}}
+	aggs := pub.Aggregates()
+	if len(aggs) != 2 {
+		t.Fatalf("got %d aggregates, want 2", len(aggs))
+	}
+	if !aggs[0].Box.Equal(box(0, 3)) || !aggs[1].Box.Equal(box(4, 7)) {
+		t.Fatal("aggregates not in first-appearance order")
+	}
+	if aggs[0].G != 5 || aggs[0].Hist[0] != 2 || aggs[0].Hist[1] != 3 {
+		t.Fatalf("merged entry wrong: G=%d hist=%v", aggs[0].G, aggs[0].Hist[:2])
+	}
+	if aggs[1].G != 4 || aggs[1].Hist[1] != 4 {
+		t.Fatalf("singleton entry wrong: G=%d hist=%v", aggs[1].G, aggs[1].Hist[:2])
+	}
+}
+
+// On a real publication every histogram sums to its entry's G and the
+// total weight equals |D| (kd-cells partition all microdata rows).
+func TestAggregatesWeights(t *testing.T) {
+	d, err := sal.Generate(3000, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hiers []*hierarchy.Hierarchy = sal.Hierarchies(d.Schema)
+	pub, err := Publish(d, hiers, Config{K: 6, P: 0.3, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := pub.Aggregates()
+	if len(aggs) == 0 || len(aggs) > pub.Len() {
+		t.Fatalf("%d aggregates from %d rows", len(aggs), pub.Len())
+	}
+	total := 0
+	for i, a := range aggs {
+		sum := int64(0)
+		for _, h := range a.Hist {
+			sum += h
+		}
+		if sum != int64(a.G) {
+			t.Fatalf("aggregate %d: histogram sums to %d, G = %d", i, sum, a.G)
+		}
+		total += a.G
+	}
+	if total != d.Len() {
+		t.Fatalf("total weight %d, want %d", total, d.Len())
+	}
+}
+
+// An empty publication aggregates to nothing.
+func TestAggregatesEmpty(t *testing.T) {
+	pub := &Published{Schema: sal.Schema(), P: 0.3, K: 2}
+	if aggs := pub.Aggregates(); len(aggs) != 0 {
+		t.Fatalf("empty publication gave %d aggregates", len(aggs))
+	}
+}

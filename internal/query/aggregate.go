@@ -48,27 +48,19 @@ rows:
 	return sum, nil
 }
 
-// EstimateSum estimates SUM(value(sensitive)) over the query region from D*
-// alone: the observed weighted sum A = Σ G·vf·value(y) has expectation
-// p·S + (1-p)·mean(U^s)·N over the region (N estimated by B = Σ G·vf), so
-// S ≈ (A − (1−p)·mean·B) / p. Requires p > 0.
-func EstimateSum(pub *pg.Published, q CountQuery, value SensitiveValue) (float64, error) {
+// sumWeight is the one scan both SUM and AVG are built from: the
+// value-weighted region sum a = Σ G·vf·value(y) and the region weight
+// b = Σ G·vf over the rows intersecting the query.
+func sumWeight(pub *pg.Published, q CountQuery, value SensitiveValue) (a, b float64, err error) {
 	if q.Sensitive != nil {
-		return 0, fmt.Errorf("query: SUM/AVG take no sensitive mask")
+		return 0, 0, fmt.Errorf("query: SUM/AVG take no sensitive mask")
 	}
 	if err := q.validate(pub.Schema); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if pub.P <= 0 {
-		return 0, fmt.Errorf("query: SUM estimation needs retention probability > 0, publication has p = %v", pub.P)
+		return 0, 0, fmt.Errorf("query: SUM estimation needs retention probability > 0, publication has p = %v", pub.P)
 	}
-	domain := pub.Schema.SensitiveDomain()
-	mean := 0.0
-	for x := int32(0); int(x) < domain; x++ {
-		mean += value(x)
-	}
-	mean /= float64(domain)
-	a, b := 0.0, 0.0
 	for _, r := range pub.Rows {
 		vf := volumeFraction(r.Box.Lo, r.Box.Hi, q.QI)
 		if vf == 0 {
@@ -78,23 +70,43 @@ func EstimateSum(pub *pg.Published, q CountQuery, value SensitiveValue) (float64
 		a += w * value(r.Value)
 		b += w
 	}
-	return (a - (1-pub.P)*mean*b) / pub.P, nil
+	return a, b, nil
 }
 
-// EstimateAvg estimates AVG(value(sensitive)) over the query region:
-// EstimateSum divided by the region's estimated count. Errors when the
-// region is estimated empty.
+// domainMean is the mean of value over the whole sensitive domain — the
+// center the perturbation operator pulls observed values toward.
+func domainMean(domain int, value SensitiveValue) float64 {
+	mean := 0.0
+	for x := int32(0); int(x) < domain; x++ {
+		mean += value(x)
+	}
+	return mean / float64(domain)
+}
+
+// EstimateSum estimates SUM(value(sensitive)) over the query region from D*
+// alone: the observed weighted sum A = Σ G·vf·value(y) has expectation
+// p·S + (1-p)·mean(U^s)·N over the region (N estimated by B = Σ G·vf), so
+// S ≈ (A − (1−p)·mean·B) / p. Requires p > 0.
+func EstimateSum(pub *pg.Published, q CountQuery, value SensitiveValue) (float64, error) {
+	a, b, err := sumWeight(pub, q, value)
+	if err != nil {
+		return 0, err
+	}
+	return (a - (1-pub.P)*domainMean(pub.Schema.SensitiveDomain(), value)*b) / pub.P, nil
+}
+
+// EstimateAvg estimates AVG(value(sensitive)) over the query region: the SUM
+// estimate divided by the region's estimated count. Both come out of one
+// scan — the count estimate of a mask-free query is exactly the weight term
+// b of the SUM inversion. Errors when the region is estimated empty.
 func EstimateAvg(pub *pg.Published, q CountQuery, value SensitiveValue) (float64, error) {
-	sum, err := EstimateSum(pub, q, value)
+	a, b, err := sumWeight(pub, q, value)
 	if err != nil {
 		return 0, err
 	}
-	count, err := Estimate(pub, CountQuery{QI: q.QI})
-	if err != nil {
-		return 0, err
-	}
-	if count == 0 {
+	if b == 0 {
 		return 0, fmt.Errorf("query: region estimated empty")
 	}
-	return sum / count, nil
+	sum := (a - (1-pub.P)*domainMean(pub.Schema.SensitiveDomain(), value)*b) / pub.P
+	return sum / b, nil
 }

@@ -1,0 +1,233 @@
+package query
+
+import "math"
+
+// The interval-grid layer of the Index: per-dim-pair summed-area tables that
+// answer queries restricting at most two QI attributes in O(1) lookups —
+// the shape Workload generates by default (RestrictAttrs 2) and the shape
+// cmd/pgquery's -where flag usually builds. The region weight of a query is
+//
+//	b = Σ_i G_i · Π_j fraction_j(box_i, range_j)
+//
+// and each per-dim fraction is additive over domain cells (overlap/width =
+// Σ_{cells in overlap} 1/width), so spreading every box's density
+// G·(1/w_a)·(1/w_b) over its cell rectangle in the (a,b) plane and prefix-
+// summing yields a table whose 3-d inclusion–exclusion (two QI dims plus
+// the sensitive value) returns exactly the Σ G·vf·wv sums the estimators
+// need. Queries restricting three or more attributes fall back to the
+// kd traversal in index.go, which is exact for any shape.
+//
+// Memory is Σ_{a<b} (size_a+1)(size_b+1)(|U^s|+1) floats — ~7 MB for the
+// 8-attribute SAL schema — and construction is O(4·#entries + #cells) per
+// pair via the difference-array trick. Schemas whose pair tables would
+// exceed gridCellBudget skip the grid layer entirely and serve every query
+// from the tree.
+
+// gridCellBudget caps the total float64 cells of all pair tables (4M cells
+// = 32 MiB). SAL needs ~0.9M; schemas with very large QI domains fall back
+// to the tree rather than allocate unbounded tables.
+const gridCellBudget = 4 << 20
+
+// pairGrid is the summed-area table of one dim pair (a < b):
+// sat[u][v][y] = Σ of density over cells (u' < u, v' < v, y' < y), laid out
+// flat with y fastest.
+type pairGrid struct {
+	a, b       int
+	dv, dy     int // padded extents of v and y (size_b+1, domain+1)
+	sat        []float64
+}
+
+// at reads the table at padded coordinates.
+func (g *pairGrid) at(u, v, y int32) float64 {
+	return g.sat[(int(u)*g.dv+int(v))*g.dy+int(y)]
+}
+
+// rng is the 3-d inclusion–exclusion over inclusive cell ranges.
+func (g *pairGrid) rng(u1, u2, v1, v2, y1, y2 int32) float64 {
+	hi := g.at(u2+1, v2+1, y2+1) - g.at(u1, v2+1, y2+1) - g.at(u2+1, v1, y2+1) + g.at(u1, v1, y2+1)
+	lo := g.at(u2+1, v2+1, y1) - g.at(u1, v2+1, y1) - g.at(u2+1, v1, y1) + g.at(u1, v1, y1)
+	return hi - lo
+}
+
+// neumaierAxis prefix-sums buf along one axis with Neumaier compensation,
+// keeping per-cell rounding error at a few ulps regardless of chain length —
+// the grid's answers must stay within the 1e-9 scan-equivalence tolerance
+// even at the far corner of the table.
+//
+// The axis is described by its stride and extent; outer iterates the
+// product of the remaining extents via base offsets.
+func neumaierAxis(buf []float64, bases []int, stride, extent int) {
+	for _, base := range bases {
+		sum, comp := 0.0, 0.0
+		for i := 0; i < extent; i++ {
+			x := buf[base+i*stride]
+			t := sum + x
+			if math.Abs(sum) >= math.Abs(x) {
+				comp += (sum - t) + x
+			} else {
+				comp += (x - t) + sum
+			}
+			sum = t
+			buf[base+i*stride] = sum + comp
+		}
+	}
+}
+
+// buildGrids constructs the pair tables; returns nil when the schema has
+// fewer than two QI attributes or the tables would blow the cell budget.
+func (ix *Index) buildGrids() []pairGrid {
+	d := ix.schema.D()
+	dom := ix.schema.SensitiveDomain()
+	if d < 2 {
+		return nil
+	}
+	total := 0
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			total += (ix.schema.QI[a].Size() + 1) * (ix.schema.QI[b].Size() + 1) * (dom + 1)
+		}
+	}
+	if total > gridCellBudget {
+		return nil
+	}
+	var grids []pairGrid
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			grids = append(grids, ix.buildPair(a, b, dom))
+		}
+	}
+	return grids
+}
+
+// buildPair builds one pair table: corner difference updates per entry,
+// two prefix passes to materialize the density, then the 3-d cumulative.
+func (ix *Index) buildPair(a, b, dom int) pairGrid {
+	sa, sb := ix.schema.QI[a].Size(), ix.schema.QI[b].Size()
+	du, dv := sa+1, sb+1
+	// diff[u][v][y], y fastest, unpadded in y.
+	diff := make([]float64, du*dv*dom)
+	idx := func(u, v int32, y int32) int { return (int(u)*dv+int(v))*dom + int(y) }
+	for i := range ix.entries {
+		e := &ix.entries[i]
+		la, ha := e.box.Lo[a], e.box.Hi[a]
+		lb, hb := e.box.Lo[b], e.box.Hi[b]
+		inv := 1 / (float64(ha-la+1) * float64(hb-lb+1))
+		for _, vw := range e.vals {
+			w := vw.w * inv
+			diff[idx(la, lb, vw.code)] += w
+			diff[idx(la, hb+1, vw.code)] -= w
+			diff[idx(ha+1, lb, vw.code)] -= w
+			diff[idx(ha+1, hb+1, vw.code)] += w
+		}
+	}
+	// Prefix along u then v turns the difference array into the density
+	// D(u,v,y); entries at the padding row/column come out zero.
+	ubases := make([]int, 0, dv*dom)
+	for v := 0; v < dv; v++ {
+		for y := 0; y < dom; y++ {
+			ubases = append(ubases, v*dom+y)
+		}
+	}
+	neumaierAxis(diff, ubases, dv*dom, du)
+	vbases := make([]int, 0, du*dom)
+	for u := 0; u < du; u++ {
+		for y := 0; y < dom; y++ {
+			vbases = append(vbases, u*dv*dom+y)
+		}
+	}
+	neumaierAxis(diff, vbases, dom, dv)
+	// Cumulate the density into the padded summed-area table.
+	dy := dom + 1
+	g := pairGrid{a: a, b: b, dv: dv, dy: dy, sat: make([]float64, du*dv*dy)}
+	for u := 0; u < sa; u++ {
+		for v := 0; v < sb; v++ {
+			src := (u*dv + v) * dom
+			dst := ((u+1)*dv + (v + 1)) * dy
+			copy(g.sat[dst+1:dst+dy], diff[src:src+dom])
+		}
+	}
+	satUBases := make([]int, 0, dv*dy)
+	for v := 0; v < dv; v++ {
+		for y := 0; y < dy; y++ {
+			satUBases = append(satUBases, v*dy+y)
+		}
+	}
+	neumaierAxis(g.sat, satUBases, dv*dy, du)
+	satVBases := make([]int, 0, du*dy)
+	for u := 0; u < du; u++ {
+		for y := 0; y < dy; y++ {
+			satVBases = append(satVBases, u*dv*dy+y)
+		}
+	}
+	neumaierAxis(g.sat, satVBases, dy, dv)
+	satYBases := make([]int, 0, du*dv)
+	for u := 0; u < du; u++ {
+		for v := 0; v < dv; v++ {
+			satYBases = append(satYBases, (u*dv+v)*dy)
+		}
+	}
+	neumaierAxis(g.sat, satYBases, 1, dy)
+	return g
+}
+
+// gatherGrid answers a query restricting at most two attributes from the
+// grid layer. ok is false when the grid cannot serve it — no tables, three
+// or more restricted dims, or a region weight so close to zero that grid
+// cancellation noise could hide a genuinely empty region (the caller then
+// re-answers through the tree, whose zeros are exact).
+func (ix *Index) gatherGrid(act []activeRange, v *valuer) (a, b float64, ok bool) {
+	switch len(act) {
+	case 0:
+		// The full domain is served from the exact global aggregates.
+		b = ix.totalG
+		switch {
+		case v.wv == nil:
+		case v.band:
+			a = ix.pref[v.hi+1] - ix.pref[v.lo]
+		default:
+			for code, h := range ix.hist {
+				if h != 0 {
+					a += h * v.wv[code]
+				}
+			}
+		}
+		return a, b, true
+	case 1, 2:
+		if ix.grids == nil {
+			return 0, 0, false
+		}
+	default:
+		return 0, 0, false
+	}
+	da, u1, u2 := act[0].dim, act[0].lo, act[0].hi
+	var db int
+	var v1, v2 int32
+	if len(act) == 2 {
+		db, v1, v2 = act[1].dim, act[1].lo, act[1].hi
+	} else {
+		db = ix.partner[da]
+		v1, v2 = 0, int32(ix.schema.QI[db].Size()-1)
+		if db < da {
+			da, db = db, da
+			u1, u2, v1, v2 = v1, v2, u1, u2
+		}
+	}
+	g := &ix.grids[ix.pairIdx[da*ix.schema.D()+db]]
+	dom := int32(ix.schema.SensitiveDomain())
+	b = g.rng(u1, u2, v1, v2, 0, dom-1)
+	if b < ix.tinyB {
+		return 0, 0, false
+	}
+	switch {
+	case v.wv == nil:
+	case v.band:
+		a = g.rng(u1, u2, v1, v2, v.lo, v.hi)
+	default:
+		for code, w := range v.wv {
+			if w != 0 {
+				a += w * g.rng(u1, u2, v1, v2, int32(code), int32(code))
+			}
+		}
+	}
+	return a, b, true
+}

@@ -1,0 +1,391 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/generalize"
+	"pgpub/internal/pg"
+)
+
+// This file is the structure half of the query-serving engine: a precomputed
+// Index over an immutable publication that answers aggregate queries in time
+// proportional to the boxes *intersecting* the query region rather than to
+// |D*|. The serving half (Count/Sum/Avg/Naive and the batched AnswerWorkload)
+// lives in serve.go; the scan-based estimators in query.go/aggregate.go stay
+// as the reference implementation the index is tested against.
+//
+// Layout. The |D*| rows are first collapsed into one entry per distinct QI
+// box (pg.Published.Aggregates): box bounds, total weight ΣG, and a sparse
+// G-weighted histogram of observed sensitive values. Rows sharing a box share
+// a volume fraction for every query, so the per-row mask branch of the scan
+// path becomes a histogram dot product. Over the entries sits a static
+// bounding-box kd-tree in the style of generalize/kd.go's median recursion:
+// each node stores the bounding box of its subtree plus two pre-aggregates —
+// the subtree ΣG and the subtree's dense sensitive histogram. A traversal
+// classifies a node against the query region: disjoint subtrees are skipped
+// entirely, fully-contained subtrees are answered O(1)/O(|U^s|) from the
+// pre-aggregates (every box inside has volume fraction 1), and only boxes
+// straddling the region boundary pay the per-entry volumeFraction work.
+
+// indexLeafSize bounds the entries a leaf holds before it is split. Small
+// leaves sharpen pruning; 8 keeps the tree shallow enough that node overhead
+// stays negligible.
+const indexLeafSize = 8
+
+// valWeight is one nonzero bin of an entry's sparse sensitive histogram.
+type valWeight struct {
+	code int32
+	w    float64
+}
+
+// indexEntry is one distinct QI box of the publication.
+type indexEntry struct {
+	box generalize.Box
+	g   float64 // Σ G of the rows sharing the box
+	// vals is the sparse G-weighted histogram of observed sensitive values.
+	// Stratified sampling publishes one tuple per group, so it typically has
+	// exactly one element.
+	vals []valWeight
+}
+
+// indexNode is one kd-tree node over a contiguous run of entries.
+type indexNode struct {
+	bound generalize.Box // bounding box of every entry below
+	g     float64        // subtree Σ G
+	hist  []float64      // subtree dense G-weighted sensitive histogram
+	// pref is the prefix sum of hist (pref[y] = Σ hist[:y]), so a contiguous
+	// sensitive band [lo,hi] — the shape Workload generates and pgquery's
+	// -income flag builds — costs one subtraction at a contained node
+	// instead of a histogram dot product. hist holds exact integers (sums of
+	// G), so the prefix difference is bit-identical to the loop.
+	pref []float64
+	// left/right are child node indices; -1 marks a leaf, whose entries are
+	// entries[lo:hi].
+	left, right int32
+	lo, hi      int32
+}
+
+// Index is a precomputed query-serving structure over one publication. It is
+// immutable after construction and safe for concurrent use — AnswerWorkload
+// fans queries across workers over a shared Index.
+type Index struct {
+	schema  *dataset.Schema
+	p       float64
+	entries []indexEntry
+	nodes   []indexNode
+	root    int32
+
+	// Global aggregates serving full-domain queries exactly.
+	totalG float64
+	hist   []float64 // dense G-weighted sensitive histogram over all entries
+	pref   []float64 // prefix sums of hist
+	// The interval-grid layer (grid.go): per-dim-pair summed-area tables
+	// serving queries that restrict at most two attributes in O(1). nil when
+	// the schema's pair tables would exceed gridCellBudget.
+	grids   []pairGrid
+	pairIdx []int // pairIdx[a*d+b] → grids index, for a < b
+	partner []int // partner[a] = smallest other dim, pairing 1-dim queries
+	tinyB   float64
+}
+
+// NewIndex builds the serving index from a publication. Construction is
+// O(#boxes · log #boxes) and performed once per release; the publication is
+// not retained.
+func NewIndex(pub *pg.Published) (*Index, error) {
+	if pub == nil || pub.Schema == nil {
+		return nil, fmt.Errorf("query: index needs a publication with a schema")
+	}
+	aggs := pub.Aggregates()
+	ix := &Index{
+		schema:  pub.Schema,
+		p:       pub.P,
+		entries: make([]indexEntry, len(aggs)),
+		root:    -1,
+	}
+	for i, a := range aggs {
+		e := indexEntry{box: a.Box, g: float64(a.G)}
+		for code, w := range a.Hist {
+			if w != 0 {
+				e.vals = append(e.vals, valWeight{code: int32(code), w: float64(w)})
+			}
+		}
+		ix.entries[i] = e
+	}
+	if len(ix.entries) > 0 {
+		ix.nodes = make([]indexNode, 0, 2*(len(ix.entries)/indexLeafSize+1))
+		ix.root = ix.build(0, len(ix.entries))
+	}
+	ix.hist = make([]float64, ix.schema.SensitiveDomain())
+	for i := range ix.entries {
+		e := &ix.entries[i]
+		ix.totalG += e.g
+		for _, vw := range e.vals {
+			ix.hist[vw.code] += vw.w
+		}
+	}
+	ix.pref = make([]float64, len(ix.hist)+1)
+	for y, h := range ix.hist {
+		ix.pref[y+1] = ix.pref[y] + h
+	}
+	// A grid answer below tinyB cannot be told apart from the cancellation
+	// noise of an empty region, so gather re-answers it through the tree.
+	ix.tinyB = 1e-9 * (1 + ix.totalG)
+	ix.grids = ix.buildGrids()
+	if ix.grids != nil {
+		d := ix.schema.D()
+		ix.pairIdx = make([]int, d*d)
+		for gi := range ix.grids {
+			g := &ix.grids[gi]
+			ix.pairIdx[g.a*d+g.b] = gi
+		}
+		ix.partner = make([]int, d)
+		for a := 0; a < d; a++ {
+			best := -1
+			for b := 0; b < d; b++ {
+				if b == a {
+					continue
+				}
+				if best < 0 || ix.schema.QI[b].Size() < ix.schema.QI[best].Size() {
+					best = b
+				}
+			}
+			ix.partner[a] = best
+		}
+	}
+	return ix, nil
+}
+
+// Groups returns the number of distinct QI boxes the index serves from.
+func (ix *Index) Groups() int { return len(ix.entries) }
+
+// build constructs the subtree over entries[lo:hi) and returns its node
+// index. The recursion is deterministic: the split dimension is the widest
+// normalized bound extent (lowest dimension on ties) and entries are ordered
+// by a total comparator, so the tree shape depends only on the entry set.
+func (ix *Index) build(lo, hi int) int32 {
+	n := indexNode{left: -1, right: -1, lo: int32(lo), hi: int32(hi)}
+	n.bound = cloneBox(ix.entries[lo].box)
+	n.hist = make([]float64, ix.schema.SensitiveDomain())
+	for i := lo; i < hi; i++ {
+		e := &ix.entries[i]
+		for j := range n.bound.Lo {
+			if e.box.Lo[j] < n.bound.Lo[j] {
+				n.bound.Lo[j] = e.box.Lo[j]
+			}
+			if e.box.Hi[j] > n.bound.Hi[j] {
+				n.bound.Hi[j] = e.box.Hi[j]
+			}
+		}
+		n.g += e.g
+		for _, vw := range e.vals {
+			n.hist[vw.code] += vw.w
+		}
+	}
+	n.pref = make([]float64, len(n.hist)+1)
+	for y, h := range n.hist {
+		n.pref[y+1] = n.pref[y] + h
+	}
+	if hi-lo > indexLeafSize {
+		dim := widestDim(ix.schema, n.bound)
+		ents := ix.entries[lo:hi]
+		sort.Slice(ents, func(a, b int) bool { return lessByCenter(&ents[a].box, &ents[b].box, dim) })
+		mid := (lo + hi) / 2
+		// Children are built before the parent is appended, so parent indices
+		// are always larger than their children's — the slice order itself is
+		// a valid bottom-up evaluation order.
+		n.left = ix.build(lo, mid)
+		n.right = ix.build(mid, hi)
+		n.lo, n.hi = 0, 0
+	}
+	ix.nodes = append(ix.nodes, n)
+	return int32(len(ix.nodes) - 1)
+}
+
+// widestDim picks the split dimension: the largest bound extent normalized by
+// the attribute's domain size, lowest dimension on ties.
+func widestDim(s *dataset.Schema, bound generalize.Box) int {
+	dim, best := 0, -1.0
+	for j := range bound.Lo {
+		size := s.QI[j].Size()
+		if size <= 1 {
+			continue
+		}
+		w := float64(bound.Hi[j]-bound.Lo[j]) / float64(size-1)
+		if w > best {
+			dim, best = j, w
+		}
+	}
+	return dim
+}
+
+// lessByCenter is the total order the build sorts entries with: box center
+// along the split dimension, then lexicographic Lo and Hi across all
+// dimensions. Boxes of one publication are pairwise disjoint (Property G3),
+// so the comparator never declares two distinct entries equal.
+func lessByCenter(a, b *generalize.Box, dim int) bool {
+	ca, cb := a.Lo[dim]+a.Hi[dim], b.Lo[dim]+b.Hi[dim]
+	if ca != cb {
+		return ca < cb
+	}
+	for j := range a.Lo {
+		if a.Lo[j] != b.Lo[j] {
+			return a.Lo[j] < b.Lo[j]
+		}
+		if a.Hi[j] != b.Hi[j] {
+			return a.Hi[j] < b.Hi[j]
+		}
+	}
+	return false
+}
+
+func cloneBox(b generalize.Box) generalize.Box {
+	return generalize.Box{
+		Lo: append([]int32(nil), b.Lo...),
+		Hi: append([]int32(nil), b.Hi...),
+	}
+}
+
+// Relation of a node bound to a query region.
+const (
+	relDisjoint = iota
+	relPartial
+	relContained
+)
+
+// activeRange is one query range that actually restricts its attribute. A
+// workload query typically restricts 2 of 8 attributes; dims the query
+// leaves at the full domain can never exclude a box or shrink its volume
+// fraction, so the traversal skips them entirely. Dropping full-domain
+// factors is exact: their volume-fraction contribution is the literal 1.0.
+type activeRange struct {
+	dim    int
+	lo, hi int32
+}
+
+// activeRanges extracts the restricting dims of a query, in dim order (so
+// the volume-fraction product multiplies in the same order as the scan
+// path's, for bit-identical partial products).
+func (ix *Index) activeRanges(q []Range) []activeRange {
+	act := make([]activeRange, 0, len(q))
+	for j, r := range q {
+		if r.Lo > 0 || int(r.Hi) < ix.schema.QI[j].Size()-1 {
+			act = append(act, activeRange{dim: j, lo: r.Lo, hi: r.Hi})
+		}
+	}
+	return act
+}
+
+// relate classifies a node bound against the restricting ranges.
+func relate(bound generalize.Box, act []activeRange) int {
+	rel := relContained
+	for _, r := range act {
+		lo, hi := bound.Lo[r.dim], bound.Hi[r.dim]
+		if hi < r.lo || r.hi < lo {
+			return relDisjoint
+		}
+		if r.lo > lo || hi > r.hi {
+			rel = relPartial
+		}
+	}
+	return rel
+}
+
+// vfActive is volumeFraction over the restricting dims only.
+func vfActive(box *generalize.Box, act []activeRange) float64 {
+	f := 1.0
+	for _, r := range act {
+		a, b := box.Lo[r.dim], box.Hi[r.dim]
+		if r.lo > a {
+			a = r.lo
+		}
+		if r.hi < b {
+			b = r.hi
+		}
+		if a > b {
+			return 0
+		}
+		f *= float64(b-a+1) / float64(box.Hi[r.dim]-box.Lo[r.dim]+1)
+	}
+	return f
+}
+
+// valuer is the per-sensitive-value weighting a traversal applies: nothing
+// (count the region weight only), a contiguous 0/1 band (answered from the
+// prefix sums), or a general dense weight vector (mask with holes, or
+// SUM's value map).
+type valuer struct {
+	wv     []float64 // dense weights; nil when no value-weighted sum is needed
+	band   bool      // wv is a 0/1 indicator of the contiguous band [lo, hi]
+	lo, hi int32
+}
+
+// walk accumulates the two sums every estimator is built from over the
+// subtree at ni:
+//
+//	b  += Σ G · volFrac(box, q)                  (the region weight)
+//	a  += Σ G · volFrac(box, q) · wv[value]      (the value-weighted part)
+//
+// Disjoint subtrees contribute nothing; fully-contained subtrees contribute
+// their pre-aggregates (volFrac is 1 for every box inside); only boxes
+// straddling the region boundary are resolved per entry. Traversal order is
+// fixed by the tree, so a query's answer is bit-identical no matter which
+// goroutine computes it.
+func (ix *Index) walk(ni int32, act []activeRange, v *valuer, a, b *float64) {
+	n := &ix.nodes[ni]
+	switch relate(n.bound, act) {
+	case relDisjoint:
+		return
+	case relContained:
+		*b += n.g
+		switch {
+		case v.wv == nil:
+		case v.band:
+			*a += n.pref[v.hi+1] - n.pref[v.lo]
+		default:
+			for code, h := range n.hist {
+				if h != 0 {
+					*a += h * v.wv[code]
+				}
+			}
+		}
+		return
+	}
+	if n.left >= 0 {
+		ix.walk(n.left, act, v, a, b)
+		ix.walk(n.right, act, v, a, b)
+		return
+	}
+	for i := n.lo; i < n.hi; i++ {
+		e := &ix.entries[i]
+		vf := vfActive(&e.box, act)
+		if vf == 0 {
+			continue
+		}
+		*b += e.g * vf
+		if v.wv != nil {
+			for _, vw := range e.vals {
+				*a += vw.w * vf * v.wv[vw.code]
+			}
+		}
+	}
+}
+
+// gather accumulates the two estimator sums for one query: first through the
+// O(1) interval-grid layer when the query restricts at most two attributes,
+// falling back to the kd traversal for wider shapes, grid-less schemas, and
+// near-empty regions (where the grid's cancellation noise cannot certify an
+// exact zero). Empty indexes answer (0, 0).
+func (ix *Index) gather(q []Range, v *valuer) (a, b float64) {
+	act := ix.activeRanges(q)
+	if len(act) <= 2 {
+		if a, b, ok := ix.gatherGrid(act, v); ok {
+			return a, b
+		}
+	}
+	if ix.root >= 0 {
+		ix.walk(ix.root, act, v, &a, &b)
+	}
+	return a, b
+}

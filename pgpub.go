@@ -278,6 +278,19 @@ var (
 	QueryWorkload = query.Workload
 )
 
+// Indexed query serving: a precomputed structure over one publication that
+// answers the scan estimators' queries orders of magnitude faster.
+type (
+	// QueryIndex answers Count/Naive/Sum/Avg and batched workloads from
+	// per-box aggregates under an interval grid and a kd-tree.
+	QueryIndex = query.Index
+)
+
+var (
+	// NewQueryIndex builds the serving index from a publication.
+	NewQueryIndex = query.NewIndex
+)
+
 // Re-publication types (Section IX future work; see internal/repub).
 type (
 	// Series is a sequence of independent PG releases of the microdata.
