@@ -13,6 +13,7 @@ import (
 	"pgpub/internal/hierarchy"
 	"pgpub/internal/mining"
 	"pgpub/internal/minv"
+	"pgpub/internal/obs"
 	"pgpub/internal/perturb"
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
@@ -222,6 +223,27 @@ func BenchmarkPublishParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pg.Publish(d, hiers, pg.Config{K: 6, P: 0.3, Rng: rng, Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublishParallelMetricsOn is BenchmarkPublishParallel with a live
+// obs.Registry wired into the pipeline. The pair is the instrumentation
+// overhead check of docs/OBSERVABILITY.md: instrumentation sits at phase
+// boundaries and per-shard flushes — never in per-row loops — so the two
+// benchmarks must stay within a couple percent of each other, and
+// BenchmarkPublishParallel itself must not regress against its
+// pre-instrumentation numbers (the disabled path costs one nil check per
+// phase).
+func BenchmarkPublishParallelMetricsOn(b *testing.B) {
+	d := benchData(b, 20000)
+	hiers := sal.Hierarchies(d.Schema)
+	rng := rand.New(rand.NewSource(5))
+	reg := obs.NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pg.Publish(d, hiers, pg.Config{K: 6, P: 0.3, Rng: rng, Workers: runtime.GOMAXPROCS(0), Metrics: reg}); err != nil {
 			b.Fatal(err)
 		}
 	}

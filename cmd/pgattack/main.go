@@ -21,6 +21,7 @@ import (
 	"pgpub/internal/attack"
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
 )
@@ -35,11 +36,32 @@ func main() {
 	k := flag.Int("k", 2, "QI-group size floor")
 	trials := flag.Int("trials", 100, "publication/attack repetitions")
 	seed := flag.Int64("seed", 1, "random seed")
+	metrics := flag.Bool("metrics", false, "instrument the repeated publications and print the counter/phase report to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pgattack: %v\n", err)
 		os.Exit(1)
+	}
+
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		if err := reg.PublishExpvar("pgpub"); err != nil {
+			fmt.Fprintf(os.Stderr, "pgattack: %v\n", err)
+		}
+	}
+	if *debugAddr != "" {
+		srv, err := reg.Serve(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pgattack: debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", srv.Addr)
+	}
+	if *metrics {
+		defer reg.WriteText(os.Stderr)
 	}
 
 	d := dataset.Hospital()
@@ -117,7 +139,7 @@ func main() {
 	maxH, maxGrowth := 0.0, 0.0
 	fmt.Printf("%-6s %-18s %8s %8s %10s %8s\n", "trial", "observed y", "h", "prior", "posterior", "growth")
 	for trial := 0; trial < *trials; trial++ {
-		pub, err := pg.Publish(d, hiers, pg.Config{K: *k, P: *p, Rng: rng})
+		pub, err := pg.Publish(d, hiers, pg.Config{K: *k, P: *p, Rng: rng, Metrics: reg})
 		if err != nil {
 			fail(err)
 		}

@@ -18,6 +18,7 @@ import (
 	"runtime/pprof"
 
 	"pgpub/internal/experiments"
+	"pgpub/internal/obs"
 )
 
 func main() {
@@ -31,7 +32,33 @@ func main() {
 	benchout := flag.String("benchout", "", "write the perf report as JSON to this file (-exp perf), e.g. BENCH_pg.json")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metrics := flag.Bool("metrics", false, "instrument the pipeline and print the counter/phase report on exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		if err := reg.PublishExpvar("pgpub"); err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: %v\n", err)
+		}
+	}
+	experiments.SetMetrics(reg)
+	if *debugAddr != "" {
+		srv, err := reg.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pgbench: debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", srv.Addr)
+	}
+	if *metrics {
+		defer func() {
+			fmt.Println("=== metrics ===")
+			reg.WriteText(os.Stdout)
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -188,7 +215,7 @@ func main() {
 	})
 
 	run("perf", func() error {
-		rep, err := experiments.Perf(*n, *seed, 6, *perfIters, *workers)
+		rep, err := experiments.Perf(*n, *seed, 6, *perfIters, *workers, reg)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ import (
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
 	"pgpub/internal/sal"
@@ -41,11 +42,32 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	meta := flag.String("meta", "", "also write release metadata JSON to this file")
 	workers := flag.Int("workers", 0, "pipeline worker goroutines (0 = GOMAXPROCS); output is identical for any value")
+	metrics := flag.Bool("metrics", false, "instrument the pipeline and print the counter/phase report to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pgpublish: %v\n", err)
 		os.Exit(1)
+	}
+
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		if err := reg.PublishExpvar("pgpub"); err != nil {
+			fmt.Fprintf(os.Stderr, "pgpublish: %v\n", err)
+		}
+	}
+	if *debugAddr != "" {
+		srv, err := reg.Serve(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pgpublish: debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", srv.Addr)
+	}
+	if *metrics {
+		defer reg.WriteText(os.Stderr)
 	}
 
 	var (
@@ -141,6 +163,7 @@ func main() {
 
 	pub, err := pg.Publish(d, hiers, pg.Config{
 		K: kk, P: retention, Algorithm: algorithm, Seed: *seed, Workers: *workers,
+		Metrics: reg,
 	})
 	if err != nil {
 		fail(err)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pgpub/internal/dataset"
+	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
 	"pgpub/internal/sal"
@@ -39,11 +40,32 @@ func main() {
 	truth := flag.String("truth", "", "microdata CSV for error reporting (workload mode)")
 	seed := flag.Int64("seed", 42, "workload seed")
 	workers := flag.Int("workers", 0, "worker goroutines for workload mode (0 = GOMAXPROCS)")
+	metrics := flag.Bool("metrics", false, "instrument the serving engine and print the counter/latency report to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pgquery: %v\n", err)
 		os.Exit(1)
+	}
+
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		if err := reg.PublishExpvar("pgpub"); err != nil {
+			fmt.Fprintf(os.Stderr, "pgquery: %v\n", err)
+		}
+	}
+	if *debugAddr != "" {
+		srv, err := reg.Serve(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pgquery: debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", srv.Addr)
+	}
+	if *metrics {
+		defer reg.WriteText(os.Stderr)
 	}
 	if *metaPath != "" {
 		mf, err := os.Open(*metaPath)
@@ -73,7 +95,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pgquery: loaded %d published tuples (k=%d, p=%.4f)\n", pub.Len(), pub.K, pub.P)
 
 	if *workload > 0 {
-		runWorkload(pub, *workload, *seed, *truth, *workers, fail)
+		runWorkload(pub, *workload, *seed, *truth, *workers, reg, fail)
 		return
 	}
 
@@ -146,7 +168,7 @@ func parseQuery(schema *dataset.Schema, where, income string) (query.CountQuery,
 // runWorkload evaluates N random queries through the serving index,
 // optionally against ground truth. The index is built once; the workload is
 // answered in a single batched pass.
-func runWorkload(pub *pg.Published, n int, seed int64, truthPath string, workers int, fail func(error)) {
+func runWorkload(pub *pg.Published, n int, seed int64, truthPath string, workers int, reg *obs.Registry, fail func(error)) {
 	rng := rand.New(rand.NewSource(seed))
 	qs, err := query.Workload(pub.Schema, query.WorkloadConfig{
 		Queries: n, QIFraction: 0.5, RestrictAttrs: 2, SensitiveFraction: 0.4, Rng: rng,
@@ -167,7 +189,7 @@ func runWorkload(pub *pg.Published, n int, seed int64, truthPath string, workers
 		}
 	}
 	start := time.Now()
-	ix, err := query.NewIndex(pub)
+	ix, err := query.NewIndexObserved(pub, reg)
 	if err != nil {
 		fail(err)
 	}

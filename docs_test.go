@@ -1,0 +1,78 @@
+package pgpub
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The curated documentation set whose cross-references CI keeps honest.
+// Driver/scratch files (ISSUE.md, SNIPPETS.md, ...) are deliberately out.
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"docs/ARCHITECTURE.md",
+	"docs/OBSERVABILITY.md",
+}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocLinks resolves every relative markdown link in the documentation
+// set and fails on dangling targets, so renames cannot silently orphan the
+// docs. External links (http/https/mailto) are not fetched.
+func TestDocLinks(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dangling link %q (resolved %s): %v", doc, m[1], resolved, err)
+			}
+		}
+	}
+}
+
+// TestDocFilesMentionObsFlags pins the docs-to-code contract introduced with
+// the observability layer: the metric names the code records must appear in
+// the catalog, so docs/OBSERVABILITY.md cannot rot silently.
+func TestDocCatalogCoversMetrics(t *testing.T) {
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := string(data)
+	for _, name := range []string{
+		"pg.publish", "pg.phase1", "pg.phase2", "pg.phase3",
+		"pg.publish.calls", "pg.rows.in", "pg.rows.published",
+		"pg.phase1.retained", "pg.phase1.redrawn", "pg.phase2.groups",
+		"perturb.em.runs", "perturb.em.iterations",
+		"generalize.groupby.rows_scanned", "generalize.tds.rounds",
+		"generalize.tds.groups_split", "generalize.tds.groups",
+		"generalize.lattice.nodes_evaluated", "generalize.lattice.nodes_pruned",
+		"query.index.build", "query.count.latency",
+		"query.index.entries", "query.index.nodes", "query.index.grids",
+		"query.answered.grid", "query.answered.exact_reanswer", "query.answered.kd",
+	} {
+		if !strings.Contains(catalog, name) {
+			t.Errorf("docs/OBSERVABILITY.md: metric %q missing from the catalog", name)
+		}
+	}
+}

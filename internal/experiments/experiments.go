@@ -11,8 +11,21 @@ import (
 	"fmt"
 	"strings"
 
+	"pgpub/internal/obs"
 	"pgpub/internal/privacy"
 )
+
+// metrics is the harness-wide registry. Experiments construct pg.Configs in
+// many places and deep inside sweeps, so the harness threads one registry
+// through all of them from here rather than widening every signature.
+var metrics *obs.Registry
+
+// SetMetrics installs the registry every subsequent experiment instruments
+// its publications (and index builds) with. A nil registry — the default —
+// keeps instrumentation on the disabled fast path. Called once by
+// cmd/pgbench before dispatching; not safe to race with a running
+// experiment.
+func SetMetrics(r *obs.Registry) { metrics = r }
 
 // The constants of Section VII-C: protection against 0.1-skewed background
 // knowledge and adversaries with prior confidence at most 0.2, over the

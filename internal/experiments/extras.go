@@ -72,7 +72,7 @@ func BreachValidation(cfg BreachConfig) ([]BreachScenario, error) {
 	hospHiers := hospitalHiers(hosp.Schema)
 	for _, corrupt := range []float64{0, 0.5, 1} {
 		res, err := attack.MonteCarlo(hosp, dataset.HospitalVoterQI(), hospHiers, attack.MonteCarloConfig{
-			PG:              pg.Config{K: 2, P: 0.3},
+			PG:              pg.Config{K: 2, P: 0.3, Metrics: metrics},
 			Trials:          cfg.Trials,
 			Lambda:          Lambda,
 			CorruptFraction: corrupt,
@@ -95,7 +95,7 @@ func BreachValidation(cfg BreachConfig) ([]BreachScenario, error) {
 	}
 	voters := SALVoters(d, 0.1, rng)
 	res, err := attack.MonteCarlo(d, voters, sal.Hierarchies(d.Schema), attack.MonteCarloConfig{
-		PG:              pg.Config{K: 6, P: 0.3, Algorithm: pg.KD},
+		PG:              pg.Config{K: 6, P: 0.3, Algorithm: pg.KD, Metrics: metrics},
 		Trials:          cfg.Trials / 4,
 		Lambda:          Lambda,
 		CorruptFraction: 1,
@@ -159,7 +159,7 @@ func AblationGeneralizer(n int, seed int64, k int, p float64) ([]AblationGenRow,
 	var out []AblationGenRow
 	for _, alg := range []pg.Algorithm{pg.KD, pg.TDS, pg.FullDomain} {
 		pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{
-			K: k, P: p, Algorithm: alg, Seed: seed,
+			K: k, P: p, Algorithm: alg, Seed: seed, Metrics: metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -227,7 +227,7 @@ func AblationReconstruction(n int, seed int64, k int, ps []float64) ([]AblationT
 	var out []AblationTreeRow
 	for _, p := range ps {
 		pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{
-			K: k, P: p, Algorithm: pg.KD, Seed: seed,
+			K: k, P: p, Algorithm: pg.KD, Seed: seed, Metrics: metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -286,7 +286,7 @@ func CardinalitySweep(sizes []int, seed int64, k int, p float64) ([]CardinalityR
 			return nil, err
 		}
 		pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{
-			K: k, P: p, Algorithm: pg.KD, Rng: rng,
+			K: k, P: p, Algorithm: pg.KD, Rng: rng, Metrics: metrics,
 		})
 		if err != nil {
 			return nil, err

@@ -40,7 +40,7 @@ func QueryUtility(n int, seed int64, k int, p float64) ([]QueryUtilityRow, error
 		return nil, err
 	}
 	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{
-		K: k, P: p, Algorithm: pg.KD, Seed: seed,
+		K: k, P: p, Algorithm: pg.KD, Seed: seed, Metrics: metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -156,7 +156,7 @@ func Republication(trials int, seed int64, target float64) ([]RepubRow, error) {
 		}
 		maxGrowth := 0.0
 		for trial := 0; trial < trials; trial++ {
-			s, err := repub.PublishSeries(d, hospitalHiers(d.Schema), pg.Config{K: k, P: p}, T, rng)
+			s, err := repub.PublishSeries(d, hospitalHiers(d.Schema), pg.Config{K: k, P: p, Metrics: metrics}, T, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +238,7 @@ func MinerComparison(n int, seed int64, k int, ps []float64) ([]MinerRow, error)
 	var out []MinerRow
 	for _, p := range ps {
 		pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{
-			K: k, P: p, Algorithm: pg.KD, Seed: seed,
+			K: k, P: p, Algorithm: pg.KD, Seed: seed, Metrics: metrics,
 		})
 		if err != nil {
 			return nil, err

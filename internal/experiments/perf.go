@@ -10,6 +10,7 @@ import (
 	"pgpub/internal/dataset"
 	"pgpub/internal/generalize"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
 	"pgpub/internal/sal"
@@ -45,7 +46,12 @@ type PerfReport struct {
 // with the default KD algorithm — and Incognito on a skewed synthetic 3-QI
 // table (the full SAL lattice over 8 attributes is not a realistic Incognito
 // input). Each stage runs iters times; NsPerOp is the mean.
-func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
+//
+// met, when non-nil, is wired through every stage (pg.Config.Metrics, the
+// Phase-2 algorithm configs, query.NewIndexObserved), so the caller can dump
+// the pipeline's internal counters and phase histograms after the run —
+// `pgbench -exp perf -metrics` does exactly this. nil disables.
+func Perf(n int, seed int64, k, iters, workers int, met *obs.Registry) (*PerfReport, error) {
 	if n <= 0 {
 		n = 100000
 	}
@@ -98,14 +104,14 @@ func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
 		return nil, err
 	}
 	if err := time1("tds", n, iters, func() error {
-		_, err := generalize.TDS(d, hiers, generalize.TDSConfig{K: k, Workers: workers})
+		_, err := generalize.TDS(d, hiers, generalize.TDSConfig{K: k, Workers: workers, Metrics: met})
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := time1("fulldomain-greedy", n, iters, func() error {
 		_, err := generalize.SearchFullDomain(d, hiers, generalize.FullDomainConfig{
-			Principle: generalize.KAnonymity{K: k}, Workers: workers,
+			Principle: generalize.KAnonymity{K: k}, Workers: workers, Metrics: met,
 		})
 		return err
 	}); err != nil {
@@ -113,7 +119,7 @@ func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
 	}
 	var pub *pg.Published
 	if err := time1("publish-kd", n, iters, func() error {
-		pub, err = pg.Publish(d, hiers, pg.Config{K: k, P: 0.3, Seed: seed, Workers: workers})
+		pub, err = pg.Publish(d, hiers, pg.Config{K: k, P: 0.3, Seed: seed, Workers: workers, Metrics: met})
 		return err
 	}); err != nil {
 		return nil, err
@@ -143,7 +149,7 @@ func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
 	}
 	var ix *query.Index
 	if err := time1("query-index-build", n, iters, func() error {
-		ix, err = query.NewIndex(pub)
+		ix, err = query.NewIndexObserved(pub, met)
 		return err
 	}); err != nil {
 		return nil, err
@@ -167,7 +173,7 @@ func Perf(n int, seed int64, k, iters, workers int) (*PerfReport, error) {
 
 	synth, synthHiers := perfIncognitoTable(n, seed)
 	if err := time1("incognito-synth3qi", n, iters, func() error {
-		_, err := generalize.Incognito(synth, synthHiers, generalize.IncognitoConfig{K: k, Workers: workers})
+		_, err := generalize.Incognito(synth, synthHiers, generalize.IncognitoConfig{K: k, Workers: workers, Metrics: met})
 		return err
 	}); err != nil {
 		return nil, err

@@ -46,7 +46,7 @@ func QueryServing(n, queries int, seed int64, k int, p float64, workers int) (*S
 	if err != nil {
 		return nil, err
 	}
-	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: k, P: p, Seed: seed, Workers: workers})
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: k, P: p, Seed: seed, Workers: workers, Metrics: metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +59,7 @@ func QueryServing(n, queries int, seed int64, k int, p float64, workers int) (*S
 	}
 
 	start := time.Now()
-	ix, err := query.NewIndex(pub)
+	ix, err := query.NewIndexObserved(pub, metrics)
 	if err != nil {
 		return nil, err
 	}

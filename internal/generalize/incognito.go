@@ -7,6 +7,7 @@ import (
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
 )
 
 // IncognitoConfig parameterizes the Incognito lattice search (LeFevre,
@@ -21,6 +22,13 @@ type IncognitoConfig struct {
 	// lattice bottom. 0 means GOMAXPROCS; the result is identical for every
 	// value.
 	Workers int
+
+	// Metrics optionally receives search diagnostics: lattice nodes grouped
+	// versus skipped by roll-up pruning (generalize.lattice.nodes_evaluated
+	// / nodes_pruned) and rows scanned (generalize.groupby.rows_scanned).
+	// nil disables. The same numbers remain available as IncognitoResult
+	// fields for callers that want them without a registry.
+	Metrics *obs.Registry
 }
 
 // IncognitoResult reports the chosen recoding plus search diagnostics.
@@ -158,6 +166,7 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 		return false
 	}
 
+	jointEvals := 0
 	for _, v := range vectors {
 		if lowerSatisfies(v) {
 			satisfied[key(v)] = true // roll-up: no evaluation needed
@@ -168,6 +177,7 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 			return nil, err
 		}
 		res.Evaluated++
+		jointEvals++
 		if min >= cfg.K {
 			satisfied[key(v)] = true
 			res.Minimal = append(res.Minimal, append([]int(nil), v...))
@@ -200,6 +210,13 @@ func Incognito(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg IncognitoConf
 	res.Loss = bestLoss
 	res.Recoding = bestRec
 	res.Groups = bestGroups
+	met := cfg.Metrics
+	met.Counter("generalize.groupby.rows_scanned").Add(int64(t.Len()))
+	met.Counter("generalize.lattice.nodes_evaluated").Add(int64(res.Evaluated))
+	// Joint nodes the roll-up pruning skipped; marginal-floor evaluations
+	// are part of Evaluated but outside the joint lattice, so the count is
+	// taken against jointEvals to stay non-negative.
+	met.Counter("generalize.lattice.nodes_pruned").Add(int64(res.LatticeSize - jointEvals))
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
 )
 
 // FullDomainConfig parameterizes the full-domain recoding search in the
@@ -25,6 +26,11 @@ type FullDomainConfig struct {
 	// lattice bottom. 0 means GOMAXPROCS; the result is identical for every
 	// value.
 	Workers int
+
+	// Metrics optionally receives search diagnostics: lattice nodes grouped
+	// and scored (generalize.lattice.nodes_evaluated) and rows scanned by
+	// the one base grouping (generalize.groupby.rows_scanned). nil disables.
+	Metrics *obs.Registry
 }
 
 // FullDomainResult is the outcome of SearchFullDomain.
@@ -72,7 +78,10 @@ func SearchFullDomain(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg FullDo
 	if err != nil {
 		return nil, err
 	}
+	cfg.Metrics.Counter("generalize.groupby.rows_scanned").Add(int64(t.Len()))
+	evaluated := cfg.Metrics.Counter("generalize.lattice.nodes_evaluated")
 	evalLevels := func(levels []int) (*Recoding, *Groups, error) {
+		evaluated.Inc()
 		rec, err := eval.RecodingAt(levels)
 		if err != nil {
 			return nil, nil, err

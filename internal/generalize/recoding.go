@@ -149,4 +149,3 @@ func (g *Groups) MinSize() int {
 	}
 	return m
 }
-

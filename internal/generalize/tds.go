@@ -7,6 +7,7 @@ import (
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
 )
 
 // TDSConfig parameterizes top-down specialization (Fung, Wang, Yu, ICDE'05),
@@ -33,6 +34,11 @@ type TDSConfig struct {
 	// Workers bounds the goroutines of the initial sharded grouping scan.
 	// 0 means GOMAXPROCS; the result is identical for every value.
 	Workers int
+
+	// Metrics optionally receives search diagnostics: rounds run, groups
+	// split, final group count, and rows scanned by the initial grouping
+	// (generalize.tds.* and generalize.groupby.rows_scanned). nil disables.
+	Metrics *obs.Registry
 }
 
 // TDSResult carries the chosen recoding plus search diagnostics.
@@ -112,6 +118,11 @@ func TDS(t *dataset.Table, hiers []*hierarchy.Hierarchy, cfg TDSConfig) (*TDSRes
 	}
 
 	groups := eng.finish()
+	met := cfg.Metrics
+	met.Counter("generalize.groupby.rows_scanned").Add(int64(t.Len()))
+	met.Counter("generalize.tds.rounds").Add(int64(rounds))
+	met.Counter("generalize.tds.groups_split").Add(int64(eng.splits))
+	met.Counter("generalize.tds.groups").Add(int64(len(groups.Keys)))
 	return &TDSResult{Recoding: rec, Groups: groups, Rounds: rounds, MinGroup: groups.MinSize()}, nil
 }
 
@@ -146,6 +157,8 @@ type tdsEngine struct {
 	k          int
 	groups     []*tdsGroup
 	cands      map[[2]int32]*tdsCand
+	// splits counts the groups broken apart across all refine calls.
+	splits int
 }
 
 func newTDSEngine(t *dataset.Table, hiers []*hierarchy.Hierarchy, rec *Recoding, class []int, numClasses, k, workers int) *tdsEngine {
@@ -289,6 +302,7 @@ func (e *tdsEngine) refine(attr int, node int32) {
 			out = append(out, grp)
 			continue
 		}
+		e.splits++
 		sub := make(map[int32]*tdsGroup, len(h.Children(node)))
 		var order []int32
 		for _, i := range grp.rows {

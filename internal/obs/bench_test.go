@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// The micro-benchmarks below pin the cost of the two instrumentation states:
+// disabled (nil instruments — the single-branch fast path every call site
+// pays when no registry is wired) and enabled (atomic updates). The
+// pipeline-level overhead check lives in the repository root
+// (BenchmarkPublishParallel vs BenchmarkPublishParallelMetricsOn).
+
+func BenchmarkCounterNil(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramNil(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench", "ns")
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench", "ns")
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			v++
+			h.Observe(v)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the export half of the registry: a point-in-time Snapshot
+// type, a line-oriented text renderer, a JSON renderer, and expvar
+// publication. All three render instruments sorted by name, so two
+// registries that recorded the same observations export byte-identical
+// documents no matter how many goroutines did the recording.
+
+// HistogramSnapshot is the exported summary of one histogram.
+type HistogramSnapshot struct {
+	Unit  string  `json:"unit,omitempty"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every instrument's value. Maps
+// marshal with sorted keys under encoding/json, so the JSON form is
+// deterministic too.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// snapshotHistogram summarizes h; h must be non-nil.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Unit:  h.unit,
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	return s
+}
+
+// Snapshot copies every instrument's current value. Returns an empty
+// snapshot on a nil registry. Instruments recorded concurrently with the
+// snapshot land in it or not per instrument; each value read is atomic.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = snapshotHistogram(h)
+	}
+	return s
+}
+
+// WriteText renders the registry as sorted "kind name value" lines:
+//
+//	counter pg.phase1.rows 100000
+//	gauge   query.index.entries 3349
+//	hist    query.latency unit=ns count=1000 sum=9184776 min=802 max=99821 mean=9184.8 p50=8133 p95=24125 p99=64221
+//
+// The format is stable and deterministic: identical recorded values render
+// byte-identically. No-op on a nil registry.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge   %s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w,
+			"hist    %s unit=%s count=%d sum=%d min=%d max=%d mean=%.1f p50=%d p95=%d p99=%d\n",
+			name, h.Unit, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P95, h.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON (sorted keys — the
+// encoding/json map contract — so the document is deterministic). No-op on
+// a nil registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// expvar publication bookkeeping: expvar.Publish panics on duplicate names
+// and offers no unpublish, so PublishExpvar keeps its own name set and
+// returns an error instead.
+var (
+	expvarMu    sync.Mutex
+	expvarNames = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry under the given expvar name (served at
+// /debug/vars by the debug server and by any expvar.Handler). The variable
+// renders the live Snapshot on every read. Each name can be published once
+// per process; a second publication — even of another registry — returns an
+// error. No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) error {
+	if r == nil {
+		return nil
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarNames[name] {
+		return fmt.Errorf("obs: expvar name %q already published", name)
+	}
+	expvarNames[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return nil
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// This file is the serving half of the registry: an optional debug HTTP
+// server exposing the metrics exporters next to the runtime's profiling
+// endpoints, so one `-debug-addr :6060` flag lights up the whole
+// observability surface of a binary:
+//
+//	/metrics        text exporter (WriteText)
+//	/metrics.json   JSON exporter (WriteJSON)
+//	/healthz        liveness probe ("ok")
+//	/debug/vars     expvar (includes registries published via PublishExpvar)
+//	/debug/pprof/   CPU/heap/goroutine/... profiles for `go tool pprof`
+//
+// The server uses its own mux — nothing is registered on
+// http.DefaultServeMux — so embedding applications keep control of their
+// own routing.
+
+// DebugServer is a running debug endpoint; Close shuts it down.
+type DebugServer struct {
+	// Addr is the bound listen address (resolves ":0" to the real port).
+	Addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Handler returns the debug mux serving the endpoints above. Usable on a
+// nil registry (the metrics endpoints render empty documents).
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. ":6060", or ":0" to pick a
+// free port) and returns once the listener is accepting. The server runs
+// until Close. Works on a nil registry — profiling and health stay useful
+// even with metrics disabled.
+func (r *Registry) Serve(addr string) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	ds := &DebugServer{Addr: lis.Addr().String(), srv: srv, lis: lis}
+	go srv.Serve(lis) //nolint:errcheck // Serve always returns ErrServerClosed after Close
+	return ds, nil
+}
+
+// Close shuts the server down and releases the listener.
+func (s *DebugServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

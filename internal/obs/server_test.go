@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches a path from the debug server and returns status and body.
+func get(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served.requests").Add(3)
+	r.Gauge("served.workers").Set(8)
+	r.Histogram("served.latency", "ns").Observe(1000)
+
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, body := get(t, srv.Addr, "/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body := get(t, srv.Addr, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"counter served.requests 3", "gauge   served.workers 8", "hist    served.latency unit=ns count=1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if code, body := get(t, srv.Addr, "/metrics.json"); code != 200 || !strings.Contains(body, `"served.requests": 3`) {
+		t.Fatalf("/metrics.json = %d %q", code, body)
+	}
+	if code, body := get(t, srv.Addr, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (body %d bytes)", code, len(body))
+	}
+	if code, _ := get(t, srv.Addr, "/debug/pprof/goroutine?debug=1"); code != 200 {
+		t.Fatalf("/debug/pprof/goroutine = %d", code)
+	}
+	if code, _ := get(t, srv.Addr, "/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+}
+
+func TestDebugServerNilRegistry(t *testing.T) {
+	var r *Registry
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, srv.Addr, "/healthz"); code != 200 {
+		t.Fatalf("/healthz on nil registry = %d", code)
+	}
+	if code, body := get(t, srv.Addr, "/metrics"); code != 200 || body != "" {
+		t.Fatalf("/metrics on nil registry = %d %q", code, body)
+	}
+}
+
+func TestDebugServerCloseIdempotent(t *testing.T) {
+	var s *DebugServer
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,24 @@
+package perturb
+
+import "pgpub/internal/obs"
+
+// Reconstruction runs deep inside the mining stack, far from any Config
+// struct, so its instrumentation is a package-level hook instead of a field:
+// call SetMetrics once at startup and every subsequent ReconstructEM run
+// reports how many EM iterations it took to converge. The default (no call,
+// or a nil registry) leaves the counters nil, which the obs instruments
+// treat as disabled.
+var (
+	// EMRuns counts ReconstructEM invocations that reached the EM loop.
+	EMRuns *obs.Counter
+	// EMIterations counts EM posterior-update iterations summed over all
+	// runs; EMIterations/EMRuns is the mean convergence length.
+	EMIterations *obs.Counter
+)
+
+// SetMetrics wires the reconstruction counters to r (perturb.em.runs,
+// perturb.em.iterations). Passing nil disables them again.
+func SetMetrics(r *obs.Registry) {
+	EMRuns = r.Counter("perturb.em.runs")
+	EMIterations = r.Counter("perturb.em.iterations")
+}

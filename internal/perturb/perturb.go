@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"pgpub/internal/dataset"
+	"pgpub/internal/obs"
 	"pgpub/internal/par"
 )
 
@@ -23,6 +24,14 @@ type Perturber struct {
 	P float64
 	// Domain is |U^s|.
 	Domain int
+
+	// Retained and Redrawn, when non-nil, count the P2 coin flips taken by
+	// TableSharded: rows kept versus rows redrawn from U^s. A redraw that
+	// happens to reproduce the original value still counts as Redrawn — the
+	// counters tally the coin, not the observable outcome. Shards accumulate
+	// locally and flush once, so the totals are worker-count-invariant.
+	Retained *obs.Counter
+	Redrawn  *obs.Counter
 }
 
 // NewPerturber validates the parameters.
@@ -85,9 +94,20 @@ func (pb *Perturber) TableSharded(d *dataset.Table, rootSeed int64, workers int)
 		if hi > n {
 			hi = n
 		}
+		// Inlined Value with per-shard tallies: the RNG draw sequence is
+		// identical to Value's (one Float64, plus one Intn on redraw), so
+		// instrumentation cannot change the published bytes.
+		var retained, redrawn int64
 		for i := s * ShardRows; i < hi; i++ {
-			out.SetSensitive(i, pb.Value(out.Sensitive(i), rng))
+			if rng.Float64() < pb.P {
+				retained++
+			} else {
+				out.SetSensitive(i, int32(rng.Intn(pb.Domain)))
+				redrawn++
+			}
 		}
+		pb.Retained.Add(retained)
+		pb.Redrawn.Add(redrawn)
 	})
 	return out, nil
 }

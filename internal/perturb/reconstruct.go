@@ -135,7 +135,9 @@ func ReconstructEM(obs []float64, m [][]float64, iters int, tol float64) ([]floa
 		cur[a] = 1 / float64(k)
 	}
 	next := make([]float64, k)
+	EMRuns.Inc()
 	for it := 0; it < iters; it++ {
+		EMIterations.Inc()
 		// Posterior update: next_a ∝ sum_b obs_b * (cur_a * m[a][b]) /
 		// (sum_a' cur_a' * m[a'][b]).
 		for a := range next {

@@ -30,6 +30,12 @@ type BoxAggregate struct {
 // query-serving indexes: a release is immutable once published, so the
 // collapse (and anything built on it) is computed once and amortized over
 // every query answered against the release.
+//
+// An empty publication (zero rows — Publish never produces one, but a
+// release loaded from an empty CSV body is legal) collapses to an empty,
+// non-nil slice. Consumers need no special case: an index built over zero
+// aggregates estimates every region weight as 0, so COUNT and SUM estimate
+// 0 for every query and AVG reports the region as empty (see query.Index).
 func (p *Published) Aggregates() []BoxAggregate {
 	domain := p.Schema.SensitiveDomain()
 	idx := make(map[string]int, len(p.Rows))

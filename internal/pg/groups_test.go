@@ -72,10 +72,15 @@ func TestAggregatesWeights(t *testing.T) {
 	}
 }
 
-// An empty publication aggregates to nothing.
+// An empty publication aggregates to an empty, non-nil slice — the contract
+// index construction relies on (see query.NewIndex).
 func TestAggregatesEmpty(t *testing.T) {
 	pub := &Published{Schema: sal.Schema(), P: 0.3, K: 2}
-	if aggs := pub.Aggregates(); len(aggs) != 0 {
+	aggs := pub.Aggregates()
+	if len(aggs) != 0 {
 		t.Fatalf("empty publication gave %d aggregates", len(aggs))
+	}
+	if aggs == nil {
+		t.Fatal("empty publication gave a nil slice, want empty non-nil")
 	}
 }

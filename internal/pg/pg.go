@@ -20,6 +20,7 @@ import (
 	"pgpub/internal/dataset"
 	"pgpub/internal/generalize"
 	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
 	"pgpub/internal/par"
 	"pgpub/internal/perturb"
 	"pgpub/internal/privacy"
@@ -89,6 +90,13 @@ type Config struct {
 	// values for a fixed Seed/Rng — shard RNG streams are derived from the
 	// root seed with par.SplitSeed, never from the schedule.
 	Workers int
+	// Metrics optionally receives the pipeline's runtime instrumentation:
+	// per-phase wall-clock histograms (pg.phase1/2/3, pg.publish), row and
+	// group counters, and the Phase-2 algorithms' internal diagnostics (see
+	// docs/OBSERVABILITY.md for the full vocabulary). nil — the default —
+	// disables instrumentation at the cost of one branch per call site; all
+	// counter values are worker-count-invariant, like the output itself.
+	Metrics *obs.Registry
 }
 
 // Row is one published tuple of D*: the generalized QI box, the observed —
@@ -132,6 +140,10 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 		return nil, fmt.Errorf("pg: retention probability %v outside [0,1]", cfg.P)
 	}
 	workers := par.N(cfg.Workers)
+	met := cfg.Metrics
+	spTotal := met.Span("pg.publish")
+	met.Counter("pg.publish.calls").Inc()
+	met.Counter("pg.rows.in").Add(int64(d.Len()))
 	// The root seed fixes every random stream of the pipeline. Per-phase
 	// roots are split off it, and each phase splits per-shard seeds off its
 	// root, so the streams depend only on (root, shard index) — running the
@@ -148,19 +160,25 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 	if err != nil {
 		return nil, err
 	}
+	pb.Retained = met.Counter("pg.phase1.retained")
+	pb.Redrawn = met.Counter("pg.phase1.redrawn")
+	sp1 := met.Span("pg.phase1")
 	dp, err := pb.TableSharded(d, phase1Root, workers)
 	if err != nil {
 		return nil, err
 	}
+	sp1.End()
 
 	// Phase 2: generalization (global recoding, Properties G1–G3).
 	pub := &Published{Schema: d.Schema, Algorithm: cfg.Algorithm, P: cfg.P, K: k}
 	var boxes []generalize.Box
 	var groupRows [][]int
+	sp2 := met.Span("pg.phase2")
 	switch cfg.Algorithm {
 	case TDS:
 		res, err := generalize.TDS(dp, hiers, generalize.TDSConfig{
 			K: k, Class: cfg.Class, NumClasses: cfg.NumClasses, Workers: workers,
+			Metrics: met,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
@@ -171,6 +189,7 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 	case FullDomain:
 		res, err := generalize.SearchFullDomain(dp, hiers, generalize.FullDomainConfig{
 			Principle: generalize.KAnonymity{K: k}, Workers: workers,
+			Metrics: met,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
@@ -188,8 +207,11 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 	default:
 		return nil, fmt.Errorf("pg: unknown algorithm %v", cfg.Algorithm)
 	}
+	sp2.End()
+	met.Counter("pg.phase2.groups").Add(int64(len(groupRows)))
 
 	// Phase 3: stratified sampling (S1–S4), sharded across the workers.
+	sp3 := met.Span("pg.phase3")
 	strata, err := sampling.StratifiedSeeded(groupRows, phase3Root, workers)
 	if err != nil {
 		return nil, fmt.Errorf("pg: phase 3: %w", err)
@@ -202,6 +224,9 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 			SourceRow: st.Row,
 		})
 	}
+	sp3.End()
+	met.Counter("pg.rows.published").Add(int64(len(pub.Rows)))
+	spTotal.End()
 	return pub, nil
 }
 

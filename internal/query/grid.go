@@ -32,9 +32,9 @@ const gridCellBudget = 4 << 20
 // sat[u][v][y] = Σ of density over cells (u' < u, v' < v, y' < y), laid out
 // flat with y fastest.
 type pairGrid struct {
-	a, b       int
-	dv, dy     int // padded extents of v and y (size_b+1, domain+1)
-	sat        []float64
+	a, b   int
+	dv, dy int // padded extents of v and y (size_b+1, domain+1)
+	sat    []float64
 }
 
 // at reads the table at padded coordinates.

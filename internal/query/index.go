@@ -6,6 +6,7 @@ import (
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/generalize"
+	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 )
 
@@ -88,12 +89,54 @@ type Index struct {
 	pairIdx []int // pairIdx[a*d+b] → grids index, for a < b
 	partner []int // partner[a] = smallest other dim, pairing 1-dim queries
 	tinyB   float64
+
+	// met holds the serving-path instruments, wired by NewIndexObserved.
+	// Every query increments exactly one of the three answer-path counters,
+	// so their sum equals the queries gathered and the split is invariant
+	// under AnswerWorkload's worker count. All fields are nil — disabled —
+	// for an index built with NewIndex.
+	met struct {
+		grid     *obs.Counter   // answered O(1) from an interval-grid SAT
+		reanswer *obs.Counter   // grid declined (answer below tinyB), re-answered exactly through the tree
+		kd       *obs.Counter   // answered by the kd traversal (wide shape or grid-less schema)
+		latency  *obs.Histogram // per-Count wall clock, ns
+	}
 }
 
 // NewIndex builds the serving index from a publication. Construction is
 // O(#boxes · log #boxes) and performed once per release; the publication is
-// not retained.
-func NewIndex(pub *pg.Published) (*Index, error) {
+// not retained. Equivalent to NewIndexObserved(pub, nil).
+//
+// An empty publication (zero rows) yields a valid index over zero boxes:
+// every region weight is 0, so Count and Sum answer 0 for every query,
+// Naive answers 0, and Avg returns its "region estimated empty" error —
+// the same answers the scan estimators give on an empty release.
+func NewIndex(pub *pg.Published) (*Index, error) { return NewIndexObserved(pub, nil) }
+
+// NewIndexObserved is NewIndex with instrumentation: construction is timed
+// into the query.index.build histogram, the built structure's size lands in
+// the query.index.* gauges, and the returned index counts every served query
+// by answer path (query.answered.*) and records Count latency
+// (query.count.latency). A nil registry disables all of it — the index then
+// behaves exactly like NewIndex's.
+func NewIndexObserved(pub *pg.Published, reg *obs.Registry) (*Index, error) {
+	sp := reg.Span("query.index.build")
+	ix, err := newIndex(pub)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	reg.Gauge("query.index.entries").Set(int64(len(ix.entries)))
+	reg.Gauge("query.index.nodes").Set(int64(len(ix.nodes)))
+	reg.Gauge("query.index.grids").Set(int64(len(ix.grids)))
+	ix.met.grid = reg.Counter("query.answered.grid")
+	ix.met.reanswer = reg.Counter("query.answered.exact_reanswer")
+	ix.met.kd = reg.Counter("query.answered.kd")
+	ix.met.latency = reg.Histogram("query.count.latency", "ns")
+	return ix, nil
+}
+
+func newIndex(pub *pg.Published) (*Index, error) {
 	if pub == nil || pub.Schema == nil {
 		return nil, fmt.Errorf("query: index needs a publication with a schema")
 	}
@@ -381,8 +424,19 @@ func (ix *Index) gather(q []Range, v *valuer) (a, b float64) {
 	act := ix.activeRanges(q)
 	if len(act) <= 2 {
 		if a, b, ok := ix.gatherGrid(act, v); ok {
+			ix.met.grid.Inc()
 			return a, b
 		}
+		if ix.grids != nil && len(act) > 0 {
+			// The grid could serve this shape but declined: the answer fell
+			// below tinyB, where SAT cancellation noise cannot certify an
+			// exact zero, so the tree re-answers it exactly.
+			ix.met.reanswer.Inc()
+		} else {
+			ix.met.kd.Inc()
+		}
+	} else {
+		ix.met.kd.Inc()
 	}
 	if ix.root >= 0 {
 		ix.walk(ix.root, act, v, &a, &b)

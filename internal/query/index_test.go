@@ -167,6 +167,12 @@ func TestIndexEmptyPublication(t *testing.T) {
 	if _, err := ix.Avg(fullQuery(s), IncomeMidpoint); err == nil {
 		t.Fatal("empty AVG: want region-empty error")
 	}
+	if got, err := ix.Sum(fullQuery(s), IncomeMidpoint); err != nil || got != 0 {
+		t.Fatalf("empty Sum = %v, %v, want 0", got, err)
+	}
+	if got, err := ix.Naive(q); err != nil || got != 0 {
+		t.Fatalf("empty Naive = %v, %v, want 0", got, err)
+	}
 }
 
 // Index methods validate queries exactly like the scan estimators.

@@ -1,12 +1,23 @@
-// Package query implements aggregate COUNT estimation over a PG publication
-// — the second utility mode the paper's framework supports besides decision
-// trees. Stratified sampling makes D* a design-unbiased sample of the
-// QI-groups (Chaudhuri et al. [8]): each published tuple represents its
-// group with weight G. Range predicates over the QI attributes are resolved
-// with the standard uniformity assumption inside a generalized cell, and
-// predicates over the sensitive attribute are corrected for perturbation by
-// inverse-probability weighting of the observed value (the same operator
-// inversion the mining layer uses, applied per tuple).
+// Package query implements aggregate COUNT/SUM/AVG estimation over a PG
+// publication — the second utility mode the paper's framework supports
+// besides decision trees. Stratified sampling makes D* a design-unbiased
+// sample of the QI-groups (Chaudhuri et al. [8]): each published tuple
+// represents its group with weight G. Range predicates over the QI
+// attributes are resolved with the standard uniformity assumption inside a
+// generalized cell, and predicates over the sensitive attribute are
+// corrected for perturbation by inverse-probability weighting of the
+// observed value (the same operator inversion the mining layer uses,
+// applied per tuple).
+//
+// Two evaluation paths share the estimator math. The scan estimators
+// (Estimate, EstimateNaive, EstimateSum, EstimateAvg — this file and
+// aggregate.go) read the whole release per query and are the reference
+// implementation. Index (index.go, grid.go, serve.go) precomputes per-box
+// aggregates, an interval grid and a kd-tree from one publication and
+// answers the same queries orders of magnitude faster; NewIndexObserved
+// additionally records build/answer metrics (internal/obs). Workload
+// generates random query sets and AnswerWorkload fans them across workers
+// deterministically.
 package query
 
 import (

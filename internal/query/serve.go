@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"pgpub/internal/par"
 )
@@ -40,8 +41,20 @@ func maskValuer(mask []bool) valuer {
 }
 
 // Count is the indexed Estimate: the PG count estimator of the query,
-// answered from the precomputed per-box aggregates.
+// answered from the precomputed per-box aggregates. On an index built with
+// NewIndexObserved each call records its wall clock into the
+// query.count.latency histogram.
 func (ix *Index) Count(q CountQuery) (float64, error) {
+	if h := ix.met.latency; h != nil {
+		t0 := time.Now()
+		est, err := ix.countImpl(q)
+		h.Observe(int64(time.Since(t0)))
+		return est, err
+	}
+	return ix.countImpl(q)
+}
+
+func (ix *Index) countImpl(q CountQuery) (float64, error) {
 	if err := q.validate(ix.schema); err != nil {
 		return 0, err
 	}

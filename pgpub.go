@@ -15,8 +15,14 @@
 //   - the privacy formalism of the paper's Theorems 1–3 (guarantee bounds
 //     and retention-probability solvers),
 //   - the corruption-aided linking-attack model (NewExternal, LinkAttack),
-//   - decision-tree mining of published data (TrainPG, TrainTable), and
-//   - a synthetic substitute for the paper's SAL census data (GenerateSAL).
+//   - decision-tree mining of published data (TrainPG, TrainTable),
+//   - aggregate COUNT/SUM/AVG estimation over a release, scan-based
+//     (EstimateCount) or served from a precomputed index (NewQueryIndex),
+//   - a synthetic substitute for the paper's SAL census data
+//     (GenerateSAL), and
+//   - an observability layer (NewMetricsRegistry; thread it through
+//     Config.Metrics or NewQueryIndexObserved) with deterministic
+//     exporters — see docs/OBSERVABILITY.md.
 //
 // A minimal publication round trip:
 //
@@ -44,6 +50,7 @@ import (
 	"pgpub/internal/hierarchy"
 	"pgpub/internal/mining"
 	"pgpub/internal/minv"
+	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
 	"pgpub/internal/query"
@@ -289,7 +296,24 @@ type (
 var (
 	// NewQueryIndex builds the serving index from a publication.
 	NewQueryIndex = query.NewIndex
+	// NewQueryIndexObserved builds the serving index with build/answer
+	// instrumentation recorded in a metrics registry.
+	NewQueryIndexObserved = query.NewIndexObserved
 )
+
+// Observability (docs/OBSERVABILITY.md). A registry passed via
+// Config.Metrics instruments the publication pipeline; a nil registry
+// disables all instrumentation at the cost of one branch per site.
+type (
+	// MetricsRegistry collects counters, gauges and latency histograms and
+	// renders them with deterministic text/JSON exporters.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's instruments.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
 
 // Re-publication types (Section IX future work; see internal/repub).
 type (
