@@ -24,6 +24,7 @@ import (
 	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
+	"pgpub/internal/snapshot"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		"comma-separated diseases forming the predicate Q")
 	p := flag.Float64("p", 0.25, "retention probability")
 	k := flag.Int("k", 2, "QI-group size floor")
+	snap := flag.String("snapshot", "", "attack a fixed hospital publication snapshot (pgpublish -dataset hospital -snapshot) instead of re-publishing each trial")
 	trials := flag.Int("trials", 100, "publication/attack repetitions")
 	seed := flag.Int64("seed", 1, "random seed")
 	metrics := flag.Bool("metrics", false, "instrument the repeated publications and print the counter/phase report to stderr")
@@ -69,6 +71,25 @@ func main() {
 		hierarchy.MustInterval(d.Schema.QI[0].Size(), 5, 20),
 		hierarchy.MustFlat(d.Schema.QI[1].Size()),
 		hierarchy.MustInterval(d.Schema.QI[2].Size(), 5, 20),
+	}
+
+	// With -snapshot, the publication is fixed: attack it directly instead of
+	// re-publishing, and take p and k from the release itself. The attack is
+	// then deterministic, so one trial suffices.
+	var fixed *pg.Published
+	if *snap != "" {
+		var err error
+		fixed, _, err = snapshot.Load(*snap)
+		if err != nil {
+			fail(err)
+		}
+		if fixed.Schema.D() != d.Schema.D() ||
+			fixed.Schema.Sensitive.Size() != d.Schema.Sensitive.Size() {
+			fail(fmt.Errorf("snapshot %s is not a hospital publication (use pgpublish -dataset hospital -snapshot)", *snap))
+		}
+		*p, *k, *trials = fixed.P, fixed.K, 1
+		fmt.Fprintf(os.Stderr, "pgattack: attacking fixed publication (%d tuples, %v, k=%d, p=%.4f)\n",
+			fixed.Len(), fixed.Algorithm, fixed.K, fixed.P)
 	}
 	ext, err := attack.NewExternal(d, dataset.HospitalVoterQI())
 	if err != nil {
@@ -139,9 +160,13 @@ func main() {
 	maxH, maxGrowth := 0.0, 0.0
 	fmt.Printf("%-6s %-18s %8s %8s %10s %8s\n", "trial", "observed y", "h", "prior", "posterior", "growth")
 	for trial := 0; trial < *trials; trial++ {
-		pub, err := pg.Publish(d, hiers, pg.Config{K: *k, P: *p, Rng: rng, Metrics: reg})
-		if err != nil {
-			fail(err)
+		pub := fixed
+		if pub == nil {
+			var err error
+			pub, err = pg.Publish(d, hiers, pg.Config{K: *k, P: *p, Rng: rng, Metrics: reg})
+			if err != nil {
+				fail(err)
+			}
 		}
 		res, err := attack.LinkAttack(pub, ext, vid, adv, q)
 		if err != nil {

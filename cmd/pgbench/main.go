@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|qserve|repub|miners|perf|all")
+	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|qserve|repub|miners|perf|serve|all")
 	n := flag.Int("n", 100000, "SAL microdata cardinality for utility experiments")
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 1, "repetitions per utility point (averaged)")
@@ -222,11 +222,35 @@ func main() {
 		fmt.Println("Perf: Phase-2 primitives and full pipeline wall-clock")
 		fmt.Print(experiments.RenderPerf(rep))
 		if *benchout != "" {
-			data, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
+			// Preserve serve load-test levels a previous -exp serve run merged
+			// into the tracked report.
+			if old, err := readBenchJSON(*benchout); err == nil {
+				rep.Serve = old.Serve
+			}
+			if err := writeBenchJSON(*benchout, rep); err != nil {
 				return err
 			}
-			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+			fmt.Printf("wrote %s\n", *benchout)
+		}
+		return nil
+	})
+
+	run("serve", func() error {
+		rows, err := experiments.ServeLoad(experiments.ServeLoadConfig{
+			N: *n / 2, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Serve: closed-loop load against a live pgserve endpoint (n=%d, k=6, p=0.3)\n", *n/2)
+		fmt.Print(experiments.RenderServeLoad(rows))
+		if *benchout != "" {
+			rep, err := readBenchJSON(*benchout)
+			if err != nil {
+				rep = &experiments.PerfReport{}
+			}
+			rep.Serve = rows
+			if err := writeBenchJSON(*benchout, rep); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchout)
@@ -236,10 +260,32 @@ func main() {
 
 	switch *exp {
 	case "all", "table3a", "table3b", "fig2a", "fig2b", "fig3a", "fig3b",
-		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "qserve", "repub", "miners", "perf":
+		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "qserve", "repub", "miners", "perf", "serve":
 	default:
 		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// readBenchJSON loads a tracked perf report, so an experiment can merge its
+// section without clobbering the others'.
+func readBenchJSON(path string) (*experiments.PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep experiments.PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+func writeBenchJSON(path string, rep *experiments.PerfReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

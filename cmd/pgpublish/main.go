@@ -10,6 +10,7 @@
 //	pgpublish -dataset hospital -s 0.5 -p 0.25
 //	pgpublish -dataset sal -n 100000 -k 6 -rho2 0.45
 //	pgpublish -in sal.csv -k 6 -delta 0.24 -out anonymized.csv
+//	pgpublish -dataset sal -n 50000 -k 6 -p 0.3 -snapshot release.pgsnap
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
 	"pgpub/internal/sal"
+	"pgpub/internal/snapshot"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 	alg := flag.String("algorithm", "kd", "phase-2 algorithm: kd|tds|full-domain")
 	out := flag.String("out", "", "output file (default stdout)")
 	meta := flag.String("meta", "", "also write release metadata JSON to this file")
+	snap := flag.String("snapshot", "", "also write a binary publication snapshot (.pgsnap) for pgserve/pgquery")
 	workers := flag.Int("workers", 0, "pipeline worker goroutines (0 = GOMAXPROCS); output is identical for any value")
 	metrics := flag.Bool("metrics", false, "instrument the pipeline and print the counter/phase report to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
@@ -192,6 +195,14 @@ func main() {
 		if err := mf.Close(); err != nil {
 			fail(err)
 		}
+	}
+
+	if *snap != "" {
+		g := &pg.GuaranteeMetadata{Lambda: *lambda, Rho1: *rho1, Rho2: r2, Delta: dl}
+		if err := snapshot.Save(*snap, pub, g); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pgpublish: snapshot written to %s\n", *snap)
 	}
 
 	w := os.Stdout

@@ -10,6 +10,7 @@
 //
 //	pgquery -in anonymized.csv -p 0.2996 -where "Age=30..50,Gender=M..M" -income 25..49
 //	pgquery -in anonymized.csv -p 0.2996 -workload 50 -truth sal.csv -workers 4
+//	pgquery -snapshot release.pgsnap -where "Age=30..50" -income 25..49
 package main
 
 import (
@@ -28,10 +29,12 @@ import (
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
 	"pgpub/internal/sal"
+	"pgpub/internal/snapshot"
 )
 
 func main() {
-	in := flag.String("in", "", "published CSV (required)")
+	in := flag.String("in", "", "published CSV (required unless -snapshot)")
+	snap := flag.String("snapshot", "", "publication snapshot (.pgsnap) written by pgpublish -snapshot; replaces -in/-p/-meta")
 	p := flag.Float64("p", -1, "the release's retention probability (or use -meta)")
 	metaPath := flag.String("meta", "", "release metadata JSON written by pgpublish -meta")
 	where := flag.String("where", "", "QI predicate: Attr=lo..hi[,Attr=lo..hi...] using attribute labels")
@@ -67,31 +70,40 @@ func main() {
 	if *metrics {
 		defer reg.WriteText(os.Stderr)
 	}
-	if *metaPath != "" {
-		mf, err := os.Open(*metaPath)
+	var pub *pg.Published
+	if *snap != "" {
+		var err error
+		pub, _, err = snapshot.Load(*snap)
 		if err != nil {
 			fail(err)
 		}
-		m, err := pg.ReadMetadata(bufio.NewReader(mf))
-		mf.Close()
+	} else {
+		if *metaPath != "" {
+			mf, err := os.Open(*metaPath)
+			if err != nil {
+				fail(err)
+			}
+			m, err := pg.ReadMetadata(bufio.NewReader(mf))
+			mf.Close()
+			if err != nil {
+				fail(err)
+			}
+			*p = m.P
+		}
+		if *in == "" || *p < 0 {
+			fail(fmt.Errorf("-in and -p (or -meta), or -snapshot, are required"))
+		}
+		f, err := os.Open(*in)
 		if err != nil {
 			fail(err)
 		}
-		*p = m.P
+		pub, err = pg.ReadCSV(sal.Schema(), bufio.NewReader(f), *p)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
 	}
-	if *in == "" || *p < 0 {
-		fail(fmt.Errorf("-in and -p (or -meta) are required"))
-	}
-	schema := sal.Schema()
-	f, err := os.Open(*in)
-	if err != nil {
-		fail(err)
-	}
-	pub, err := pg.ReadCSV(schema, bufio.NewReader(f), *p)
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
+	schema := pub.Schema
 	fmt.Fprintf(os.Stderr, "pgquery: loaded %d published tuples (k=%d, p=%.4f)\n", pub.Len(), pub.K, pub.P)
 
 	if *workload > 0 {

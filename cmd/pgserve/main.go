@@ -1,0 +1,158 @@
+// Command pgserve serves a published release over HTTP: it loads a
+// publication snapshot (pgpublish -snapshot) or a published CSV, builds the
+// interval-grid serving index once, and answers aggregate queries through
+// the hardened API in internal/serve — the long-running counterpart to the
+// one-shot pgquery. SIGINT/SIGTERM trigger a graceful drain: the listener
+// closes, in-flight requests complete, and the process exits 0.
+//
+// Usage:
+//
+//	pgserve -snapshot release.pgsnap -addr :8080
+//	pgserve -in anonymized.csv -p 0.2996 -addr :8080 -debug-addr :6060
+//
+// See docs/SERVING.md for the API reference and a worked session.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pgpub/internal/obs"
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+	"pgpub/internal/sal"
+	"pgpub/internal/serve"
+	"pgpub/internal/snapshot"
+)
+
+func main() {
+	snap := flag.String("snapshot", "", "publication snapshot (.pgsnap) written by pgpublish -snapshot")
+	in := flag.String("in", "", "published CSV with the SAL schema (alternative to -snapshot)")
+	p := flag.Float64("p", -1, "the release's retention probability (with -in; or use -meta)")
+	metaPath := flag.String("meta", "", "release metadata JSON written by pgpublish -meta (with -in)")
+	addr := flag.String("addr", ":8080", "API listen address")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent request admission limit (0 = 8*GOMAXPROCS); excess load is shed with 429")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request answer deadline")
+	cacheEntries := flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+	workers := flag.Int("workers", 0, "batch fan-out goroutines (0 = GOMAXPROCS); batch answers are identical for any value")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
+	metrics := flag.Bool("metrics", false, "print the counter/latency report to stderr on exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "pgserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	if err := reg.PublishExpvar("pgpub"); err != nil {
+		fmt.Fprintf(os.Stderr, "pgserve: %v\n", err)
+	}
+	if *debugAddr != "" {
+		srv, err := reg.Serve(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pgserve: debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", srv.Addr)
+	}
+	if *metrics {
+		defer reg.WriteText(os.Stderr)
+	}
+
+	// Load the release: snapshot (self-describing) or CSV + announced p.
+	var (
+		pub       *pg.Published
+		guarantee *pg.GuaranteeMetadata
+		err       error
+	)
+	switch {
+	case *snap != "" && *in != "":
+		fail(fmt.Errorf("-snapshot and -in are mutually exclusive"))
+	case *snap != "":
+		pub, guarantee, err = snapshot.Load(*snap)
+		if err != nil {
+			fail(err)
+		}
+	case *in != "":
+		if *metaPath != "" {
+			mf, err := os.Open(*metaPath)
+			if err != nil {
+				fail(err)
+			}
+			m, err := pg.ReadMetadata(bufio.NewReader(mf))
+			mf.Close()
+			if err != nil {
+				fail(err)
+			}
+			*p = m.P
+			guarantee = m.Guarantee
+		}
+		if *p < 0 {
+			fail(fmt.Errorf("-p (or -meta) is required with -in"))
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		pub, err = pg.ReadCSV(sal.Schema(), bufio.NewReader(f), *p)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("-snapshot or -in is required"))
+	}
+	fmt.Fprintf(os.Stderr, "pgserve: loaded %d published tuples (%v, k=%d, p=%.4f)\n",
+		pub.Len(), pub.Algorithm, pub.K, pub.P)
+
+	start := time.Now()
+	ix, err := query.NewIndexObserved(pub, reg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "pgserve: indexed %d groups in %v\n",
+		ix.Groups(), time.Since(start).Round(time.Millisecond))
+
+	meta := pg.Metadata{
+		P: pub.P, K: pub.K, Algorithm: pub.Algorithm.String(), Rows: pub.Len(),
+		Guarantee: guarantee,
+	}
+	srv, err := serve.New(serve.Config{
+		Index:          ix,
+		Meta:           meta,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheEntries,
+		Workers:        *workers,
+		Metrics:        reg,
+	})
+	if err != nil {
+		fail(err)
+	}
+	hs, err := srv.Serve(*addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "pgserve: serving on http://%s (POST /v1/query, POST /v1/batch, GET /v1/metadata)\n", hs.Addr)
+
+	// Run until a termination signal, then drain in-flight requests.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "pgserve: %v received, draining (deadline %v)\n", sig, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+		fail(fmt.Errorf("drain incomplete: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "pgserve: drained, bye")
+}

@@ -16,6 +16,7 @@ var docFiles = []string{
 	"EXPERIMENTS.md",
 	"docs/ARCHITECTURE.md",
 	"docs/OBSERVABILITY.md",
+	"docs/SERVING.md",
 }
 
 var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
@@ -70,6 +71,10 @@ func TestDocCatalogCoversMetrics(t *testing.T) {
 		"query.index.build", "query.count.latency",
 		"query.index.entries", "query.index.nodes", "query.index.grids",
 		"query.answered.grid", "query.answered.exact_reanswer", "query.answered.kd",
+		"serve.requests.query", "serve.requests.batch", "serve.requests.metadata",
+		"serve.errors", "serve.shed", "serve.timeouts",
+		"serve.cache.hits", "serve.cache.misses", "serve.cache.evictions",
+		"serve.coalesced", "serve.latency.query", "serve.latency.batch",
 	} {
 		if !strings.Contains(catalog, name) {
 			t.Errorf("docs/OBSERVABILITY.md: metric %q missing from the catalog", name)

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+	"pgpub/internal/sal"
+	"pgpub/internal/serve"
+)
+
+// ServeLoadResult is one closed-loop load-test level: c clients each issue
+// requests back-to-back against a live pgserve endpoint; latency percentiles
+// are measured per request, end to end (marshalling, socket, serving layer,
+// index traversal).
+type ServeLoadResult struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50us    float64 `json:"p50_us"`
+	P95us    float64 `json:"p95_us"`
+	P99us    float64 `json:"p99_us"`
+	Errors   int     `json:"errors"`
+}
+
+// ServeLoadConfig parameterizes the serve load experiment.
+type ServeLoadConfig struct {
+	// N is the SAL microdata cardinality behind the served publication.
+	N int
+	// Queries is the distinct-query pool size each client cycles through
+	// (offset per client, so concurrent clients hit a mix of cached and
+	// uncached entries the way real consumers would).
+	Queries int
+	// PerClient is the request count each client issues per level.
+	PerClient int
+	// Clients lists the concurrency levels; default {1, 4, 16}.
+	Clients []int
+	Seed    int64
+	K       int
+	P       float64
+	// Workers is the server-side batch fan-out (forwarded to serve.Config).
+	Workers int
+}
+
+// ServeLoad publishes a SAL release, starts a real pgserve endpoint on a
+// loopback port, and drives it closed-loop at each concurrency level. This
+// is the serving-layer counterpart of the in-process qserve experiment: it
+// prices the full network path, not just the index.
+func ServeLoad(cfg ServeLoadConfig) ([]ServeLoadResult, error) {
+	if cfg.N <= 0 {
+		cfg.N = 50000
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 2000
+	}
+	if cfg.PerClient <= 0 {
+		cfg.PerClient = 400
+	}
+	if len(cfg.Clients) == 0 {
+		cfg.Clients = []int{1, 4, 16}
+	}
+	if cfg.K <= 0 {
+		cfg.K = 6
+	}
+	if cfg.P <= 0 {
+		cfg.P = 0.3
+	}
+
+	d, err := sal.Generate(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{
+		K: cfg.K, P: cfg.P, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix, err := query.NewIndex(pub)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := pub.Metadata(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	maxClients := 0
+	for _, c := range cfg.Clients {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Index: ix, Meta: meta,
+		MaxInFlight: 2 * maxClients, // closed-loop: never shed our own load
+		Workers:     cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer hs.Close()
+
+	bodies, err := serveBodies(pub, cfg.Queries, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	url := "http://" + hs.Addr + "/v1/query"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 2 * maxClients, MaxIdleConnsPerHost: 2 * maxClients,
+	}}
+
+	var out []ServeLoadResult
+	for _, clients := range cfg.Clients {
+		total := clients * cfg.PerClient
+		latCh := make(chan []time.Duration, clients)
+		errCh := make(chan int, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			go func(c int) {
+				lats := make([]time.Duration, 0, cfg.PerClient)
+				errs := 0
+				for i := 0; i < cfg.PerClient; i++ {
+					body := bodies[(c*cfg.PerClient+i*7)%len(bodies)]
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs++
+						continue
+					}
+					var qr serve.QueryResponse
+					if json.NewDecoder(resp.Body).Decode(&qr) != nil || resp.StatusCode != http.StatusOK {
+						errs++
+					}
+					resp.Body.Close()
+					lats = append(lats, time.Since(t0))
+				}
+				latCh <- lats
+				errCh <- errs
+			}(c)
+		}
+		var all []time.Duration
+		errs := 0
+		for c := 0; c < clients; c++ {
+			all = append(all, <-latCh...)
+			errs += <-errCh
+		}
+		elapsed := time.Since(start)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(q float64) float64 {
+			if len(all) == 0 {
+				return 0
+			}
+			i := int(q * float64(len(all)-1))
+			return float64(all[i].Nanoseconds()) / 1e3
+		}
+		out = append(out, ServeLoadResult{
+			Clients: clients, Requests: total,
+			QPS:    float64(len(all)) / elapsed.Seconds(),
+			P50us:  pct(0.50),
+			P95us:  pct(0.95),
+			P99us:  pct(0.99),
+			Errors: errs,
+		})
+	}
+	return out, nil
+}
+
+// serveBodies pre-marshals a distinct-query pool as /v1/query wire bodies.
+func serveBodies(pub *pg.Published, n int, seed int64) ([][]byte, error) {
+	qs, err := query.Workload(pub.Schema, query.WorkloadConfig{
+		Queries: n, QIFraction: 0.5, RestrictAttrs: 2, SensitiveFraction: 0.4,
+		Rng: rand.New(rand.NewSource(seed + 2)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, len(qs))
+	for i, q := range qs {
+		req := serve.QueryRequest{Op: "count"}
+		for j := range q.QI {
+			if q.QI[j].Lo == 0 && int(q.QI[j].Hi) == pub.Schema.QI[j].Size()-1 {
+				continue
+			}
+			dim := j
+			req.Where = append(req.Where, serve.WhereClause{
+				Dim: &dim,
+				Lo:  json.RawMessage(fmt.Sprint(q.QI[j].Lo)),
+				Hi:  json.RawMessage(fmt.Sprint(q.QI[j].Hi)),
+			})
+		}
+		for code, in := range q.Sensitive {
+			if in {
+				req.Sensitive = append(req.Sensitive, int32(code))
+			}
+		}
+		if bodies[i], err = json.Marshal(req); err != nil {
+			return nil, err
+		}
+	}
+	return bodies, nil
+}
+
+// RenderServeLoad formats the load-test levels as a table.
+func RenderServeLoad(rows []ServeLoadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %10s %10s %10s %10s %7s\n",
+		"clients", "requests", "qps", "p50(us)", "p95(us)", "p99(us)", "errors")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %10d %10.0f %10.0f %10.0f %10.0f %7d\n",
+			r.Clients, r.Requests, r.QPS, r.P50us, r.P95us, r.P99us, r.Errors)
+	}
+	return b.String()
+}

@@ -39,6 +39,9 @@ type PerfReport struct {
 	Seed       int64        `json:"seed"`
 	K          int          `json:"k"`
 	Results    []PerfResult `json:"results"`
+	// Serve holds the network serving-layer load-test levels (pgbench -exp
+	// serve); empty until that experiment has been run against this report.
+	Serve []ServeLoadResult `json:"serve,omitempty"`
 }
 
 // Perf times the hot Phase-2 primitives and the full pipeline on n SAL rows:

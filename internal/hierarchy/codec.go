@@ -1,0 +1,117 @@
+package hierarchy
+
+import "fmt"
+
+// This file is the serialization hook of the package: a Hierarchy is fully
+// determined by its leaf count and parent-pointer array (node IDs 0..n-1 are
+// the leaves, internal nodes follow, exactly one node — the root — is
+// parentless), so a codec needs to persist only (n, parents) and rebuild the
+// derived structure (children lists, covered ranges, depths, uniformity)
+// here. internal/snapshot uses this pair as the wire form of a publication's
+// hierarchies.
+
+// Parents returns the parent-pointer array of the tree: Parents()[v] is the
+// parent of node v, -1 for the root. The returned slice is fresh and may be
+// retained by the caller.
+func (h *Hierarchy) Parents() []int32 {
+	return append([]int32(nil), h.parent...)
+}
+
+// FromParents reconstructs a Hierarchy over n leaf codes from a
+// parent-pointer array as returned by Parents. The array must describe a
+// single rooted tree whose leaves are exactly the nodes 0..n-1 and whose
+// internal nodes each cover a contiguous leaf range (the invariant every
+// builder in this package maintains); anything else is rejected.
+func FromParents(n int, parent []int32) (*Hierarchy, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hierarchy: no leaves")
+	}
+	if len(parent) < n {
+		return nil, fmt.Errorf("hierarchy: %d nodes cannot hold %d leaves", len(parent), n)
+	}
+	h := &Hierarchy{
+		n:        n,
+		parent:   append([]int32(nil), parent...),
+		children: make([][]int32, len(parent)),
+		lo:       make([]int32, len(parent)),
+		hi:       make([]int32, len(parent)),
+		depth:    make([]int32, len(parent)),
+		root:     -1,
+	}
+	for v, p := range h.parent {
+		if p < 0 {
+			if h.root >= 0 {
+				return nil, fmt.Errorf("hierarchy: nodes %d and %d are both parentless", h.root, v)
+			}
+			h.root = int32(v)
+			continue
+		}
+		if int(p) >= len(h.parent) || int(p) == v {
+			return nil, fmt.Errorf("hierarchy: node %d has invalid parent %d", v, p)
+		}
+		if int(p) < n {
+			return nil, fmt.Errorf("hierarchy: leaf %d is the parent of node %d", p, v)
+		}
+		h.children[p] = append(h.children[p], int32(v))
+	}
+	if h.root < 0 {
+		return nil, fmt.Errorf("hierarchy: no root")
+	}
+	// Derive ranges and depths from the root down. Every node has exactly one
+	// parent pointer, so the graph is a forest of one rooted tree plus any
+	// cycles — cycle nodes are unreachable from the root and show up as a
+	// visit-count mismatch instead of an infinite walk.
+	visited := 0
+	var walk func(v, d int32) error
+	walk = func(v, d int32) error {
+		visited++
+		h.depth[v] = d
+		if int(d) > h.height {
+			h.height = int(d)
+		}
+		if int(v) < n {
+			h.lo[v], h.hi[v] = v, v
+			return nil
+		}
+		lo, hi := int32(-1), int32(-1)
+		for _, k := range h.children[v] {
+			if err := walk(k, d+1); err != nil {
+				return err
+			}
+			if lo < 0 || h.lo[k] < lo {
+				lo = h.lo[k]
+			}
+			if h.hi[k] > hi {
+				hi = h.hi[k]
+			}
+		}
+		h.lo[v], h.hi[v] = lo, hi
+		// validate() requires children in covered-range order; the builders
+		// produce them that way, so restoring that order here keeps Children()
+		// output identical to the original tree's.
+		kids := h.children[v]
+		for i := 1; i < len(kids); i++ {
+			for j := i; j > 0 && h.lo[kids[j]] < h.lo[kids[j-1]]; j-- {
+				kids[j], kids[j-1] = kids[j-1], kids[j]
+			}
+		}
+		return nil
+	}
+	if err := walk(h.root, 0); err != nil {
+		return nil, err
+	}
+	if visited != len(h.parent) {
+		return nil, fmt.Errorf("hierarchy: %d of %d nodes unreachable from the root", len(h.parent)-visited, len(h.parent))
+	}
+	h.uniform = true
+	for c := 0; c < n; c++ {
+		if int(h.depth[c]) != h.height {
+			h.uniform = false
+			break
+		}
+	}
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

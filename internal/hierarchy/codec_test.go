@@ -1,0 +1,81 @@
+package hierarchy
+
+import (
+	"testing"
+)
+
+// sameTree compares every piece of public structure of two hierarchies.
+func sameTree(t *testing.T, a, b *Hierarchy) {
+	t.Helper()
+	if a.Leaves() != b.Leaves() || a.NumNodes() != b.NumNodes() || a.Root() != b.Root() ||
+		a.Height() != b.Height() || a.Uniform() != b.Uniform() {
+		t.Fatalf("shape differs: leaves %d/%d nodes %d/%d root %d/%d height %d/%d uniform %v/%v",
+			a.Leaves(), b.Leaves(), a.NumNodes(), b.NumNodes(), a.Root(), b.Root(),
+			a.Height(), b.Height(), a.Uniform(), b.Uniform())
+	}
+	for v := int32(0); int(v) < a.NumNodes(); v++ {
+		if a.Parent(v) != b.Parent(v) {
+			t.Fatalf("node %d: parent %d vs %d", v, a.Parent(v), b.Parent(v))
+		}
+		alo, ahi := a.Range(v)
+		blo, bhi := b.Range(v)
+		if alo != blo || ahi != bhi {
+			t.Fatalf("node %d: range [%d,%d] vs [%d,%d]", v, alo, ahi, blo, bhi)
+		}
+		if a.Depth(v) != b.Depth(v) {
+			t.Fatalf("node %d: depth %d vs %d", v, a.Depth(v), b.Depth(v))
+		}
+		ak, bk := a.Children(v), b.Children(v)
+		if len(ak) != len(bk) {
+			t.Fatalf("node %d: %d children vs %d", v, len(ak), len(bk))
+		}
+		for i := range ak {
+			if ak[i] != bk[i] {
+				t.Fatalf("node %d: child %d is %d vs %d", v, i, ak[i], bk[i])
+			}
+		}
+	}
+}
+
+func TestFromParentsRoundTrip(t *testing.T) {
+	for name, h := range map[string]*Hierarchy{
+		"interval":     MustInterval(70, 5, 10, 30),
+		"ragged":       MustInterval(74, 5, 20),
+		"balanced":     MustBalanced(27, 3),
+		"flat":         MustFlat(2),
+		"single":       MustFlat(1),
+		"uneven-width": MustInterval(50, 10),
+	} {
+		got, err := FromParents(h.Leaves(), h.Parents())
+		if err != nil {
+			t.Fatalf("%s: FromParents: %v", name, err)
+		}
+		sameTree(t, h, got)
+	}
+}
+
+func TestFromParentsRejectsMalformed(t *testing.T) {
+	good := MustInterval(10, 5).Parents()
+	cases := map[string]struct {
+		n      int
+		mutate func([]int32) []int32
+	}{
+		"no leaves":       {0, func(p []int32) []int32 { return p }},
+		"too few nodes":   {len(good) + 1, func(p []int32) []int32 { return p }},
+		"two roots":       {10, func(p []int32) []int32 { p[10] = -1; return p }},
+		"no root":         {10, func(p []int32) []int32 { p[len(p)-1] = p[10]; return p }},
+		"self parent":     {10, func(p []int32) []int32 { p[10] = 10; return p }},
+		"leaf parent":     {10, func(p []int32) []int32 { p[0] = -2; p[1] = 0; return p }},
+		"parent range":    {10, func(p []int32) []int32 { p[0] = int32(len(p)); return p }},
+		"cycle":           {10, func(p []int32) []int32 { p[10], p[11] = 11, 10; return p }},
+		"non-contiguous":  {10, func(p []int32) []int32 { p[0], p[5] = p[5], p[0]; return p }},
+		"uncovered leaf":  {10, func(p []int32) []int32 { p[9] = -2; return p }},
+		"childless inner": {10, func(p []int32) []int32 { return append(p, p[len(p)-2]) }},
+	}
+	for name, tc := range cases {
+		p := tc.mutate(append([]int32(nil), good...))
+		if _, err := FromParents(tc.n, p); err == nil {
+			t.Errorf("%s: FromParents accepted a malformed tree", name)
+		}
+	}
+}

@@ -203,6 +203,16 @@ func newIndex(pub *pg.Published) (*Index, error) {
 // Groups returns the number of distinct QI boxes the index serves from.
 func (ix *Index) Groups() int { return len(ix.entries) }
 
+// Schema returns the publication schema the index serves. Consumers that
+// hold only the index — the network serving layer parses attribute names and
+// validates sensitive codes against it — need no back-reference to the
+// publication, which the index deliberately does not retain.
+func (ix *Index) Schema() *dataset.Schema { return ix.schema }
+
+// P returns the release's retention probability, announced publication
+// metadata the estimators invert perturbation with.
+func (ix *Index) P() float64 { return ix.p }
+
 // build constructs the subtree over entries[lo:hi) and returns its node
 // index. The recursion is deterministic: the split dimension is the widest
 // normalized bound extent (lowest dimension on ties) and entries are ordered

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// This file holds the two concurrency primitives the serving layer is built
+// on: a sharded LRU result cache and a singleflight group. Both are keyed on
+// the canonical query encoding (see queryKey in serve.go), so two
+// syntactically different requests describing the same query share one cache
+// slot and one in-flight computation.
+
+// cacheShards fixes the shard count. Sixteen shards keep lock contention
+// negligible at the concurrency levels the limiter admits while costing a
+// few hundred bytes of overhead.
+const cacheShards = 16
+
+// resultCache is a sharded LRU from canonical query keys to answers. Each
+// shard holds its own lock, map and recency list; a key's shard is fixed by
+// its FNV-1a hash, so capacity bounds hold per shard (total capacity is
+// split evenly and never exceeded).
+type resultCache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	val float64
+}
+
+// newResultCache builds a cache holding at most entries results in total.
+// entries <= 0 returns nil; a nil *resultCache misses every get and drops
+// every put, which is the cache-disabled mode.
+func newResultCache(entries int) *resultCache {
+	if entries <= 0 {
+		return nil
+	}
+	per := entries / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &resultCache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, m: make(map[string]*list.Element), ll: list.New()}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum64()%cacheShards]
+}
+
+// get returns the cached answer for key and refreshes its recency.
+func (c *resultCache) get(key string) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return 0, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores an answer, evicting the shard's least-recently-used entry when
+// the shard is full. It reports whether an entry was evicted.
+func (c *resultCache) put(key string, val float64) (evicted bool) {
+	if c == nil {
+		return false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		return false
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+		evicted = true
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+	return evicted
+}
+
+// len returns the number of cached entries across all shards.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// flightGroup coalesces concurrent computations of the same key: the first
+// caller (the leader) runs fn, every concurrent duplicate blocks until the
+// leader finishes and shares its result. Completed calls are forgotten
+// immediately — memoization across time is the cache's job, not this one's.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  float64
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once among concurrent callers of the same key. The second
+// return reports whether this caller shared a leader's result instead of
+// computing its own.
+func (g *flightGroup) do(key string, fn func() (float64, error)) (v float64, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

@@ -1,0 +1,625 @@
+// Package serve is the network serving layer over the query engine: a
+// stdlib-only HTTP JSON API that answers aggregate COUNT/SUM/AVG queries
+// against one immutable publication through a precomputed query.Index —
+// the publish-then-serve split the paper's consumption model presumes,
+// made real over a socket.
+//
+// Endpoints (docs/SERVING.md has the full reference and a worked session):
+//
+//	POST /v1/query     one aggregate query (count, naive, sum, avg)
+//	POST /v1/batch     a COUNT workload, answered deterministically
+//	GET  /v1/metadata  release metadata: p, k, algorithm, rows, guarantees
+//	GET  /healthz      liveness probe
+//
+// The server is hardened for load rather than trust: a concurrency limiter
+// admits at most MaxInFlight aggregate requests and sheds the rest with
+// 429 + Retry-After (requests never queue unboundedly); every admitted
+// request runs under a deadline and is cut off with 504 when it exceeds it;
+// answers land in a sharded LRU cache keyed on the canonical query encoding,
+// and concurrent duplicates of an uncached query are coalesced into one
+// index traversal (singleflight). All of it is observable through
+// internal/obs counters and latency histograms (docs/OBSERVABILITY.md
+// catalogs the serve.* vocabulary).
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/obs"
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+)
+
+// Answerer is the query-answering dependency of the server. *query.Index
+// satisfies it; tests substitute slow or call-counting implementations to
+// exercise the timeout, limiter and singleflight paths.
+type Answerer interface {
+	Count(q query.CountQuery) (float64, error)
+	Naive(q query.CountQuery) (float64, error)
+	Sum(q query.CountQuery, value query.SensitiveValue) (float64, error)
+	Avg(q query.CountQuery, value query.SensitiveValue) (float64, error)
+	AnswerWorkload(qs []query.CountQuery, workers int) ([]float64, error)
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Index is the serving index (required unless Answerer is set).
+	Index *query.Index
+	// Answerer overrides the index as the answering backend; Schema must
+	// then be set too. Intended for tests.
+	Answerer Answerer
+	// Schema is the publication schema; defaults to Index.Schema().
+	Schema *dataset.Schema
+	// Meta is the release metadata served at /v1/metadata.
+	Meta pg.Metadata
+	// Groups is the distinct-box count reported in /v1/metadata; defaults to
+	// Index.Groups().
+	Groups int
+	// MaxInFlight bounds concurrently admitted /v1/query + /v1/batch
+	// requests; excess load is shed with 429. Default 8×GOMAXPROCS.
+	MaxInFlight int
+	// RequestTimeout cuts off a single request's answer computation.
+	// Default 10s.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the result cache (total, split across shards).
+	// 0 means the default 4096; negative disables caching.
+	CacheEntries int
+	// Workers is the /v1/batch fan-out (par semantics: 0 = GOMAXPROCS).
+	// Batch answers are byte-identical for every value.
+	Workers int
+	// Metrics optionally receives the serve.* instrumentation. nil disables.
+	Metrics *obs.Registry
+}
+
+// Server answers the HTTP API. It is immutable after New and safe for
+// concurrent use.
+type Server struct {
+	answer  Answerer
+	schema  *dataset.Schema
+	meta    pg.Metadata
+	groups  int
+	timeout time.Duration
+	workers int
+	sem     chan struct{}
+	cache   *resultCache
+	flight  *flightGroup
+
+	met struct {
+		reqQuery    *obs.Counter
+		reqBatch    *obs.Counter
+		reqMetadata *obs.Counter
+		errors      *obs.Counter
+		shed        *obs.Counter
+		timeouts    *obs.Counter
+		cacheHits   *obs.Counter
+		cacheMiss   *obs.Counter
+		cacheEvict  *obs.Counter
+		coalesced   *obs.Counter
+		latQuery    *obs.Histogram
+		latBatch    *obs.Histogram
+	}
+}
+
+// New validates the configuration and builds a Server.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		answer:  cfg.Answerer,
+		schema:  cfg.Schema,
+		meta:    cfg.Meta,
+		groups:  cfg.Groups,
+		timeout: cfg.RequestTimeout,
+		workers: cfg.Workers,
+		flight:  newFlightGroup(),
+	}
+	if s.answer == nil {
+		if cfg.Index == nil {
+			return nil, fmt.Errorf("serve: Config.Index (or Answerer) is required")
+		}
+		s.answer = cfg.Index
+	}
+	if s.schema == nil {
+		if cfg.Index == nil {
+			return nil, fmt.Errorf("serve: Config.Schema is required with a custom Answerer")
+		}
+		s.schema = cfg.Index.Schema()
+	}
+	if s.groups == 0 && cfg.Index != nil {
+		s.groups = cfg.Index.Groups()
+	}
+	if s.timeout <= 0 {
+		s.timeout = 10 * time.Second
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 8 * runtime.GOMAXPROCS(0)
+	}
+	s.sem = make(chan struct{}, maxInFlight)
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = 4096
+	}
+	s.cache = newResultCache(entries) // nil when entries < 0: caching disabled
+
+	reg := cfg.Metrics
+	s.met.reqQuery = reg.Counter("serve.requests.query")
+	s.met.reqBatch = reg.Counter("serve.requests.batch")
+	s.met.reqMetadata = reg.Counter("serve.requests.metadata")
+	s.met.errors = reg.Counter("serve.errors")
+	s.met.shed = reg.Counter("serve.shed")
+	s.met.timeouts = reg.Counter("serve.timeouts")
+	s.met.cacheHits = reg.Counter("serve.cache.hits")
+	s.met.cacheMiss = reg.Counter("serve.cache.misses")
+	s.met.cacheEvict = reg.Counter("serve.cache.evictions")
+	s.met.coalesced = reg.Counter("serve.coalesced")
+	s.met.latQuery = reg.Histogram("serve.latency.query", "ns")
+	s.met.latBatch = reg.Histogram("serve.latency.batch", "ns")
+	return s, nil
+}
+
+// Handler returns the API mux. The debug/metrics surface is deliberately not
+// on it — expose that through obs.Registry.Serve on a separate port.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/metadata", s.handleMetadata)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// HTTPServer is a running API endpoint. Shutdown drains in-flight requests;
+// Close aborts them.
+type HTTPServer struct {
+	// Addr is the bound listen address (resolves ":0" to the real port).
+	Addr string
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Serve starts the API server on addr and returns once the listener
+// accepts. The server runs until Shutdown or Close.
+func (s *Server) Serve(addr string) (*HTTPServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	hs := &HTTPServer{Addr: lis.Addr().String(), srv: srv, lis: lis}
+	go srv.Serve(lis) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown/Close
+	return hs, nil
+}
+
+// Shutdown stops accepting new connections and waits for in-flight requests
+// to complete, up to ctx's deadline — the graceful drain SIGTERM triggers in
+// cmd/pgserve.
+func (h *HTTPServer) Shutdown(ctx context.Context) error {
+	if h == nil || h.srv == nil {
+		return nil
+	}
+	return h.srv.Shutdown(ctx)
+}
+
+// Close abandons in-flight requests and releases the listener.
+func (h *HTTPServer) Close() error {
+	if h == nil || h.srv == nil {
+		return nil
+	}
+	return h.srv.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+// WhereClause restricts one QI attribute to an inclusive range. The
+// attribute is named (Attr) or positional (Dim); Lo and Hi each accept a
+// domain label (JSON string) or a code (JSON number). Omitted Lo/Hi default
+// to the domain edge.
+type WhereClause struct {
+	Attr string          `json:"attr,omitempty"`
+	Dim  *int            `json:"dim,omitempty"`
+	Lo   json.RawMessage `json:"lo,omitempty"`
+	Hi   json.RawMessage `json:"hi,omitempty"`
+}
+
+// QueryRequest is the /v1/query body. Op defaults to "count". Sensitive
+// lists the qualifying sensitive codes (a mask; any subset, contiguous or
+// not). Values optionally maps each sensitive code to its numeric value for
+// sum/avg; it defaults to the code itself.
+type QueryRequest struct {
+	Op        string        `json:"op,omitempty"`
+	Where     []WhereClause `json:"where,omitempty"`
+	Sensitive []int32       `json:"sensitive,omitempty"`
+	Values    []float64     `json:"values,omitempty"`
+}
+
+// QueryResponse is the /v1/query answer. Source reports how the answer was
+// produced: "computed", "cache", or "coalesced" (shared a concurrent
+// duplicate's computation).
+type QueryResponse struct {
+	Op       string  `json:"op"`
+	Estimate float64 `json:"estimate"`
+	Source   string  `json:"source"`
+}
+
+// BatchRequest is the /v1/batch body: a COUNT workload.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchResponse carries the batch answers in request order. The byte
+// rendering is identical for every server worker count — the determinism
+// contract of query.AnswerWorkload carried to the wire.
+type BatchResponse struct {
+	Estimates []float64 `json:"estimates"`
+}
+
+// MetadataResponse is the /v1/metadata document: the release metadata plus
+// the serving index's group count.
+type MetadataResponse struct {
+	pg.Metadata
+	Groups int `json:"groups"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // the client is gone; nothing to do
+}
+
+func (s *Server) clientError(w http.ResponseWriter, err error) {
+	s.met.errors.Inc()
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+// admit reserves a limiter slot, or sheds the request with 429 and a
+// Retry-After hint. The released func must be called exactly once.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		s.met.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "server saturated, retry later"})
+		return nil, false
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.met.reqQuery.Inc()
+	if r.Method != http.MethodPost {
+		s.met.errors.Inc()
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.clientError(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	op, q, values, err := s.parseQuery(&req)
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	sp := s.met.latQuery
+	t0 := time.Now()
+	est, source, err := s.answerOne(r.Context(), op, q, values)
+	sp.Observe(time.Since(t0).Nanoseconds())
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.met.timeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request timed out"})
+	case err != nil:
+		s.clientError(w, err)
+	default:
+		writeJSON(w, http.StatusOK, QueryResponse{Op: op, Estimate: est, Source: source})
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.reqBatch.Inc()
+	if r.Method != http.MethodPost {
+		s.met.errors.Inc()
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.clientError(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	qs := make([]query.CountQuery, len(req.Queries))
+	for i := range req.Queries {
+		op, q, _, err := s.parseQuery(&req.Queries[i])
+		if err != nil {
+			s.clientError(w, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		if op != "count" {
+			s.clientError(w, fmt.Errorf("query %d: batch answers COUNT only, got op %q", i, op))
+			return
+		}
+		qs[i] = q
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	t0 := time.Now()
+	ests, err := s.computeWithDeadline(r.Context(), func() ([]float64, error) {
+		return s.answer.AnswerWorkload(qs, s.workers)
+	})
+	s.met.latBatch.Observe(time.Since(t0).Nanoseconds())
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.met.timeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request timed out"})
+	case err != nil:
+		s.clientError(w, err)
+	default:
+		if ests == nil {
+			ests = []float64{}
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{Estimates: ests})
+	}
+}
+
+func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	s.met.reqMetadata.Inc()
+	writeJSON(w, http.StatusOK, MetadataResponse{Metadata: s.meta, Groups: s.groups})
+}
+
+// ---------------------------------------------------------------------------
+// Answer path: cache → singleflight → index, under a deadline
+
+// answerOne resolves one aggregate query through the cache, coalescing
+// concurrent duplicates, bounded by the request timeout. A timed-out
+// leader's computation keeps running in the background and still populates
+// the cache — the work is not wasted, only the response slot.
+func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, values []float64) (est float64, source string, err error) {
+	key := s.queryKey(op, q, values)
+	if v, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
+		return v, "cache", nil
+	}
+	s.met.cacheMiss.Inc()
+
+	ctx, cancel := context.WithTimeout(ctx, s.timeout)
+	defer cancel()
+	type result struct {
+		v      float64
+		shared bool
+		err    error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, shared, err := s.flight.do(key, func() (float64, error) {
+			v, err := s.compute(op, q, values)
+			if err == nil {
+				if s.cache.put(key, v) {
+					s.met.cacheEvict.Inc()
+				}
+			}
+			return v, err
+		})
+		ch <- result{v, shared, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return 0, "", ctx.Err()
+	case r := <-ch:
+		if r.err != nil {
+			return 0, "", r.err
+		}
+		if r.shared {
+			s.met.coalesced.Inc()
+			return r.v, "coalesced", nil
+		}
+		return r.v, "computed", nil
+	}
+}
+
+// compute dispatches to the Answerer.
+func (s *Server) compute(op string, q query.CountQuery, values []float64) (float64, error) {
+	switch op {
+	case "count":
+		return s.answer.Count(q)
+	case "naive":
+		return s.answer.Naive(q)
+	case "sum":
+		return s.answer.Sum(q, valueFn(values))
+	case "avg":
+		return s.answer.Avg(q, valueFn(values))
+	default:
+		return 0, fmt.Errorf("unknown op %q (want count, naive, sum or avg)", op)
+	}
+}
+
+// computeWithDeadline runs fn under the request timeout (the batch analogue
+// of answerOne, without cache or coalescing: workloads are assumed unique).
+func (s *Server) computeWithDeadline(ctx context.Context, fn func() ([]float64, error)) ([]float64, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.timeout)
+	defer cancel()
+	type result struct {
+		v   []float64
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := fn()
+		ch <- result{v, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case r := <-ch:
+		return r.v, r.err
+	}
+}
+
+func valueFn(values []float64) query.SensitiveValue {
+	if values == nil {
+		return func(code int32) float64 { return float64(code) }
+	}
+	return func(code int32) float64 { return values[code] }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing and canonical keys
+
+// parseQuery validates a wire query against the schema and resolves it to
+// the engine's CountQuery form.
+func (s *Server) parseQuery(req *QueryRequest) (op string, q query.CountQuery, values []float64, err error) {
+	op = req.Op
+	if op == "" {
+		op = "count"
+	}
+	switch op {
+	case "count", "naive", "sum", "avg":
+	default:
+		return "", q, nil, fmt.Errorf("unknown op %q (want count, naive, sum or avg)", op)
+	}
+
+	q.QI = make([]query.Range, s.schema.D())
+	for j, a := range s.schema.QI {
+		q.QI[j] = query.Range{Lo: 0, Hi: int32(a.Size() - 1)}
+	}
+	for i, c := range req.Where {
+		j := -1
+		switch {
+		case c.Attr != "" && c.Dim != nil:
+			return "", q, nil, fmt.Errorf("where[%d]: set attr or dim, not both", i)
+		case c.Attr != "":
+			if j = s.schema.QIIndex(c.Attr); j < 0 {
+				return "", q, nil, fmt.Errorf("where[%d]: unknown attribute %q", i, c.Attr)
+			}
+		case c.Dim != nil:
+			j = *c.Dim
+			if j < 0 || j >= s.schema.D() {
+				return "", q, nil, fmt.Errorf("where[%d]: dim %d outside [0,%d]", i, j, s.schema.D()-1)
+			}
+		default:
+			return "", q, nil, fmt.Errorf("where[%d]: attr or dim is required", i)
+		}
+		a := s.schema.QI[j]
+		lo, hi := int32(0), int32(a.Size()-1)
+		if lo, err = resolveBound(a, c.Lo, lo); err != nil {
+			return "", q, nil, fmt.Errorf("where[%d] (%s): %w", i, a.Name, err)
+		}
+		if hi, err = resolveBound(a, c.Hi, hi); err != nil {
+			return "", q, nil, fmt.Errorf("where[%d] (%s): %w", i, a.Name, err)
+		}
+		if lo > hi {
+			return "", q, nil, fmt.Errorf("where[%d] (%s): inverted range [%d,%d]", i, a.Name, lo, hi)
+		}
+		q.QI[j] = query.Range{Lo: lo, Hi: hi}
+	}
+
+	if req.Sensitive != nil {
+		domain := s.schema.SensitiveDomain()
+		mask := make([]bool, domain)
+		for _, code := range req.Sensitive {
+			if code < 0 || int(code) >= domain {
+				return "", q, nil, fmt.Errorf("sensitive code %d outside [0,%d]", code, domain-1)
+			}
+			mask[code] = true
+		}
+		q.Sensitive = mask
+	}
+
+	values = req.Values
+	if values != nil {
+		if op != "sum" && op != "avg" {
+			return "", q, nil, fmt.Errorf("values apply to sum/avg only")
+		}
+		if len(values) != s.schema.SensitiveDomain() {
+			return "", q, nil, fmt.Errorf("values has %d entries, sensitive domain is %d",
+				len(values), s.schema.SensitiveDomain())
+		}
+	}
+	return op, q, values, nil
+}
+
+// resolveBound maps a JSON bound — a domain label (string) or a code
+// (number) — to a validated code; missing bounds keep the default.
+func resolveBound(a *dataset.Attribute, raw json.RawMessage, def int32) (int32, error) {
+	if len(raw) == 0 {
+		return def, nil
+	}
+	var label string
+	if err := json.Unmarshal(raw, &label); err == nil {
+		return a.Code(label)
+	}
+	var code int32
+	if err := json.Unmarshal(raw, &code); err != nil {
+		return 0, fmt.Errorf("bound %s is neither a label nor a code", raw)
+	}
+	if !a.Valid(code) {
+		return 0, fmt.Errorf("code %d outside the %q domain [0,%d]", code, a.Name, a.Size()-1)
+	}
+	return code, nil
+}
+
+// queryKey renders the canonical encoding of an aggregate query: op tag,
+// the restricting ranges only (full-domain dims are dropped, so equivalent
+// requests collide), the sensitive mask as a code list, and the sum/avg
+// value vector's bit patterns. Two requests with equal keys have equal
+// answers, which is what makes the key safe as a cache/coalescing identity.
+func (s *Server) queryKey(op string, q query.CountQuery, values []float64) string {
+	b := make([]byte, 0, 64)
+	b = append(b, op...)
+	b = append(b, 0)
+	for j, r := range q.QI {
+		if r.Lo == 0 && int(r.Hi) == s.schema.QI[j].Size()-1 {
+			continue
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(j))
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Lo))
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Hi))
+	}
+	if q.Sensitive != nil {
+		b = append(b, 1)
+		for code, in := range q.Sensitive {
+			if in {
+				b = binary.LittleEndian.AppendUint32(b, uint32(code))
+			}
+		}
+	}
+	if values != nil {
+		b = append(b, 2)
+		for _, v := range values {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+	}
+	return string(b)
+}

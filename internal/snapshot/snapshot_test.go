@@ -1,0 +1,257 @@
+package snapshot
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/pg"
+	"pgpub/internal/sal"
+)
+
+func hospitalHiers(s *dataset.Schema) []*hierarchy.Hierarchy {
+	return []*hierarchy.Hierarchy{
+		hierarchy.MustInterval(s.QI[0].Size(), 5, 20),
+		hierarchy.MustFlat(s.QI[1].Size()),
+		hierarchy.MustInterval(s.QI[2].Size(), 5, 20),
+	}
+}
+
+// publishHospital produces one publication per Phase-2 algorithm over the
+// paper's hospital microdata.
+func publishHospital(t *testing.T, alg pg.Algorithm) *pg.Published {
+	t.Helper()
+	d := dataset.Hospital()
+	pub, err := pg.Publish(d, hospitalHiers(d.Schema), pg.Config{
+		K: 2, P: 0.25, Algorithm: alg, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("%v: Publish: %v", alg, err)
+	}
+	return pub
+}
+
+// TestRoundTripAllAlgorithms is the codec's core property: for every Phase-2
+// algorithm, load(save(pub)) reproduces the publication exactly — same
+// WriteCSV bytes, same Metadata, same rows, same recoding — and re-saving
+// the loaded publication reproduces the file bytes.
+func TestRoundTripAllAlgorithms(t *testing.T) {
+	for _, alg := range []pg.Algorithm{pg.KD, pg.TDS, pg.FullDomain} {
+		pub := publishHospital(t, alg)
+		meta, err := pub.Metadata(0.1, 0.2)
+		if err != nil {
+			t.Fatalf("%v: Metadata: %v", alg, err)
+		}
+
+		var buf bytes.Buffer
+		if err := Write(&buf, pub, meta.Guarantee); err != nil {
+			t.Fatalf("%v: Write: %v", alg, err)
+		}
+		got, gotG, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: Read: %v", alg, err)
+		}
+
+		// Scalar parameters and rows.
+		if got.Algorithm != pub.Algorithm || got.P != pub.P || got.K != pub.K {
+			t.Fatalf("%v: parameters drifted: %v/%v p=%v/%v k=%d/%d",
+				alg, got.Algorithm, pub.Algorithm, got.P, pub.P, got.K, pub.K)
+		}
+		if !reflect.DeepEqual(got.Rows, pub.Rows) {
+			t.Fatalf("%v: rows drifted across the round trip", alg)
+		}
+
+		// WriteCSV output must be byte-identical.
+		var origCSV, loadedCSV strings.Builder
+		if err := pub.WriteCSV(&origCSV); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.WriteCSV(&loadedCSV); err != nil {
+			t.Fatal(err)
+		}
+		if origCSV.String() != loadedCSV.String() {
+			t.Fatalf("%v: WriteCSV differs after the round trip", alg)
+		}
+
+		// Metadata (including the guarantee block) must be reproducible from
+		// the loaded publication alone.
+		gotMeta, err := got.Metadata(0.1, 0.2)
+		if err != nil {
+			t.Fatalf("%v: Metadata on loaded publication: %v", alg, err)
+		}
+		if !reflect.DeepEqual(gotMeta, meta) {
+			t.Fatalf("%v: metadata drifted: %+v vs %+v", alg, gotMeta, meta)
+		}
+		if !reflect.DeepEqual(gotG, meta.Guarantee) {
+			t.Fatalf("%v: stored guarantee block drifted: %+v vs %+v", alg, gotG, meta.Guarantee)
+		}
+
+		// Recoding: present exactly for the cut-based algorithms, and
+		// structurally identical.
+		if (pub.Recoding == nil) != (got.Recoding == nil) {
+			t.Fatalf("%v: recoding presence drifted", alg)
+		}
+		if pub.Recoding != nil {
+			for j := range pub.Recoding.Hierarchies {
+				if !reflect.DeepEqual(pub.Recoding.Hierarchies[j].Parents(), got.Recoding.Hierarchies[j].Parents()) {
+					t.Fatalf("%v: hierarchy %d drifted", alg, j)
+				}
+				if !reflect.DeepEqual(pub.Recoding.Cuts[j].Nodes(), got.Recoding.Cuts[j].Nodes()) {
+					t.Fatalf("%v: cut %d drifted", alg, j)
+				}
+			}
+		}
+
+		// The encoding is deterministic: re-saving the loaded publication
+		// reproduces the original file bytes.
+		var again bytes.Buffer
+		if err := Write(&again, got, gotG); err != nil {
+			t.Fatalf("%v: re-Write: %v", alg, err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("%v: save(load(save(pub))) is not byte-identical", alg)
+		}
+	}
+}
+
+// TestRoundTripSAL exercises the codec on the full 8-attribute SAL schema
+// (large label spaces, KD boxes) and a certified guarantee block.
+func TestRoundTripSAL(t *testing.T) {
+	d, err := sal.Generate(600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pg.Publish(d, sal.Hierarchies(d.Schema), pg.Config{K: 6, P: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pub, &pg.GuaranteeMetadata{Lambda: 0.1, Rho1: 0.2, Rho2: 0.45, Delta: 0.24}); err != nil {
+		t.Fatal(err)
+	}
+	got, g, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.Rho2 != 0.45 {
+		t.Fatalf("guarantee block drifted: %+v", g)
+	}
+	if !reflect.DeepEqual(got.Rows, pub.Rows) {
+		t.Fatal("rows drifted across the round trip")
+	}
+	for j, a := range pub.Schema.QI {
+		b := got.Schema.QI[j]
+		if a.Name != b.Name || a.Kind != b.Kind || !reflect.DeepEqual(a.Values, b.Values) {
+			t.Fatalf("QI attribute %d drifted", j)
+		}
+	}
+	if pub.Schema.Sensitive.Name != got.Schema.Sensitive.Name ||
+		pub.Schema.Sensitive.Kind != got.Schema.Sensitive.Kind {
+		t.Fatal("sensitive attribute drifted")
+	}
+}
+
+// TestSaveLoadFile round-trips through the file API.
+func TestSaveLoadFile(t *testing.T) {
+	pub := publishHospital(t, pg.TDS)
+	path := t.TempDir() + "/pub.pgsnap"
+	if err := Save(path, pub, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != nil {
+		t.Fatal("unexpected guarantee block")
+	}
+	if !reflect.DeepEqual(got.Rows, pub.Rows) {
+		t.Fatal("rows drifted through the file round trip")
+	}
+}
+
+// TestRejectsCorruption flips every single byte of a valid snapshot in turn
+// and requires Read to reject each mutant: header damage is caught by the
+// magic/version/length checks, body damage by the CRC-32C.
+func TestRejectsCorruption(t *testing.T) {
+	pub := publishHospital(t, pg.KD)
+	var buf bytes.Buffer
+	if err := Write(&buf, pub, &pg.GuaranteeMetadata{Lambda: 0.1, Rho1: 0.2, Rho2: 0.4, Delta: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		if _, _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("byte %d: corruption accepted", i)
+		}
+	}
+}
+
+// TestRejectsTruncation cuts the file at every possible length short of the
+// full one and requires a loud error each time.
+func TestRejectsTruncation(t *testing.T) {
+	pub := publishHospital(t, pg.KD)
+	var buf bytes.Buffer
+	if err := Write(&buf, pub, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for n := 0; n < len(data); n++ {
+		if _, _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+	}
+}
+
+// TestRejectsTrailingGarbage: bytes appended after the body must not change
+// the decoded result — Read consumes exactly the advertised body, so the
+// reader can be layered over concatenated streams; but a *length field* that
+// overstates the body is rejected.
+func TestRejectsTrailingGarbage(t *testing.T) {
+	pub := publishHospital(t, pg.KD)
+	var buf bytes.Buffer
+	if err := Write(&buf, pub, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Overstate the body length: the checksum is now computed over garbage.
+	mut := append([]byte(nil), data...)
+	mut[8]++ // low byte of the body length
+	mut = append(mut, 0xee)
+	if _, _, err := Read(bytes.NewReader(mut)); err == nil {
+		t.Fatal("overstated body length accepted")
+	}
+
+	// A clean read from a stream with trailing data still succeeds and
+	// leaves the trailer unread.
+	r := bytes.NewReader(append(append([]byte(nil), data...), 0xde, 0xad))
+	if _, _, err := Read(r); err != nil {
+		t.Fatalf("read with trailing stream data failed: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("reader consumed %d trailing bytes", 2-r.Len())
+	}
+}
+
+// TestRejectsOversizedBodyClaim pins the allocation guard: a header claiming
+// a multi-gigabyte body is rejected before any allocation happens.
+func TestRejectsOversizedBodyClaim(t *testing.T) {
+	pub := publishHospital(t, pg.KD)
+	var buf bytes.Buffer
+	if err := Write(&buf, pub, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	for i := 8; i < 16; i++ {
+		data[i] = 0xff
+	}
+	if _, _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized body claim not rejected by the limit guard: %v", err)
+	}
+}

@@ -19,10 +19,13 @@
 //   - aggregate COUNT/SUM/AVG estimation over a release, scan-based
 //     (EstimateCount) or served from a precomputed index (NewQueryIndex),
 //   - a synthetic substitute for the paper's SAL census data
-//     (GenerateSAL), and
+//     (GenerateSAL),
 //   - an observability layer (NewMetricsRegistry; thread it through
 //     Config.Metrics or NewQueryIndexObserved) with deterministic
-//     exporters — see docs/OBSERVABILITY.md.
+//     exporters — see docs/OBSERVABILITY.md, and
+//   - a serving layer: binary publication snapshots (SaveSnapshot /
+//     LoadSnapshot) and the hardened HTTP query API behind cmd/pgserve
+//     (NewServeServer) — see docs/SERVING.md.
 //
 // A minimal publication round trip:
 //
@@ -56,6 +59,8 @@ import (
 	"pgpub/internal/query"
 	"pgpub/internal/repub"
 	"pgpub/internal/sal"
+	"pgpub/internal/serve"
+	"pgpub/internal/snapshot"
 )
 
 // Data-model types.
@@ -354,6 +359,34 @@ var (
 	// IntersectionAttack intersects a victim's signatures across releases.
 	IntersectionAttack = minv.IntersectionAttack
 )
+
+// Publication snapshots: a versioned, checksummed binary codec carrying a
+// complete publication (schema, recoding, rows, guarantee metadata) in one
+// file, so serving processes skip publish recomputation. Format spec in
+// docs/SERVING.md.
+var (
+	// SaveSnapshot writes a publication snapshot atomically to a file.
+	SaveSnapshot = snapshot.Save
+	// LoadSnapshot reads a snapshot file back; the loaded publication
+	// reproduces the original's WriteCSV bytes and Metadata exactly.
+	LoadSnapshot = snapshot.Load
+	// WriteSnapshot serializes a publication snapshot to a writer.
+	WriteSnapshot = snapshot.Write
+	// ReadSnapshot deserializes a publication snapshot from a reader.
+	ReadSnapshot = snapshot.Read
+)
+
+// Network serving layer (cmd/pgserve; API reference in docs/SERVING.md).
+type (
+	// ServeConfig parameterizes the HTTP serving layer: backend index,
+	// admission limit, request timeout, result-cache size, metrics.
+	ServeConfig = serve.Config
+	// ServeServer answers the /v1 query API over one publication.
+	ServeServer = serve.Server
+)
+
+// NewServeServer builds the HTTP serving layer over a query index.
+var NewServeServer = serve.New
 
 // SUM/AVG estimation over D*.
 var (
