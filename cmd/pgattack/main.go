@@ -9,17 +9,29 @@
 //
 //	pgattack -victim Ellie -corrupt Debbie,Emily -disease bronchitis,pneumonia
 //	pgattack -victim Calvin -worstcase -p 0.3 -k 2 -trials 200
+//
+// With -exp fleet the command instead runs the adversary-at-scale attack
+// fleet (internal/attackfleet, docs/ATTACKS.md) against a served SAL
+// snapshot — self-published on a loopback port, or an already-running
+// pgserve endpoint via -url:
+//
+//	pgattack -exp fleet -n 100000 -algorithm kd -soak -benchout BENCH_pg.json
+//	pgattack -exp fleet -url http://localhost:8080 -n 100000 -seed 42 -json fleet.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 
 	"pgpub/internal/attack"
+	"pgpub/internal/attackfleet"
 	"pgpub/internal/dataset"
+	"pgpub/internal/experiments"
 	"pgpub/internal/hierarchy"
 	"pgpub/internal/obs"
 	"pgpub/internal/pg"
@@ -28,6 +40,7 @@ import (
 )
 
 func main() {
+	exp := flag.String("exp", "", "experiment mode: 'fleet' runs the adversary-at-scale attack fleet")
 	victim := flag.String("victim", "Ellie", "victim name (from the voter list)")
 	corrupt := flag.String("corrupt", "", "comma-separated corrupted individuals")
 	worst := flag.Bool("worstcase", false, "corrupt everyone except the victim (|C| = |E|-1)")
@@ -35,9 +48,18 @@ func main() {
 		"comma-separated diseases forming the predicate Q")
 	p := flag.Float64("p", 0.25, "retention probability")
 	k := flag.Int("k", 2, "QI-group size floor")
+	algorithm := flag.String("algorithm", "", "Phase-2 algorithm: kd, tds or full-domain (default kd; with -snapshot or -url, validated against the release)")
 	snap := flag.String("snapshot", "", "attack a fixed hospital publication snapshot (pgpublish -dataset hospital -snapshot) instead of re-publishing each trial")
 	trials := flag.Int("trials", 100, "publication/attack repetitions")
 	seed := flag.Int64("seed", 1, "random seed")
+	n := flag.Int("n", 0, "fleet: SAL microdata cardinality (0 = 20000)")
+	url := flag.String("url", "", "fleet: attack this pgserve endpoint instead of self-serving")
+	victims := flag.Int("victims", 0, "fleet: number of attacked owners (0 = 48)")
+	fractions := flag.String("fractions", "", "fleet: comma-separated corruption fractions (default 0,0.25,0.5,0.75,1)")
+	workers := flag.Int("workers", 0, "fleet: client-side parallelism (0 = GOMAXPROCS)")
+	soak := flag.Bool("soak", false, "fleet: run the serving soak phases (cache/singleflight/limiter/drain) after the attack")
+	jsonOut := flag.String("json", "", "fleet: write the report JSON to this file ('-' for stdout)")
+	benchout := flag.String("benchout", "", "fleet: merge the report into this tracked perf report, e.g. BENCH_pg.json")
 	metrics := flag.Bool("metrics", false, "instrument the repeated publications and print the counter/phase report to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -46,6 +68,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pgattack: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Which flags were given explicitly? -snapshot and fleet BaseURL mode
+	// adopt unset parameters from the release metadata but must refuse a
+	// conflicting explicit value instead of silently checking the wrong
+	// guarantee.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	var reg *obs.Registry
 	if *metrics || *debugAddr != "" {
@@ -66,6 +95,23 @@ func main() {
 		defer reg.WriteText(os.Stderr)
 	}
 
+	switch *exp {
+	case "":
+	case "fleet":
+		if err := runFleet(fleetOptions{
+			set: set, reg: reg,
+			n: *n, seed: *seed, k: *k, p: *p, algorithm: *algorithm,
+			url: *url, victims: *victims, fractions: *fractions,
+			workers: *workers, soak: *soak,
+			jsonOut: *jsonOut, benchout: *benchout,
+		}); err != nil {
+			fail(err)
+		}
+		return
+	default:
+		fail(fmt.Errorf("unknown experiment %q (want 'fleet')", *exp))
+	}
+
 	d := dataset.Hospital()
 	hiers := []*hierarchy.Hierarchy{
 		hierarchy.MustInterval(d.Schema.QI[0].Size(), 5, 20),
@@ -73,9 +119,22 @@ func main() {
 		hierarchy.MustInterval(d.Schema.QI[2].Size(), 5, 20),
 	}
 
+	// The attack target's Phase-2 algorithm (trial republication only; with
+	// -snapshot the release's own algorithm is validated and adopted below).
+	alg := pg.KD
+	if *algorithm != "" {
+		var err error
+		if alg, err = pg.ParseAlgorithm(*algorithm); err != nil {
+			fail(err)
+		}
+	}
+
 	// With -snapshot, the publication is fixed: attack it directly instead of
-	// re-publishing, and take p and k from the release itself. The attack is
-	// then deterministic, so one trial suffices.
+	// re-publishing, and adopt p, k and the algorithm from the release itself.
+	// Explicit flags that contradict the release are an error — computing
+	// Theorem 2/3 bounds for parameters the snapshot was not published under
+	// would validate the wrong guarantee. The attack is then deterministic,
+	// so one trial suffices.
 	var fixed *pg.Published
 	if *snap != "" {
 		var err error
@@ -87,7 +146,17 @@ func main() {
 			fixed.Schema.Sensitive.Size() != d.Schema.Sensitive.Size() {
 			fail(fmt.Errorf("snapshot %s is not a hospital publication (use pgpublish -dataset hospital -snapshot)", *snap))
 		}
+		if set["p"] && *p != fixed.P {
+			fail(fmt.Errorf("-p %v conflicts with snapshot %s (published with p=%v); drop the flag to adopt the release's value", *p, *snap, fixed.P))
+		}
+		if set["k"] && *k != fixed.K {
+			fail(fmt.Errorf("-k %d conflicts with snapshot %s (published with k=%d); drop the flag to adopt the release's value", *k, *snap, fixed.K))
+		}
+		if set["algorithm"] && alg != fixed.Algorithm {
+			fail(fmt.Errorf("-algorithm %s conflicts with snapshot %s (published with %v); drop the flag to adopt the release's value", *algorithm, *snap, fixed.Algorithm))
+		}
 		*p, *k, *trials = fixed.P, fixed.K, 1
+		alg = fixed.Algorithm
 		fmt.Fprintf(os.Stderr, "pgattack: attacking fixed publication (%d tuples, %v, k=%d, p=%.4f)\n",
 			fixed.Len(), fixed.Algorithm, fixed.K, fixed.P)
 	}
@@ -163,7 +232,7 @@ func main() {
 		pub := fixed
 		if pub == nil {
 			var err error
-			pub, err = pg.Publish(d, hiers, pg.Config{K: *k, P: *p, Rng: rng, Metrics: reg})
+			pub, err = pg.Publish(d, hiers, pg.Config{K: *k, P: *p, Algorithm: alg, Rng: rng, Metrics: reg})
 			if err != nil {
 				fail(err)
 			}
@@ -192,4 +261,147 @@ func main() {
 		fmt.Println("WARNING: a bound was exceeded — please report this as a bug")
 		os.Exit(1)
 	}
+}
+
+// fleetOptions carries the -exp fleet flag values plus the set of flags the
+// user typed explicitly — unset publication parameters are adopted from the
+// served release's metadata, explicit ones must match it.
+type fleetOptions struct {
+	set       map[string]bool
+	reg       *obs.Registry
+	n         int
+	seed      int64
+	k         int
+	p         float64
+	algorithm string
+	url       string
+	victims   int
+	fractions string
+	workers   int
+	soak      bool
+	jsonOut   string
+	benchout  string
+}
+
+// runFleet runs the adversary-at-scale attack fleet and emits its report.
+// A bound violation is a non-zero exit, after the report has been written.
+func runFleet(o fleetOptions) error {
+	cfg := attackfleet.Config{
+		BaseURL: o.url, N: o.n, Seed: o.seed, Algorithm: o.algorithm,
+		Victims: o.victims, Workers: o.workers, Soak: o.soak, Metrics: o.reg,
+	}
+	// -p/-k defaults describe the hospital attack, not the fleet; only pass
+	// them when given explicitly so BaseURL mode can adopt the served values.
+	if o.set["p"] {
+		cfg.P = o.p
+	}
+	if o.set["k"] {
+		cfg.K = o.k
+	}
+	if o.fractions != "" {
+		for _, f := range strings.Split(o.fractions, ",") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &v); err != nil {
+				return fmt.Errorf("bad -fractions entry %q: %v", f, err)
+			}
+			cfg.Fractions = append(cfg.Fractions, v)
+		}
+	}
+
+	rep, err := attackfleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	renderFleet(rep)
+
+	if o.jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if o.jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(o.jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if o.benchout != "" {
+		if err := mergeFleetBench(o.benchout, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.benchout)
+	}
+	if rep.Violations > 0 {
+		return fmt.Errorf("%d Theorem 1-3 bound violations — please report this as a bug", rep.Violations)
+	}
+	fmt.Println("all adversaries stayed within the Theorem 1-3 bounds")
+	return nil
+}
+
+// renderFleet prints the human-readable breach curves and soak summary.
+func renderFleet(rep *attackfleet.Report) {
+	fmt.Printf("fleet: n=%d rows=%d groups=%d %s k=%d p=%.4f seed=%d victims=%d queries=%d\n",
+		rep.N, rep.Rows, rep.Groups, rep.Algorithm, rep.K, rep.P, rep.Seed, rep.Victims, rep.Queries)
+	fmt.Printf("bounds: h<=%.4f rho2<=%.4f growth<=%.4f (lambda=%.3f rho1=%.3f)\n\n",
+		rep.HBound, rep.Rho2Bound, rep.DeltaBound, rep.Lambda, rep.Rho1)
+	for _, m := range rep.Modes {
+		// "rho2 post" is the Theorem-2-conditioned maximum: posteriors of
+		// plans whose prior confidence was within rho1 (0 when no plan was).
+		fmt.Printf("%-6s %10s %10s %10s %12s %10s\n",
+			m.Mode, "fraction", "max h", "rho2 post", "mean post", "max growth")
+		for _, c := range m.Curve {
+			fmt.Printf("%-6s %10.2f %10.4f %10.4f %12.4f %10.4f\n",
+				"", c.Fraction, c.MaxH, c.MaxPosterior, c.MeanPosterior, c.MaxGrowth)
+		}
+		switch m.Mode {
+		case "aware":
+			if m.RecoveredCutNodes > 0 {
+				fmt.Printf("       recovered cut nodes: %d\n", m.RecoveredCutNodes)
+			}
+		case "probe":
+			fmt.Printf("       agree with aware: %d/%d (probe fallbacks: %d)\n",
+				m.AgreeWithAware, rep.Victims, m.ProbeFallbacks)
+		}
+		fmt.Println()
+	}
+	if s := rep.Soak; s != nil {
+		fmt.Printf("soak: %d queries, %.0f qps, p50/p95/p99 = %.0f/%.0f/%.0f us\n",
+			s.Queries, s.QPS, s.P50us, s.P95us, s.P99us)
+		fmt.Printf("      computed=%d cache=%d coalesced=%d shed=%d timeouts=%d drain ok=%d dropped=%d\n",
+			s.Computed, s.CacheHits, s.Coalesced, s.Shed, s.Timeouts, s.DrainOK, s.DrainDropped)
+	}
+}
+
+// mergeFleetBench merges the report into the tracked perf report's `fleet`
+// block, keyed by (n, algorithm), without clobbering the other sections.
+func mergeFleetBench(path string, rep *attackfleet.Report) error {
+	var pr experiments.PerfReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &pr); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	}
+	replaced := false
+	for i, old := range pr.Fleet {
+		if old.N == rep.N && old.Algorithm == rep.Algorithm {
+			pr.Fleet[i] = rep
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		pr.Fleet = append(pr.Fleet, rep)
+	}
+	sort.Slice(pr.Fleet, func(i, j int) bool {
+		if pr.Fleet[i].N != pr.Fleet[j].N {
+			return pr.Fleet[i].N < pr.Fleet[j].N
+		}
+		return pr.Fleet[i].Algorithm < pr.Fleet[j].Algorithm
+	})
+	data, err := json.MarshalIndent(&pr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

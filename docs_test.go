@@ -15,6 +15,7 @@ var docFiles = []string{
 	"DESIGN.md",
 	"EXPERIMENTS.md",
 	"docs/ARCHITECTURE.md",
+	"docs/ATTACKS.md",
 	"docs/OBSERVABILITY.md",
 	"docs/SERVING.md",
 }
@@ -75,6 +76,9 @@ func TestDocCatalogCoversMetrics(t *testing.T) {
 		"serve.errors", "serve.shed", "serve.timeouts",
 		"serve.cache.hits", "serve.cache.misses", "serve.cache.evictions",
 		"serve.coalesced", "serve.latency.query", "serve.latency.batch",
+		"fleet.queries", "fleet.retries", "fleet.latency.query",
+		"fleet.victims", "fleet.violations", "fleet.probe.fallbacks",
+		"fleet.cut.nodes", "fleet.soak.dropped",
 	} {
 		if !strings.Contains(catalog, name) {
 			t.Errorf("docs/OBSERVABILITY.md: metric %q missing from the catalog", name)

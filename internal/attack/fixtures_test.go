@@ -1,0 +1,292 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/generalize"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/pg"
+	"pgpub/internal/privacy"
+)
+
+// This file pins Equations 5–20 against hand-computed literal fixtures, on
+// publications small enough to evaluate the paper's formulas on paper:
+//
+//   - Lemma 1 / Equations 5–10 on a conventional generalized publication
+//     (PredicateAttack) and Lemma 2 (TotalCorruptionAttack);
+//   - Equations 11–20 through LinkAttack on the tiny one-attribute scenario,
+//     published by all three Phase-2 algorithms — KD, TDS and full-domain all
+//     arrive at the same minimal cut {[0,1],[2,3]} here, so a single fixture
+//     table pins all three;
+//   - the boundary cases: retention p = 0 (Phase 1 destroys all information,
+//     the posterior must collapse to the prior) and corruption β = k−1
+//     (every group-mate corrupted, g = 0 — the worst case of Theorem 2).
+//
+// Every expected value below is a hand-derived closed form, not a recorded
+// program output; the derivations are in the comments.
+
+const fixTol = 1e-12
+
+// conventionalFixture publishes the 4-row table QI = {0,1,2,3}, sensitive
+// multiset {s0,s0,s1,s2} over a 5-value sensitive domain, generalized under
+// the given hierarchy cut.
+func conventionalFixture(t *testing.T, cutNodes []int32) (*Conventional, *External) {
+	t.Helper()
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("Q", 0, 3)},
+		dataset.MustAttribute("S", "s0", "s1", "s2", "s3", "s4"),
+	)
+	tbl := dataset.NewTable(s)
+	sens := []int32{0, 0, 1, 2}
+	for i := int32(0); i < 4; i++ {
+		tbl.MustAppend([]int32{i, sens[i]})
+	}
+	h := hierarchy.MustInterval(4, 2)
+	cut, err := hierarchy.NewCut(h, cutNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := generalize.NewRecoding(s, []*hierarchy.Hierarchy{h}, []*hierarchy.Cut{cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := PublishConventional(tbl, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := NewExternal(tbl, [][]int32{{0}, {1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conv, ext
+}
+
+// TestLemma1PredicateFixtures pins the predicate attack of Section III-A
+// (Equations 5–10 specialized to a conventional publication) against literal
+// posteriors on the group multiset {s0, s0, s1, s2}:
+// post[x] = mult(x)·prior[x] / Σ_x' mult(x')·prior[x'].
+func TestLemma1PredicateFixtures(t *testing.T) {
+	// Top cut: one group holding all four tuples.
+	conv, _ := conventionalFixture(t, []int32{6})
+	uni := privacy.Uniform(5)
+	exc, err := privacy.Excluding(5, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm1, _ := privacy.PointMass(5, 1)
+	pm3, _ := privacy.PointMass(5, 3)
+
+	cases := []struct {
+		name         string
+		prior        privacy.PDF
+		q            []int32
+		prior_, post float64
+	}{
+		// Uniform prior: post ∝ multiplicity: {s0: 2/4, s1: 1/4, s2: 1/4}.
+		{"uniform point", uni, []int32{0}, 1.0 / 5, 2.0 / 4},
+		{"uniform pair", uni, []int32{0, 1}, 2.0 / 5, 3.0 / 4},
+		{"uniform absent value", uni, []int32{3}, 1.0 / 5, 0},
+		// Excluding prior 1/3 on {s0,s1,s2}: post ∝ {2/3, 1/3, 1/3},
+		// normalizer 4/3 → {1/2, 1/4, 1/4}.
+		{"excluding point", exc, []int32{0}, 1.0 / 3, 1.0 / 2},
+		{"excluding other", exc, []int32{1}, 1.0 / 3, 1.0 / 4},
+		// Point-mass prior on a group value: only the s1 tuple survives.
+		{"point mass consistent", pm1, []int32{1}, 1, 1},
+		// Point-mass prior contradicting every group value: mass 0, the
+		// publication is inconsistent with the knowledge, prior kept.
+		{"point mass contradiction", pm3, []int32{3}, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := privacy.PredicateOf(5, tc.q...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prior, post, err := conv.PredicateAttack(0, tc.prior, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(prior-tc.prior_) > fixTol || math.Abs(post-tc.post) > fixTol {
+				t.Fatalf("prior/post = %v/%v, hand-computed %v/%v", prior, post, tc.prior_, tc.post)
+			}
+		})
+	}
+
+	// Pair cut {[0,1],[2,3]}: victim 0's group multiset is {s0,s0} — the
+	// homogeneity breach of Lemma 1: posterior 1 from any prior with
+	// prior[0] > 0.
+	convPair, _ := conventionalFixture(t, []int32{4, 5})
+	q0, _ := privacy.PredicateOf(5, 0)
+	prior, post, err := convPair.PredicateAttack(0, uni, q0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prior-1.0/5) > fixTol || math.Abs(post-1) > fixTol {
+		t.Fatalf("homogeneous group: prior/post = %v/%v, want 0.2/1", prior, post)
+	}
+}
+
+// TestLemma2ReconstructionFixtures pins the constructive proof of Lemma 2:
+// with 𝒞 = ℰ − {o} the multiset subtraction leaves exactly the victim's
+// value, for every victim, under both cuts — including victim 0 whose value
+// s0 is duplicated in its group.
+func TestLemma2ReconstructionFixtures(t *testing.T) {
+	for _, cut := range [][]int32{{6}, {4, 5}} {
+		conv, ext := conventionalFixture(t, cut)
+		for victim, want := range []int32{0, 0, 1, 2} {
+			got, err := conv.TotalCorruptionAttack(ext, victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("cut %v victim %d: reconstructed %d, truth %d", cut, victim, got, want)
+			}
+		}
+	}
+}
+
+// linkFixture is one hand-derived LinkAttack expectation on the tiny
+// scenario: victim owner 0 (true value 0), crucial cell [0,1] with G = 2 and
+// candidates 𝒪 = {owner 1 (value 1), extraneous 4}, target Q = {0}.
+type linkFixture struct {
+	name        string
+	prior       privacy.PDF
+	corrupted   map[int]bool
+	alpha, beta int
+	g, h        float64
+	prior_      float64
+	post        float64
+}
+
+// TestLinkAttackFixturesAllAlgorithms pins Equations 11–20 (transition,
+// conditional, g, h, posterior mixture and confidences) against literal
+// values, for each Phase-2 algorithm. On this scenario KD, TDS and
+// full-domain all produce the cut {[0,1],[2,3]}, and Phases 1/3 draw from
+// seed streams independent of the algorithm, so the published snapshot — and
+// every fixture value — is identical across the three.
+func TestLinkAttackFixturesAllAlgorithms(t *testing.T) {
+	uni := privacy.Uniform(4)
+	exc3, err := privacy.Excluding(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm0, _ := privacy.PointMass(4, 0)
+
+	// Retention p = 1/2, seed 11: the published crucial value is y = 1
+	// (owner 1's tuple sampled, value retained). u = (1−p)/4 = 1/8,
+	// p·(1/4)+u = 1/4 for any uniform pdf, T(x→1) = 5/8 if x = 1 else 1/8.
+	half := []linkFixture{
+		// g = (G−1−β)/(e−α) = 1/2; pOwn = (1/4)/2 = 1/8; each uncorrupted
+		// candidate adds (g/G)(1/4) = 1/16; pY = 1/4; h = 1/2.
+		// Posterior: den = p/4+u = 1/4, cond[0] = (1/4)(1/8)/(1/4) = 1/8,
+		// post[0] = h/8 + (1−h)/4 = 3/16.
+		{"uniform no corruption", uni, nil, 0, 0, 0.5, 0.5, 0.25, 3.0 / 16},
+		// β = k−1 = 1: corrupt owner 1, g = 0. Its known value x₁ = 1 = y
+		// adds T(1→1)/G = (5/8)/2; pY = 1/8 + 5/16 = 7/16; h = 2/7.
+		// post[0] = (2/7)(1/8) + (5/7)(1/4) = 3/14.
+		{"uniform beta k-1", uni, map[int]bool{1: true}, 1, 1, 0, 2.0 / 7, 0.25, 3.0 / 14},
+		// Corrupt the extraneous candidate: α = 1, β = 0, g = 1/1 = 1; the
+		// single uncorrupted candidate adds (1/2)(1/4) = 1/8; pY = 1/4,
+		// h = 1/2 and the posterior matches the no-corruption case.
+		{"extraneous corrupted", uni, map[int]bool{4: true}, 1, 0, 1, 0.5, 0.25, 3.0 / 16},
+		// Excluding prior (1/3 on {0,1,2}): pOwn = (1/6+1/8)/2 = 7/48,
+		// candidates add 2·(1/4)(1/4) = 6/48; h = 7/13. den = 1/6+1/8 =
+		// 7/24, cond[0] = (1/24)/(7/24) = 1/7, post[0] = (7/13)(1/7) +
+		// (6/13)(1/3) = 3/13.
+		{"excluding prior", exc3, nil, 0, 0, 0.5, 7.0 / 13, 1.0 / 3, 3.0 / 13},
+		// Point-mass prior at the truth: pOwn = (0+1/8)/2 = 1/16, pY =
+		// 1/16+1/8 = 3/16, h = 1/3; cond[0] = T(0→1)/(den=1/8) = 1 and the
+		// posterior mixture keeps certainty: post[0] = 1.
+		{"point mass certainty", pm0, nil, 0, 0, 0.5, 1.0 / 3, 1, 1},
+	}
+
+	// Boundary p = 0, seed 11: y = 3, u = 1/4, every transition is 1/4 —
+	// the observation carries no information, so h is still well-defined
+	// (1/2 in all three cases below) but the posterior must equal the prior
+	// exactly, even when y = 3 is prior-impossible as a true value.
+	zero := []linkFixture{
+		{"p=0 uniform", uni, nil, 0, 0, 0.5, 0.5, 0.25, 0.25},
+		{"p=0 beta k-1", uni, map[int]bool{1: true}, 1, 1, 0, 0.5, 0.25, 0.25},
+		{"p=0 excluding", exc3, nil, 0, 0, 0.5, 0.5, 1.0 / 3, 1.0 / 3},
+	}
+
+	for _, alg := range []pg.Algorithm{pg.KD, pg.TDS, pg.FullDomain} {
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, bc := range []struct {
+				p     float64
+				y     int32
+				cases []linkFixture
+			}{{0.5, 1, half}, {0, 3, zero}} {
+				tbl, ext, pub := tinyScenarioAlg(t, bc.p, 11, alg)
+				domain := tbl.Schema.SensitiveDomain()
+				for _, tc := range bc.cases {
+					t.Run(tc.name, func(t *testing.T) {
+						q, _ := privacy.ExactReconstruction(domain, 0)
+						adv := Adversary{Background: tc.prior, Corrupted: tc.corrupted}
+						res, err := LinkAttack(pub, ext, 0, adv, q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Y != bc.y || res.Crucial.G != 2 || len(res.Candidates) != 2 {
+							t.Fatalf("y/G/e = %d/%d/%d, fixture assumes %d/2/2",
+								res.Y, res.Crucial.G, len(res.Candidates), bc.y)
+						}
+						if res.Alpha != tc.alpha || res.Beta != tc.beta {
+							t.Fatalf("alpha/beta = %d/%d, want %d/%d", res.Alpha, res.Beta, tc.alpha, tc.beta)
+						}
+						for _, v := range []struct {
+							name      string
+							got, want float64
+						}{
+							{"g", res.G, tc.g},
+							{"h", res.H, tc.h},
+							{"prior", res.Prior, tc.prior_},
+							{"posterior", res.Posterior, tc.post},
+						} {
+							if math.Abs(v.got-v.want) > fixTol {
+								t.Fatalf("%s = %v, hand-computed %v", v.name, v.got, v.want)
+							}
+						}
+						if bc.p == 0 {
+							// Equation 9 at p = 0: the full pdf collapses to
+							// the prior, elementwise.
+							for x, px := range res.PosteriorPDF {
+								if math.Abs(px-tc.prior[x]) > fixTol {
+									t.Fatalf("p=0 posterior[%d] = %v, prior %v", x, px, tc.prior[x])
+								}
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// tinyScenarioAlg is tinyScenario under a caller-chosen Phase-2 algorithm.
+func tinyScenarioAlg(t *testing.T, p float64, seed int64, alg pg.Algorithm) (*dataset.Table, *External, *pg.Published) {
+	t.Helper()
+	s := dataset.MustSchema(
+		[]*dataset.Attribute{dataset.MustIntAttribute("Q", 0, 3)},
+		dataset.MustAttribute("S", "s0", "s1", "s2", "s3"),
+	)
+	tbl := dataset.NewTable(s)
+	for i := int32(0); i < 4; i++ {
+		tbl.MustAppend([]int32{i, i})
+	}
+	ext, err := NewExternal(tbl, [][]int32{{0}, {1}, {2}, {3}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := []*hierarchy.Hierarchy{hierarchy.MustInterval(4, 2)}
+	pub, err := pg.Publish(tbl, hiers, pg.Config{K: 2, P: p, Algorithm: alg, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Len() != 2 {
+		t.Fatalf("expected the cut {[0,1],[2,3]}, got %d cells", pub.Len())
+	}
+	return tbl, ext, pub
+}

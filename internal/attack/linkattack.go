@@ -3,6 +3,7 @@ package attack
 import (
 	"fmt"
 
+	"pgpub/internal/generalize"
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
 )
@@ -22,6 +23,17 @@ type Adversary struct {
 	// another individual's sensitive value (Equation 19's X_j). nil means
 	// uniform for everyone.
 	OthersBackground func(id int) privacy.PDF
+}
+
+// Crucial is the adversary's view of the crucial tuple after steps A1–A2,
+// however it was obtained: read directly off the publication (LinkAttack)
+// or reconstructed from served query answers (internal/attackfleet). Y is
+// the observed — possibly perturbed — sensitive value, G the source
+// QI-group size, and Candidates the candidate set 𝒪 in ascending ID order.
+type Crucial struct {
+	Y          int32
+	G          int
+	Candidates []int
 }
 
 // Result carries everything an attack computes, mirroring the symbols of
@@ -45,11 +57,56 @@ type Result struct {
 	PosteriorPDF privacy.PDF
 }
 
+// CandidatesIn computes step A2: the candidate set 𝒪 — every individual
+// other than the victim whose QI vector the crucial box generalizes — in
+// ascending ID order.
+func CandidatesIn(ext *External, box generalize.Box, victim int) []int {
+	var out []int
+	for id := 0; id < ext.Len(); id++ {
+		if id == victim {
+			continue
+		}
+		if box.Covers(ext.QIOf(id)) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // LinkAttack performs the corruption-aided linking attack A1–A3 of Section
 // V-A against a PG publication, computing the exact Bayesian posterior of
 // Section V-B / VI. The victim must be a microdata owner, must not be in 𝒞,
 // and the predicate is the attack target Q.
 func LinkAttack(pub *pg.Published, ext *External, victim int, adv Adversary, q privacy.Predicate) (*Result, error) {
+	if victim < 0 || victim >= ext.Len() {
+		return nil, fmt.Errorf("attack: victim %d outside the external database", victim)
+	}
+
+	// A1: the crucial tuple.
+	t, ok := pub.FindCrucial(ext.QIOf(victim))
+	if !ok {
+		return nil, fmt.Errorf("attack: no crucial tuple for victim %d", victim)
+	}
+
+	// A2 + A3: candidate set and posterior, through the shared estimator.
+	res, err := Posterior(ext, victim, adv, q, pub.P, Crucial{
+		Y: t.Value, G: t.G, Candidates: CandidatesIn(ext, t.Box, victim),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Crucial = t
+	return res, nil
+}
+
+// Posterior performs step A3 of the linking attack against an
+// already-located crucial tuple: the exact Bayesian derivation of Equations
+// 13–19 followed by the posterior pdf of Equation 9. It is the per-victim
+// estimator shared by LinkAttack (which reads the crucial tuple off the
+// publication) and the HTTP attack fleet (which reconstructs it from served
+// query answers) — both call it with identical inputs, so their breach
+// estimates agree bit for bit.
+func Posterior(ext *External, victim int, adv Adversary, q privacy.Predicate, p float64, cr Crucial) (*Result, error) {
 	if victim < 0 || victim >= ext.Len() {
 		return nil, fmt.Errorf("attack: victim %d outside the external database", victim)
 	}
@@ -62,37 +119,26 @@ func LinkAttack(pub *pg.Published, ext *External, victim int, adv Adversary, q p
 	if err := adv.Background.Validate(); err != nil {
 		return nil, fmt.Errorf("attack: invalid background knowledge: %w", err)
 	}
-	domain := pub.Schema.SensitiveDomain()
+	domain := ext.Table().Schema.SensitiveDomain()
 	if len(adv.Background) != domain {
 		return nil, fmt.Errorf("attack: background over %d values, domain is %d", len(adv.Background), domain)
 	}
 	if len(q) != domain {
 		return nil, fmt.Errorf("attack: predicate over %d values, domain is %d", len(q), domain)
 	}
-
-	// A1: the crucial tuple.
-	t, ok := pub.FindCrucial(ext.QIOf(victim))
-	if !ok {
-		return nil, fmt.Errorf("attack: no crucial tuple for victim %d", victim)
+	if cr.G < 1 {
+		return nil, fmt.Errorf("attack: crucial tuple with group size %d", cr.G)
 	}
-	res := &Result{Crucial: t, Y: t.Value}
-
-	// A2: the candidate set 𝒪.
-	for id := 0; id < ext.Len(); id++ {
-		if id == victim {
-			continue
-		}
-		if t.Box.Covers(ext.QIOf(id)) {
-			res.Candidates = append(res.Candidates, id)
-		}
+	if !ext.Table().Schema.Sensitive.Valid(cr.Y) {
+		return nil, fmt.Errorf("attack: observed value %d outside the sensitive domain", cr.Y)
 	}
+	res := &Result{Y: cr.Y, Candidates: cr.Candidates}
 
-	// A3: posterior derivation. Split 𝒪 into corrupted non-extraneous
-	// (known values x_1..x_β), corrupted extraneous (known absent), and
-	// uncorrupted (Equation 19 applies).
-	p := pub.P
+	// Split 𝒪 into corrupted non-extraneous (known values x_1..x_β),
+	// corrupted extraneous (known absent), and uncorrupted (Equation 19
+	// applies).
 	u := (1 - p) / float64(domain)
-	tg := float64(t.G)
+	tg := float64(cr.G)
 	var knownValues []int32
 	var uncorrupted []int
 	for _, id := range res.Candidates {
@@ -109,12 +155,12 @@ func LinkAttack(pub *pg.Published, ext *External, victim int, adv Adversary, q p
 
 	// Equation 13: g = (t.G - 1 - β) / (e - α). With no uncorrupted
 	// candidates left every remaining slot is already accounted for; g = 0.
-	slots := float64(t.G-1) - float64(res.Beta)
+	slots := float64(cr.G-1) - float64(res.Beta)
 	if slots < 0 {
 		// More confirmed members than the group holds: the scenario is
 		// inconsistent with the publication (cannot happen for honest
 		// corruption oracles).
-		return nil, fmt.Errorf("attack: %d confirmed members exceed group size %d", res.Beta+1, t.G)
+		return nil, fmt.Errorf("attack: %d confirmed members exceed group size %d", res.Beta+1, cr.G)
 	}
 	if len(uncorrupted) > 0 {
 		res.G = slots / float64(len(uncorrupted))
@@ -123,7 +169,7 @@ func LinkAttack(pub *pg.Published, ext *External, victim int, adv Adversary, q p
 		res.G = 1
 	}
 
-	y := t.Value
+	y := cr.Y
 	// Equation 15: P[o owns t, y] = (1/t.G)(p·P[X=y] + (1-p)/|U^s|).
 	pOwn := (p*adv.Background[y] + u) / tg
 

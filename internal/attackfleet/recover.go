@@ -1,0 +1,301 @@
+package attackfleet
+
+import (
+	"fmt"
+	"math"
+
+	"pgpub/internal/generalize"
+)
+
+// This file reconstructs the adversary's A1 observations from served query
+// answers. Two facts make the reconstruction exact:
+//
+//   - A point query (every QI dimension pinned) restricts all dimensions, so
+//     the server always answers it through the index's exact kd traversal,
+//     touching exactly the one published row whose box covers the point
+//     (Property G3). The answer is a deterministic float: G·Π_j(1/len_j)
+//     for NAIVE, with the sensitive mask/value weighting on top.
+//
+//   - Two points inside the same box produce bit-identical answers (same
+//     entry, same per-dimension lengths, same multiplication order), so
+//     bitwise equality of the (NAIVE, SUM) answer pair is a box-membership
+//     fingerprint. Distinct boxes collide only when both float products
+//     coincide exactly — rare, and every use below is double-checked by a
+//     segment query whose answer must scale linearly with the probed span.
+
+// fingerprint is the (NAIVE, SUM) point-answer pair used for box-membership
+// tests.
+type fingerprint struct {
+	naive, sum float64
+}
+
+func (f fingerprint) equal(g fingerprint) bool {
+	return math.Float64bits(f.naive) == math.Float64bits(g.naive) &&
+		math.Float64bits(f.sum) == math.Float64bits(g.sum)
+}
+
+// fingerprintAt probes the point vq with dimension j moved to x (j < 0
+// probes vq itself).
+func (r *runner) fingerprintAt(vq []int32, j int, x int32) (fingerprint, error) {
+	probe := vq
+	if j >= 0 {
+		probe = make([]int32, len(vq))
+		copy(probe, vq)
+		probe[j] = x
+	}
+	n, err := r.cl.naivePoint(probe)
+	if err != nil {
+		return fingerprint{}, err
+	}
+	if n == 0 {
+		// No published box covers the point; the SUM would error on the
+		// estimated-empty region, and the fingerprint is simply "empty".
+		return fingerprint{}, nil
+	}
+	s, err := r.cl.sumPoint(probe)
+	if err != nil {
+		return fingerprint{}, err
+	}
+	return fingerprint{naive: n, sum: s}, nil
+}
+
+// recoverY reconstructs the victim's crucial observation (unit weight and
+// observed sensitive value y) over HTTP, deliberately exercising all three
+// served estimator paths and cross-checking them against each other:
+//
+//	NAIVE   unit = G/vol, the box weight at the victim's point
+//	COUNT   binary search over prefix masks {0..m}: the PG-inverted count is
+//	        positive iff y <= m (the box holds exactly one published value)
+//	SUM     readoff: sum = (unit·y − (1−p)·mean·unit)/p inverts to y
+//	NAIVE   mask confirmation: the {y}-masked weight equals the box weight
+//
+// Any disagreement means the server is not answering from a PG publication
+// consistent with the metadata, and the attack run fails loudly.
+func (r *runner) recoverY(vq []int32) (fingerprint, int32, error) {
+	unit, err := r.cl.naivePoint(vq)
+	if err != nil {
+		return fingerprint{}, 0, err
+	}
+	if unit <= 0 {
+		return fingerprint{}, 0, fmt.Errorf("attackfleet: no crucial tuple served at %v", vq)
+	}
+
+	// COUNT path: find the smallest m with a positive count under {0..m}.
+	lo, hi := int32(0), int32(r.domain-1)
+	prefix := make([]int32, 0, r.domain)
+	for lo < hi {
+		m := (lo + hi) / 2
+		prefix = prefix[:0]
+		for x := int32(0); x <= m; x++ {
+			prefix = append(prefix, x)
+		}
+		est, err := r.cl.countMask(vq, prefix)
+		if err != nil {
+			return fingerprint{}, 0, err
+		}
+		if est > 0 {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	y := lo
+
+	// SUM path: invert the identity-value SUM estimator.
+	sum, err := r.cl.sumPoint(vq)
+	if err != nil {
+		return fingerprint{}, 0, err
+	}
+	mean := float64(r.domain-1) / 2
+	ySum := math.Round(r.p*sum/unit + (1-r.p)*mean)
+	if ySum != float64(y) {
+		return fingerprint{}, 0, fmt.Errorf(
+			"attackfleet: SUM readoff says y = %v, COUNT search says y = %d at %v", ySum, y, vq)
+	}
+
+	// NAIVE mask confirmation: one published row per box, so the {y}-masked
+	// weight is the whole box weight.
+	masked, err := r.cl.naiveMask(vq, []int32{y})
+	if err != nil {
+		return fingerprint{}, 0, err
+	}
+	if masked <= 0 || math.Abs(masked-unit) > 1e-9*unit {
+		return fingerprint{}, 0, fmt.Errorf(
+			"attackfleet: {y}-masked weight %v disagrees with box weight %v at %v", masked, unit, vq)
+	}
+	return fingerprint{naive: unit, sum: sum}, y, nil
+}
+
+// probeBox reconstructs the victim's crucial box blind — without knowing the
+// Phase-2 algorithm — by galloping each dimension's edges out from the
+// victim's point with membership fingerprints, then verifying each edge pair
+// with segment queries (NAIVE and SUM over the whole span must equal the
+// point answers scaled by the span). A failed verification falls back to a
+// linear one-step scan; a fallback that still fails is an error.
+func (r *runner) probeBox(vq []int32, fp fingerprint) (generalize.Box, error) {
+	d := len(vq)
+	box := generalize.Box{Lo: make([]int32, d), Hi: make([]int32, d)}
+	for j := 0; j < d; j++ {
+		size := int32(r.schema.QI[j].Size())
+		match := func(x int32) (bool, error) {
+			if x == vq[j] {
+				return true, nil
+			}
+			g, err := r.fingerprintAt(vq, j, x)
+			if err != nil {
+				return false, err
+			}
+			return g.equal(fp), nil
+		}
+		lo, err := probeEdge(vq[j], 0, -1, match)
+		if err != nil {
+			return box, err
+		}
+		hi, err := probeEdge(vq[j], size-1, +1, match)
+		if err != nil {
+			return box, err
+		}
+		ok, err := r.verifySegment(vq, j, lo, hi, fp)
+		if err != nil {
+			return box, err
+		}
+		if !ok {
+			// Linear fallback: step one code at a time. This survives the
+			// (rare) case where the gallop fingerprint collided with an
+			// adjacent box.
+			r.probeFallbacks.Add(1)
+			r.met.probeFallbacks.Inc()
+			if lo, hi, err = linearEdges(vq[j], size, match); err != nil {
+				return box, err
+			}
+			if ok, err = r.verifySegment(vq, j, lo, hi, fp); err != nil {
+				return box, err
+			}
+			if !ok {
+				return box, fmt.Errorf(
+					"attackfleet: probed span [%d,%d] of dim %d fails segment verification at %v",
+					lo, hi, j, vq)
+			}
+		}
+		box.Lo[j], box.Hi[j] = lo, hi
+	}
+	return box, nil
+}
+
+// probeEdge finds the box edge along one direction: the farthest x (toward
+// bound, stepping by dir) whose fingerprint still matches. Galloping doubles
+// the step while matching; a mismatch brackets the edge for binary search.
+// Box spans are contiguous, so any matching point certifies everything
+// between it and the start.
+func probeEdge(start, bound int32, dir int32, match func(int32) (bool, error)) (int32, error) {
+	good := start
+	step := int32(1)
+	for good != bound {
+		probe := good + dir*step
+		if (dir < 0 && probe < bound) || (dir > 0 && probe > bound) {
+			probe = bound
+		}
+		ok, err := match(probe)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			good = probe
+			step *= 2
+			continue
+		}
+		// Edge is strictly between probe (bad) and good; binary search.
+		bad := probe
+		for bad != good+dir {
+			mid := (bad + good) / 2
+			ok, err := match(mid)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				good = mid
+			} else {
+				bad = mid
+			}
+		}
+		return good, nil
+	}
+	return good, nil
+}
+
+// linearEdges is the conservative fallback: extend one code at a time from
+// the victim's coordinate while the fingerprint matches.
+func linearEdges(start, size int32, match func(int32) (bool, error)) (lo, hi int32, err error) {
+	lo, hi = start, start
+	for lo > 0 {
+		ok, err := match(lo - 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !ok {
+			break
+		}
+		lo--
+	}
+	for hi < size-1 {
+		ok, err := match(hi + 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !ok {
+			break
+		}
+		hi++
+	}
+	return lo, hi, nil
+}
+
+// verifySegment checks that the segment dim j ∈ [lo, hi] behaves like one
+// box: the NAIVE weight must be the point weight times the span (to 1e-9
+// relative — the only slack is float rounding of (1/span)·span), and the SUM
+// must scale the same way. A merged pair of look-alike boxes fails at least
+// one of the two unless every per-box answer collides exactly.
+func (r *runner) verifySegment(vq []int32, j int, lo, hi int32, fp fingerprint) (bool, error) {
+	span := float64(hi-lo) + 1
+	segN, err := r.cl.naiveSegment(vq, j, lo, hi)
+	if err != nil {
+		return false, err
+	}
+	if math.Abs(segN-fp.naive*span) > 1e-9*fp.naive*span {
+		return false, nil
+	}
+	segS, err := r.cl.sumSegment(vq, j, lo, hi)
+	if err != nil {
+		return false, err
+	}
+	// SUM terms can cancel near the domain mean, so the tolerance is scaled
+	// to the un-inverted magnitudes rather than the result.
+	tol := 1e-6 * (1 + span*fp.naive*float64(r.domain)/r.p)
+	return math.Abs(segS-fp.sum*span) <= tol, nil
+}
+
+// groupFromBox turns a verified box into the crucial-tuple facts the
+// posterior needs: G from the box weight (unit·vol must be integral) and
+// the candidate set from ℰ, cross-checked against each other.
+func (r *runner) groupFromBox(vq []int32, box generalize.Box, unit float64, victim int) (g int, candidates []int, err error) {
+	vol := 1.0
+	for j := range box.Lo {
+		vol *= float64(box.Hi[j]-box.Lo[j]) + 1
+	}
+	gf := unit * vol
+	g = int(math.Round(gf))
+	if g < 1 || math.Abs(gf-float64(g)) > 1e-6*(1+float64(g)) {
+		return 0, nil, fmt.Errorf("attackfleet: box weight %v times volume %v is not integral at %v", unit, vol, vq)
+	}
+	for id := 0; id < r.ext.Len(); id++ {
+		if id != victim && box.Covers(r.ext.QIOf(id)) {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates)+1 != g {
+		return 0, nil, fmt.Errorf(
+			"attackfleet: box at %v holds %d identities but the served weight says G = %d",
+			vq, len(candidates)+1, g)
+	}
+	return g, candidates, nil
+}

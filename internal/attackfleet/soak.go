@@ -1,0 +1,278 @@
+package attackfleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgpub/internal/par"
+	"pgpub/internal/serve"
+)
+
+// SoakReport carries the serving soak phases' observations. Every number in
+// it is timing-dependent (qps, percentiles, shed/coalesce counts drift with
+// scheduling), so determinism checks must strip this block — only
+// DrainDropped feeds back into Report.Violations, and it must be zero.
+type SoakReport struct {
+	// Queries is the total soak requests issued across all phases.
+	Queries int `json:"queries"`
+	// QPS and the percentiles are measured client-side over the
+	// low-locality sweep.
+	QPS   float64 `json:"qps"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+	// Computed/CacheHits/Coalesced tally the Source field of successful
+	// answers: the sweep's second pass should hit the cache, the duplicate
+	// bursts should coalesce.
+	Computed  int `json:"computed"`
+	CacheHits int `json:"cache_hits"`
+	Coalesced int `json:"coalesced"`
+	// Shed counts 429s observed during the over-admission ramp; Timeouts
+	// counts 504s anywhere.
+	Shed     int `json:"shed"`
+	Timeouts int `json:"timeouts"`
+	// DrainOK counts requests answered (or cleanly refused) while the
+	// server drained; DrainDropped counts in-flight requests the drain
+	// killed — any value above zero is a violation.
+	DrainOK      int `json:"drain_ok"`
+	DrainDropped int `json:"drain_dropped"`
+}
+
+// soak runs the serving soak phases against the fleet's target: a
+// low-locality sweep (stresses the LRU cache), duplicate bursts (stresses
+// singleflight), an over-admission ramp (stresses the limiter) and — when
+// the fleet owns the server — a drain under load. It runs after the attack
+// so a drain cannot disturb the breach measurements.
+func (r *runner) soak(cfg Config, fleetRoot int64, hs *serve.HTTPServer) (*SoakReport, error) {
+	rng := rand.New(rand.NewSource(par.SplitSeed(fleetRoot, 1)))
+	rep := &SoakReport{}
+
+	bodies, err := r.soakBodies(rng, cfg.SoakQueries)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: low-locality sweep, two passes — the first misses the result
+	// cache on every distinct query, the second should hit it.
+	var mu sync.Mutex
+	var lats []time.Duration
+	start := time.Now()
+	for pass := 0; pass < 2; pass++ {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var werr atomic.Value
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]time.Duration, 0, len(bodies))
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(bodies) {
+						break
+					}
+					t0 := time.Now()
+					status, source, err := r.cl.rawPost(r.cl.hc, bodies[i])
+					local = append(local, time.Since(t0))
+					if err != nil {
+						werr.Store(err)
+						return
+					}
+					mu.Lock()
+					rep.Queries++
+					r.tally(rep, status, source)
+					mu.Unlock()
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if err, _ := werr.Load().(error); err != nil {
+			return nil, fmt.Errorf("attackfleet: soak sweep: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(q*float64(len(lats)-1))].Nanoseconds()) / 1e3
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(lats)) / elapsed.Seconds()
+	}
+	rep.P50us, rep.P95us, rep.P99us = pct(0.50), pct(0.95), pct(0.99)
+
+	// Phase 2: duplicate bursts — every worker fires the same fresh query at
+	// once, repeatedly; concurrent duplicates should coalesce on one
+	// computation and later rounds should answer from cache.
+	burst, err := r.soakBodies(rng, 4)
+	if err != nil {
+		return nil, err
+	}
+	for _, body := range burst {
+		var wg sync.WaitGroup
+		for w := 0; w < 4*cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				status, source, err := r.cl.rawPost(r.cl.hc, body)
+				mu.Lock()
+				defer mu.Unlock()
+				rep.Queries++
+				if err == nil {
+					r.tally(rep, status, source)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 3: over-admission ramp — far more concurrent distinct queries
+	// than the limiter admits; the excess must shed with 429, never hang.
+	ramp, err := r.soakBodies(rng, 8*cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	for _, body := range ramp {
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			status, source, err := r.cl.rawPost(r.cl.hc, body)
+			mu.Lock()
+			defer mu.Unlock()
+			rep.Queries++
+			if err == nil {
+				r.tally(rep, status, source)
+			}
+		}(body)
+	}
+	wg.Wait()
+
+	// Phase 4 (self-serve only): drain under load. Workers hammer the server
+	// over non-reused connections while a graceful shutdown runs; every
+	// request must either be answered, shed, or refused at dial time — a
+	// connection killed mid-request is a dropped in-flight query.
+	if hs != nil {
+		drain, err := r.soakBodies(rng, 16)
+		if err != nil {
+			return nil, err
+		}
+		hc := &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		}
+		stop := make(chan struct{})
+		var ok64, dropped64, issued64 atomic.Int64
+		var dwg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			dwg.Add(1)
+			go func(w int) {
+				defer dwg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					issued64.Add(1)
+					_, _, err := r.cl.rawPost(hc, drain[(w+i)%len(drain)])
+					switch {
+					case err == nil:
+						ok64.Add(1)
+					case strings.Contains(err.Error(), "connection refused"):
+						// The listener is gone; nothing was in flight.
+						ok64.Add(1)
+					case !r.serverUp(hc):
+						// The connection died because the server was already
+						// refusing new work (e.g. a handshake completed in
+						// the accept backlog that the closed listener reset)
+						// — nothing had been admitted, so nothing in flight
+						// was dropped.
+						ok64.Add(1)
+					default:
+						dropped64.Add(1)
+					}
+				}
+			}(w)
+		}
+		time.Sleep(50 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = hs.Shutdown(ctx)
+		cancel()
+		close(stop)
+		dwg.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("attackfleet: drain did not complete: %w", err)
+		}
+		rep.Queries += int(issued64.Load())
+		rep.DrainOK = int(ok64.Load())
+		rep.DrainDropped = int(dropped64.Load())
+		r.met.soakDropped.Add(dropped64.Load())
+	}
+	return rep, nil
+}
+
+// serverUp reports whether the target still accepts requests — the
+// drain-phase discriminator between a connection the departing server
+// legitimately refused and an admitted request it killed.
+func (r *runner) serverUp(hc *http.Client) bool {
+	resp, err := hc.Get(r.cl.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return true
+}
+
+// tally classifies one answered soak request. Callers hold the report lock.
+func (r *runner) tally(rep *SoakReport, status int, source string) {
+	switch status {
+	case http.StatusOK:
+		switch source {
+		case "cache":
+			rep.CacheHits++
+		case "coalesced":
+			rep.Coalesced++
+		default:
+			rep.Computed++
+		}
+	case http.StatusTooManyRequests:
+		rep.Shed++
+	case http.StatusGatewayTimeout:
+		rep.Timeouts++
+	}
+}
+
+// soakBodies pre-marshals n random point queries cycling through the three
+// estimator paths. Random QI points barely repeat, which is exactly the
+// low-locality mix that churns an LRU.
+func (r *runner) soakBodies(rng *rand.Rand, n int) ([][]byte, error) {
+	ops := []string{"naive", "count", "sum"}
+	bodies := make([][]byte, n)
+	vq := make([]int32, r.schema.D())
+	for i := range bodies {
+		for j := range vq {
+			vq[j] = int32(rng.Intn(r.schema.QI[j].Size()))
+		}
+		req := serve.QueryRequest{Op: ops[i%len(ops)], Where: pointWhere(vq, -1, 0, 0)}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"pgpub/internal/attackfleet"
 	"pgpub/internal/dataset"
 	"pgpub/internal/generalize"
 	"pgpub/internal/hierarchy"
@@ -42,6 +43,10 @@ type PerfReport struct {
 	// Serve holds the network serving-layer load-test levels (pgbench -exp
 	// serve); empty until that experiment has been run against this report.
 	Serve []ServeLoadResult `json:"serve,omitempty"`
+	// Fleet holds the adversary-at-scale breach curves (pgattack -exp fleet
+	// -benchout), one report per (n, algorithm); empty until the fleet has
+	// been run against this report.
+	Fleet []*attackfleet.Report `json:"fleet,omitempty"`
 }
 
 // Perf times the hot Phase-2 primitives and the full pipeline on n SAL rows:

@@ -58,6 +58,21 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm is String's inverse: it resolves the names release
+// metadata and command-line flags use ("kd", "tds", "full-domain").
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "kd":
+		return KD, nil
+	case "tds":
+		return TDS, nil
+	case "full-domain":
+		return FullDomain, nil
+	default:
+		return 0, fmt.Errorf("pg: unknown algorithm %q (want kd, tds or full-domain)", s)
+	}
+}
+
 // Config parameterizes a PG publication.
 type Config struct {
 	// K is the QI-group size floor (Property G2). Exactly one of K or S
