@@ -29,7 +29,8 @@ func main() {
 	trials := flag.Int("trials", 200, "Monte-Carlo trials per breach scenario")
 	workers := flag.Int("workers", 0, "worker goroutines for sweeps and Monte Carlo (0 = GOMAXPROCS)")
 	perfIters := flag.Int("perfiters", 3, "iterations per perf stage (-exp perf)")
-	benchout := flag.String("benchout", "", "write the perf report as JSON to this file (-exp perf), e.g. BENCH_pg.json")
+	coldN := flag.Int("coldn", 0, "cardinality for the publish-1m/serve-coldstart perf stages (0 skips them; the tracked BENCH_pg.json entries use 1000000)")
+	benchout := flag.String("benchout", "", "merge the perf report as JSON into this file (-exp perf), e.g. BENCH_pg.json; refuses to mix runs from different machines or workloads")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metrics := flag.Bool("metrics", false, "instrument the pipeline and print the counter/phase report on exit")
@@ -215,19 +216,26 @@ func main() {
 	})
 
 	run("perf", func() error {
-		rep, err := experiments.Perf(*n, *seed, 6, *perfIters, *workers, reg)
+		rep, err := experiments.Perf(experiments.PerfConfig{
+			N: *n, ColdN: *coldN, Seed: *seed, K: 6, Iters: *perfIters, Workers: *workers, Metrics: reg,
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Println("Perf: Phase-2 primitives and full pipeline wall-clock")
 		fmt.Print(experiments.RenderPerf(rep))
 		if *benchout != "" {
-			// Preserve serve load-test levels a previous -exp serve run merged
-			// into the tracked report.
+			// Merge into the tracked report: same-(stage, workers) blocks are
+			// replaced, other blocks and the serve/fleet sections survive, and
+			// a run from a different machine or workload is refused instead of
+			// silently blended.
+			out := rep
 			if old, err := readBenchJSON(*benchout); err == nil {
-				rep.Serve = old.Serve
+				if out, err = experiments.MergePerf(old, rep); err != nil {
+					return err
+				}
 			}
-			if err := writeBenchJSON(*benchout, rep); err != nil {
+			if err := writeBenchJSON(*benchout, out); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchout)

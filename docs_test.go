@@ -6,6 +6,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"pgpub/internal/snapshot"
 )
 
 // The curated documentation set whose cross-references CI keeps honest.
@@ -82,6 +84,30 @@ func TestDocCatalogCoversMetrics(t *testing.T) {
 	} {
 		if !strings.Contains(catalog, name) {
 			t.Errorf("docs/OBSERVABILITY.md: metric %q missing from the catalog", name)
+		}
+	}
+}
+
+// TestDocCoversSnapshotV2 pins the snapshot format spec to the code: every
+// column block of the version-2 layout must be named in docs/SERVING.md's
+// field-level description, along with the structural facts a consumer
+// implementing the format needs, so the spec cannot drift from the writer.
+func TestDocCoversSnapshotV2(t *testing.T) {
+	data, err := os.ReadFile("docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := string(data)
+	for _, name := range snapshot.V2BlockNames() {
+		if !strings.Contains(spec, "`"+name+"`") {
+			t.Errorf("docs/SERVING.md: v2 block %q missing from the format spec", name)
+		}
+	}
+	for _, fact := range []string{
+		"PGSNAP", "CRC-32C", "4096", "length prefix", "-mmap", "OpenMapped",
+	} {
+		if !strings.Contains(spec, fact) {
+			t.Errorf("docs/SERVING.md: format fact %q missing from the spec", fact)
 		}
 	}
 }

@@ -5,31 +5,55 @@ import (
 	"math/rand"
 )
 
-// Table is a microdata relation D. Rows are stored row-major; row i column j
-// (j < d) is the code of QI attribute j, and the last column is the code of
-// the sensitive attribute. Each row describes one individual; the owner of
-// row i is individual i unless Owners overrides the mapping (tuples have
-// distinct owners, the standard assumption of Section II).
+// Table is a microdata relation D in struct-of-arrays form: one contiguous
+// width-chosen Column per QI attribute (column j holds the code of QI
+// attribute j for every row) plus one for the sensitive attribute. Each row
+// describes one individual; the owner of row i is individual i unless Owners
+// overrides the mapping (tuples have distinct owners, the standard
+// assumption of Section II).
+//
+// The columnar layout is the perf core of the pipeline: Phase-1 perturbation
+// writes one contiguous sensitive array, the grouping engine packs keys with
+// one linear pass per QI column, and the kd partitioner's scans touch only
+// the columns they split on. The row-major accessors (Row, QIVector) remain
+// as views so existing callers keep working; they materialize copies and are
+// not for hot loops.
 type Table struct {
 	Schema *Schema
 
-	rows [][]int32
+	// cols[j] for j < d is QI attribute j; cols[d] is the sensitive column.
+	cols []Column
+	n    int
 
 	// Owners optionally names the owner of each row with an external
 	// individual ID. nil means owner(i) == i.
 	Owners []int
 }
 
-// NewTable creates an empty table for the schema.
+// NewTable creates an empty table for the schema, choosing each column's
+// element width from its attribute's domain size.
 func NewTable(schema *Schema) *Table {
-	return &Table{Schema: schema}
+	t := &Table{Schema: schema, cols: make([]Column, schema.Width())}
+	for j, a := range schema.QI {
+		t.cols[j] = newColumn(a.Size())
+	}
+	t.cols[schema.D()] = newColumn(schema.Sensitive.Size())
+	return t
 }
 
 // Len returns |D|.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return t.n }
+
+// Grow pre-allocates column capacity for n additional rows; purely an
+// optimization for bulk loaders (CSV, the SAL generator).
+func (t *Table) Grow(n int) {
+	for j := range t.cols {
+		t.cols[j].grow(n)
+	}
+}
 
 // Append adds a row after validating it against the schema. The slice is
-// retained; callers must not mutate it afterwards.
+// copied into the columns; the caller keeps ownership.
 func (t *Table) Append(row []int32) error {
 	if len(row) != t.Schema.Width() {
 		return fmt.Errorf("dataset: row has %d columns, schema wants %d", len(row), t.Schema.Width())
@@ -44,7 +68,10 @@ func (t *Table) Append(row []int32) error {
 		return fmt.Errorf("dataset: row %d: sensitive code %d out of domain [0,%d)",
 			t.Len(), s, t.Schema.Sensitive.Size())
 	}
-	t.rows = append(t.rows, row)
+	for j, v := range row {
+		t.cols[j].append(v)
+	}
+	t.n++
 	return nil
 }
 
@@ -73,29 +100,49 @@ func (t *Table) AppendLabels(labels ...string) error {
 		return err
 	}
 	row[len(row)-1] = c
-	t.rows = append(t.rows, row)
+	for j, v := range row {
+		t.cols[j].append(v)
+	}
+	t.n++
 	return nil
 }
 
-// Row returns row i. The slice is shared with the table; treat as read-only.
-func (t *Table) Row(i int) []int32 { return t.rows[i] }
+// Row returns row i as a freshly allocated slice (a row-major view of the
+// columnar storage). Not for hot loops — sweep columns instead.
+func (t *Table) Row(i int) []int32 {
+	row := make([]int32, len(t.cols))
+	for j := range t.cols {
+		row[j] = t.cols[j].Get(i)
+	}
+	return row
+}
 
 // QI returns the code of QI attribute j in row i.
-func (t *Table) QI(i, j int) int32 { return t.rows[i][j] }
+func (t *Table) QI(i, j int) int32 { return t.cols[j].Get(i) }
+
+// QICol returns QI attribute j's column. Read-only for shared tables.
+func (t *Table) QICol(j int) *Column { return &t.cols[j] }
+
+// SensitiveCol returns the sensitive column. Mutating it through the width
+// accessors is the Phase-1 perturber's prerogative on its private clone;
+// everyone else treats it as read-only.
+func (t *Table) SensitiveCol() *Column { return &t.cols[t.Schema.D()] }
 
 // QIVector returns the QI-vector t.v^q of row i (a copy).
 func (t *Table) QIVector(i int) []int32 {
 	d := t.Schema.D()
 	v := make([]int32, d)
-	copy(v, t.rows[i][:d])
+	for j := 0; j < d; j++ {
+		v[j] = t.cols[j].Get(i)
+	}
 	return v
 }
 
 // Sensitive returns the sensitive code of row i (the paper's t.A^s).
-func (t *Table) Sensitive(i int) int32 { return t.rows[i][t.Schema.D()] }
+func (t *Table) Sensitive(i int) int32 { return t.cols[t.Schema.D()].Get(i) }
 
 // SetSensitive overwrites the sensitive code of row i.
-func (t *Table) SetSensitive(i int, v int32) { t.rows[i][t.Schema.D()] = v }
+func (t *Table) SetSensitive(i int, v int32) { t.cols[t.Schema.D()].Set(i, v) }
 
 // Owner returns the individual ID owning row i.
 func (t *Table) Owner(i int) int {
@@ -105,13 +152,12 @@ func (t *Table) Owner(i int) int {
 	return t.Owners[i]
 }
 
-// Clone deep-copies the table (rows and owners).
+// Clone deep-copies the table: d+1 contiguous column copies plus owners —
+// no per-row allocation.
 func (t *Table) Clone() *Table {
-	c := &Table{Schema: t.Schema, rows: make([][]int32, len(t.rows))}
-	for i, r := range t.rows {
-		nr := make([]int32, len(r))
-		copy(nr, r)
-		c.rows[i] = nr
+	c := &Table{Schema: t.Schema, cols: make([]Column, len(t.cols)), n: t.n}
+	for j := range t.cols {
+		c.cols[j] = t.cols[j].clone()
 	}
 	if t.Owners != nil {
 		c.Owners = append([]int(nil), t.Owners...)
@@ -122,11 +168,11 @@ func (t *Table) Clone() *Table {
 // Subset returns a new table containing the given rows (deep copies), with
 // owner IDs preserved so the subset still names the same individuals.
 func (t *Table) Subset(rows []int) *Table {
-	s := &Table{Schema: t.Schema, rows: make([][]int32, len(rows)), Owners: make([]int, len(rows))}
+	s := &Table{Schema: t.Schema, cols: make([]Column, len(t.cols)), n: len(rows), Owners: make([]int, len(rows))}
+	for j := range t.cols {
+		s.cols[j] = t.cols[j].subset(rows)
+	}
 	for k, i := range rows {
-		nr := make([]int32, len(t.rows[i]))
-		copy(nr, t.rows[i])
-		s.rows[k] = nr
 		s.Owners[k] = t.Owner(i)
 	}
 	return s
@@ -141,11 +187,19 @@ func (t *Table) RandomSubset(n int, rng *rand.Rand) (*Table, error) {
 	return t.Subset(perm[:n]), nil
 }
 
-// SensitiveHistogram counts occurrences of each sensitive code.
+// SensitiveHistogram counts occurrences of each sensitive code in one
+// column sweep.
 func (t *Table) SensitiveHistogram() []int {
 	h := make([]int, t.Schema.SensitiveDomain())
-	for i := range t.rows {
-		h[t.Sensitive(i)]++
+	col := t.SensitiveCol()
+	if u8 := col.U8(); u8 != nil {
+		for _, v := range u8 {
+			h[v]++
+		}
+		return h
+	}
+	for _, v := range col.I32() {
+		h[v]++
 	}
 	return h
 }
@@ -153,20 +207,29 @@ func (t *Table) SensitiveHistogram() []int {
 // Validate re-checks all rows against the schema; useful after external
 // construction or CSV loading paths that bypass Append.
 func (t *Table) Validate() error {
-	if t.Owners != nil && len(t.Owners) != len(t.rows) {
-		return fmt.Errorf("dataset: %d owner IDs for %d rows", len(t.Owners), len(t.rows))
+	if t.Owners != nil && len(t.Owners) != t.n {
+		return fmt.Errorf("dataset: %d owner IDs for %d rows", len(t.Owners), t.n)
 	}
-	for i, r := range t.rows {
-		if len(r) != t.Schema.Width() {
-			return fmt.Errorf("dataset: row %d has %d columns, schema wants %d", i, len(r), t.Schema.Width())
+	if len(t.cols) != t.Schema.Width() {
+		return fmt.Errorf("dataset: table has %d columns, schema wants %d", len(t.cols), t.Schema.Width())
+	}
+	for j := range t.cols {
+		if t.cols[j].Len() != t.n {
+			return fmt.Errorf("dataset: column %d has %d values for %d rows", j, t.cols[j].Len(), t.n)
 		}
-		for j, a := range t.Schema.QI {
-			if !a.Valid(r[j]) {
-				return fmt.Errorf("dataset: row %d: QI %q code %d out of domain", i, a.Name, r[j])
+	}
+	for j, a := range t.Schema.QI {
+		col := &t.cols[j]
+		for i := 0; i < t.n; i++ {
+			if !a.Valid(col.Get(i)) {
+				return fmt.Errorf("dataset: row %d: QI %q code %d out of domain", i, a.Name, col.Get(i))
 			}
 		}
-		if !t.Schema.Sensitive.Valid(r[t.Schema.D()]) {
-			return fmt.Errorf("dataset: row %d: sensitive code %d out of domain", i, r[t.Schema.D()])
+	}
+	sens := t.SensitiveCol()
+	for i := 0; i < t.n; i++ {
+		if !t.Schema.Sensitive.Valid(sens.Get(i)) {
+			return fmt.Errorf("dataset: row %d: sensitive code %d out of domain", i, sens.Get(i))
 		}
 	}
 	return nil

@@ -177,24 +177,24 @@ func TestValidate(t *testing.T) {
 	if err := tb.Validate(); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
-	tb.rows[0][0] = 99
+	tb.cols[0].Set(0, 99)
 	if err := tb.Validate(); err == nil {
 		t.Fatal("corrupted QI: want error")
 	}
-	tb.rows[0][0] = 1
-	tb.rows[0][2] = 99
+	tb.cols[0].Set(0, 1)
+	tb.cols[2].Set(0, 99)
 	if err := tb.Validate(); err == nil {
 		t.Fatal("corrupted sensitive: want error")
 	}
-	tb.rows[0][2] = 1
+	tb.cols[2].Set(0, 1)
 	tb.Owners = []int{1, 2}
 	if err := tb.Validate(); err == nil {
 		t.Fatal("owner length mismatch: want error")
 	}
 	tb.Owners = nil
-	tb.rows[0] = []int32{1}
+	tb.cols[0] = newColumn(tb.Schema.QI[0].Size())
 	if err := tb.Validate(); err == nil {
-		t.Fatal("short row: want error")
+		t.Fatal("column length mismatch: want error")
 	}
 }
 

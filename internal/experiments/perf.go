@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"strings"
 	"time"
@@ -15,31 +16,39 @@ import (
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
 	"pgpub/internal/sal"
+	"pgpub/internal/snapshot"
 )
 
 // PerfResult is one timed pipeline stage. NsPerOp mirrors the unit of a
-// `go test -bench` line so perf trackers can ingest either source.
+// `go test -bench` line so perf trackers can ingest either source. Every
+// block carries its own concurrency header — Workers (the effective worker
+// count the stage ran with), NumCPU and GoMaxProcs — because a tracked
+// report accumulates runs at different worker counts (the 1/4/16 trajectory)
+// and a block's numbers are meaningless without the parallelism they were
+// measured under.
 type PerfResult struct {
-	Name    string  `json:"name"`
-	Rows    int     `json:"rows"`
-	Iters   int     `json:"iters"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name       string  `json:"name"`
+	Rows       int     `json:"rows"`
+	Iters      int     `json:"iters"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Workers    int     `json:"workers"`
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
 }
 
 // PerfReport is the machine-readable output of the perf experiment
-// (pgbench -exp perf -benchout BENCH_pg.json). Workers is the -workers
-// setting the stages ran with (0 = GOMAXPROCS) and GoMaxProcs the runtime's
-// effective parallelism, so a tracked report states the concurrency it was
-// measured under.
+// (pgbench -exp perf -benchout BENCH_pg.json). The file-level fields are the
+// report's identity — machine (GoVersion, NumCPU) and workload (N, Seed, K).
+// MergePerf refuses to mix runs whose identities differ, so a tracked file
+// never silently blends measurements from different machines or workloads;
+// concurrency varies per result block and is recorded there.
 type PerfReport struct {
-	GoVersion  string       `json:"go_version"`
-	NumCPU     int          `json:"num_cpu"`
-	Workers    int          `json:"workers"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	N          int          `json:"n"`
-	Seed       int64        `json:"seed"`
-	K          int          `json:"k"`
-	Results    []PerfResult `json:"results"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	N         int          `json:"n"`
+	Seed      int64        `json:"seed"`
+	K         int          `json:"k"`
+	Results   []PerfResult `json:"results"`
 	// Serve holds the network serving-layer load-test levels (pgbench -exp
 	// serve); empty until that experiment has been run against this report.
 	Serve []ServeLoadResult `json:"serve,omitempty"`
@@ -49,26 +58,99 @@ type PerfReport struct {
 	Fleet []*attackfleet.Report `json:"fleet,omitempty"`
 }
 
-// Perf times the hot Phase-2 primitives and the full pipeline on n SAL rows:
+// MergePerf folds a fresh perf run into a tracked report: a run block
+// replaces the tracked block with the same (name, workers) pair, other
+// blocks and the serve/fleet sections are preserved. It refuses to merge
+// when any identity field differs — a silent mix of machines or workloads
+// would make the trajectory meaningless; regenerate the file instead.
+func MergePerf(file, run *PerfReport) (*PerfReport, error) {
+	if file == nil || len(file.Results) == 0 && file.GoVersion == "" {
+		out := *run
+		if file != nil {
+			out.Serve, out.Fleet = file.Serve, file.Fleet
+		}
+		return &out, nil
+	}
+	type ident struct {
+		field      string
+		have, want any
+	}
+	for _, id := range []ident{
+		{"go_version", file.GoVersion, run.GoVersion},
+		{"num_cpu", file.NumCPU, run.NumCPU},
+		{"n", file.N, run.N},
+		{"seed", file.Seed, run.Seed},
+		{"k", file.K, run.K},
+	} {
+		if id.have != id.want {
+			return nil, fmt.Errorf("refusing to merge perf runs: tracked report has %s=%v, this run %v — delete the file or rerun with matching parameters",
+				id.field, id.have, id.want)
+		}
+	}
+	out := *file
+	out.Results = append([]PerfResult(nil), file.Results...)
+	for _, r := range run.Results {
+		replaced := false
+		for i, old := range out.Results {
+			if old.Name == r.Name && old.Workers == r.Workers {
+				out.Results[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out.Results = append(out.Results, r)
+		}
+	}
+	return &out, nil
+}
+
+// PerfConfig parameterizes the perf experiment.
+type PerfConfig struct {
+	// N is the SAL microdata cardinality for the primitive stages.
+	N int
+	// ColdN, when positive, enables the heavy scale stages: publish-1m
+	// (one full publish at ColdN rows) and serve-coldstart-parse /
+	// serve-coldstart-mmap (snapshot load to index-ready, both paths, on the
+	// ColdN snapshot). The stage names stay fixed for trackers; Rows records
+	// the actual cardinality. The tracked BENCH_pg.json entries use 1000000.
+	ColdN int
+	// Seed is the generator seed.
+	Seed int64
+	// K is the anonymity parameter.
+	K int
+	// Iters is the per-stage iteration count (NsPerOp is the mean).
+	Iters int
+	// Workers is the worker-goroutine setting (0 = GOMAXPROCS); the
+	// effective value lands in each result block.
+	Workers int
+	// Metrics, when non-nil, is wired through every stage (pg.Config.Metrics,
+	// the Phase-2 algorithm configs, query.NewIndexObserved), so the caller
+	// can dump the pipeline's internal counters and phase histograms after
+	// the run — `pgbench -exp perf -metrics` does exactly this.
+	Metrics *obs.Registry
+}
+
+// Perf times the hot Phase-2 primitives and the full pipeline on N SAL rows:
 // grouping under mid-level cuts, TDS, the greedy full-domain search, Publish
 // with the default KD algorithm — and Incognito on a skewed synthetic 3-QI
 // table (the full SAL lattice over 8 attributes is not a realistic Incognito
-// input). Each stage runs iters times; NsPerOp is the mean.
-//
-// met, when non-nil, is wired through every stage (pg.Config.Metrics, the
-// Phase-2 algorithm configs, query.NewIndexObserved), so the caller can dump
-// the pipeline's internal counters and phase histograms after the run —
-// `pgbench -exp perf -metrics` does exactly this. nil disables.
-func Perf(n int, seed int64, k, iters, workers int, met *obs.Registry) (*PerfReport, error) {
+// input). With ColdN set it also pins the scale story: one publish at ColdN
+// rows and the snapshot cold start, parse path vs mmap path.
+func Perf(cfg PerfConfig) (*PerfReport, error) {
+	n, seed, k, iters, workers, met := cfg.N, cfg.Seed, cfg.K, cfg.Iters, cfg.Workers, cfg.Metrics
 	if n <= 0 {
 		n = 100000
 	}
 	if iters <= 0 {
 		iters = 3
 	}
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
 	rep := &PerfReport{
 		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
-		Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0),
 		N: n, Seed: seed, K: k,
 	}
 	d, err := sal.Generate(n, seed)
@@ -89,6 +171,7 @@ func Perf(n int, seed int64, k, iters, workers int, met *obs.Registry) (*PerfRep
 		rep.Results = append(rep.Results, PerfResult{
 			Name: name, Rows: rows, Iters: iters,
 			NsPerOp: float64(total.Nanoseconds()) / float64(iters),
+			Workers: effWorkers, NumCPU: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 		})
 		return nil
 	}
@@ -186,17 +269,69 @@ func Perf(n int, seed int64, k, iters, workers int, met *obs.Registry) (*PerfRep
 	}); err != nil {
 		return nil, err
 	}
+
+	// Scale stages: one publish at ColdN rows, then the serving cold start
+	// from its snapshot — the parse path (Load + index build) against the
+	// mmap path (OpenMapped adopts columns and index in place).
+	if cfg.ColdN > 0 {
+		big, err := sal.Generate(cfg.ColdN, seed)
+		if err != nil {
+			return nil, err
+		}
+		var bigPub *pg.Published
+		if err := time1("publish-1m", cfg.ColdN, 1, func() error {
+			bigPub, err = pg.Publish(big, sal.Hierarchies(big.Schema), pg.Config{K: k, P: 0.3, Seed: seed, Workers: workers, Metrics: met})
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		tmp, err := os.CreateTemp("", "pgbench-*.pgsnap")
+		if err != nil {
+			return nil, err
+		}
+		path := tmp.Name()
+		tmp.Close()
+		defer os.Remove(path)
+		if err := time1("snapshot-save-1m", cfg.ColdN, 1, func() error {
+			return snapshot.Save(path, bigPub, nil)
+		}); err != nil {
+			return nil, err
+		}
+		if err := time1("serve-coldstart-parse", cfg.ColdN, iters, func() error {
+			pub, _, err := snapshot.Load(path)
+			if err != nil {
+				return err
+			}
+			_, err = query.NewIndex(pub)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err := time1("serve-coldstart-mmap", cfg.ColdN, iters, func() error {
+			m, err := snapshot.OpenMapped(path)
+			if err != nil {
+				return err
+			}
+			if m.Index.Groups() < 0 {
+				return fmt.Errorf("impossible")
+			}
+			return m.Close()
+		}); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
 // RenderPerf formats the perf report as a table.
 func RenderPerf(rep *PerfReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s, %d CPUs, workers=%d, gomaxprocs=%d, n=%d, seed=%d, k=%d\n",
-		rep.GoVersion, rep.NumCPU, rep.Workers, rep.GoMaxProcs, rep.N, rep.Seed, rep.K)
-	fmt.Fprintf(&b, "%-20s %10s %7s %14s\n", "stage", "rows", "iters", "ms/op")
+	fmt.Fprintf(&b, "%s, %d CPUs, n=%d, seed=%d, k=%d\n",
+		rep.GoVersion, rep.NumCPU, rep.N, rep.Seed, rep.K)
+	fmt.Fprintf(&b, "%-22s %10s %7s %8s %5s %14s\n", "stage", "rows", "iters", "workers", "gmp", "ms/op")
 	for _, r := range rep.Results {
-		fmt.Fprintf(&b, "%-20s %10d %7d %14.2f\n", r.Name, r.Rows, r.Iters, r.NsPerOp/1e6)
+		fmt.Fprintf(&b, "%-22s %10d %7d %8d %5d %14.2f\n",
+			r.Name, r.Rows, r.Iters, r.Workers, r.GoMaxProcs, r.NsPerOp/1e6)
 	}
 	return b.String()
 }

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func perfFixture(workers int, ns float64) *PerfReport {
+	return &PerfReport{
+		GoVersion: "go1.24.0", NumCPU: 1, N: 1000, Seed: 42, K: 6,
+		Results: []PerfResult{
+			{Name: "publish-kd", Rows: 1000, Iters: 3, NsPerOp: ns, Workers: workers, NumCPU: 1, GoMaxProcs: 1},
+		},
+	}
+}
+
+// TestMergePerfAccumulatesWorkerTrajectory pins the merge semantics behind
+// the tracked BENCH_pg.json: runs at different -workers accumulate as
+// separate blocks, a re-run at the same workers replaces its block, and the
+// serve/fleet sections survive.
+func TestMergePerfAccumulatesWorkerTrajectory(t *testing.T) {
+	file := perfFixture(1, 100)
+	file.Serve = []ServeLoadResult{{Clients: 4}}
+
+	merged, err := MergePerf(file, perfFixture(4, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != 2 {
+		t.Fatalf("want 2 blocks after adding a workers=4 run, got %d", len(merged.Results))
+	}
+	if len(merged.Serve) != 1 {
+		t.Fatal("serve section dropped by the merge")
+	}
+
+	merged, err = MergePerf(merged, perfFixture(4, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != 2 {
+		t.Fatalf("want same-workers rerun to replace its block, got %d blocks", len(merged.Results))
+	}
+	for _, r := range merged.Results {
+		if r.Workers == 4 && r.NsPerOp != 60 {
+			t.Fatalf("workers=4 block not replaced: ns=%v", r.NsPerOp)
+		}
+	}
+
+	// An empty tracked file adopts the run wholesale.
+	merged, err = MergePerf(&PerfReport{Serve: file.Serve}, perfFixture(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != 1 || len(merged.Serve) != 1 {
+		t.Fatal("empty-file merge dropped results or serve section")
+	}
+}
+
+// TestMergePerfRefusesIdentityDrift pins the refusal: a run from a different
+// machine or workload must not silently blend into the tracked report.
+func TestMergePerfRefusesIdentityDrift(t *testing.T) {
+	mutants := map[string]func(*PerfReport){
+		"go_version": func(r *PerfReport) { r.GoVersion = "go1.23.0" },
+		"num_cpu":    func(r *PerfReport) { r.NumCPU = 64 },
+		"n":          func(r *PerfReport) { r.N = 2000 },
+		"seed":       func(r *PerfReport) { r.Seed = 7 },
+		"k":          func(r *PerfReport) { r.K = 2 },
+	}
+	for field, mutate := range mutants {
+		run := perfFixture(1, 100)
+		mutate(run)
+		if _, err := MergePerf(perfFixture(1, 100), run); err == nil || !strings.Contains(err.Error(), field) {
+			t.Fatalf("%s drift not refused: %v", field, err)
+		}
+	}
+}

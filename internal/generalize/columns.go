@@ -1,0 +1,65 @@
+package generalize
+
+import "pgpub/internal/dataset"
+
+// Column-sweep primitives shared by the kd partitioner and Mondrian. Each
+// dispatches once on the column's element width and runs a generic loop over
+// the raw backing slice, so a scan over a row subset is a single gather from
+// one contiguous array instead of a row-slice dereference per element.
+
+// colMinMax returns the min and max code of the column over the given rows.
+// rows must be non-empty.
+func colMinMax(c *dataset.Column, rows []int) (lo, hi int32) {
+	if u8 := c.U8(); u8 != nil {
+		return minMaxGather(u8, rows)
+	}
+	return minMaxGather(c.I32(), rows)
+}
+
+func minMaxGather[T uint8 | int32](vals []T, rows []int) (lo, hi int32) {
+	l, h := vals[rows[0]], vals[rows[0]]
+	for _, i := range rows[1:] {
+		v := vals[i]
+		if v < l {
+			l = v
+		}
+		if v > h {
+			h = v
+		}
+	}
+	return int32(l), int32(h)
+}
+
+// colGather copies the column's codes at the given rows into dst (len(dst)
+// must be len(rows)).
+func colGather(c *dataset.Column, rows []int, dst []int32) {
+	if u8 := c.U8(); u8 != nil {
+		for i, r := range rows {
+			dst[i] = int32(u8[r])
+		}
+		return
+	}
+	i32 := c.I32()
+	for i, r := range rows {
+		dst[i] = i32[r]
+	}
+}
+
+// colPartition splits rows on column value <= cut, preserving order.
+func colPartition(c *dataset.Column, rows []int, cut int32) (left, right []int) {
+	if u8 := c.U8(); u8 != nil {
+		return partitionGather(u8, rows, cut)
+	}
+	return partitionGather(c.I32(), rows, cut)
+}
+
+func partitionGather[T uint8 | int32](vals []T, rows []int, cut int32) (left, right []int) {
+	for _, i := range rows {
+		if int32(vals[i]) <= cut {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}

@@ -131,25 +131,52 @@ type packedPart struct {
 	rows   [][]int
 }
 
+// groupPackedRange groups rows [lo,hi) of the table. The scan is columnar:
+// one cache-linear pass per QI column ORs that attribute's packed cut-node
+// contribution into a per-row key buffer (a leaf→node table lookup per
+// value, no recoding method calls, no row materialization), then a single
+// pass over the finished keys builds the shard-local grouping. The packed
+// keys — and therefore the grouping — are exactly what the former row-major
+// scan produced.
 func groupPackedRange(t *dataset.Table, r *Recoding, p keyPacker, lo, hi int) *packedPart {
 	d := t.Schema.D()
-	gv := make([]int32, d)
+	keys := make([]uint64, hi-lo)
+	for j := 0; j < d; j++ {
+		leafTo := r.Cuts[j].LeafMap()
+		col := t.QICol(j)
+		if u8 := col.U8(); u8 != nil {
+			packColumn(u8[lo:hi], leafTo, p.shift[j], keys)
+		} else {
+			packColumn(col.I32()[lo:hi], leafTo, p.shift[j], keys)
+		}
+	}
 	idx := make(map[uint64]int32, 64)
 	part := &packedPart{}
-	for i := lo; i < hi; i++ {
-		r.GeneralizeInto(gv, t.Row(i)[:d])
-		pk := p.pack(gv)
+	for k, pk := range keys {
 		gi, ok := idx[pk]
 		if !ok {
 			gi = int32(len(part.packed))
 			idx[pk] = gi
 			part.packed = append(part.packed, pk)
-			part.keys = append(part.keys, append([]int32(nil), gv...))
+			gv := make([]int32, d)
+			for j := 0; j < d; j++ {
+				gv[j] = r.Cuts[j].Map(t.QI(lo+k, j))
+			}
+			part.keys = append(part.keys, gv)
 			part.rows = append(part.rows, nil)
 		}
-		part.rows[gi] = append(part.rows[gi], i)
+		part.rows[gi] = append(part.rows[gi], lo+k)
 	}
 	return part
+}
+
+// packColumn ORs one attribute's packed contribution into the key buffer:
+// keys[i] |= leafTo[vals[i]] << shift. Generic over the column's element
+// width so narrow (byte) columns stream at full cache-line density.
+func packColumn[T uint8 | int32](vals []T, leafTo []int32, shift uint, keys []uint64) {
+	for i, v := range vals {
+		keys[i] |= uint64(uint32(leafTo[v])) << shift
+	}
 }
 
 // groupByBytes is the byte-keyed fallback for schemas whose packed keys do
@@ -161,7 +188,9 @@ func groupByBytes(t *dataset.Table, r *Recoding) *Groups {
 	idx := make(map[string]int, t.Len()/4+1)
 	out := &Groups{}
 	for i := 0; i < t.Len(); i++ {
-		r.GeneralizeInto(gv, t.Row(i)[:d])
+		for j := 0; j < d; j++ {
+			gv[j] = r.Cuts[j].Map(t.QI(i, j))
+		}
 		for j, n := range gv {
 			binary.LittleEndian.PutUint32(key[4*j:], uint32(n))
 		}

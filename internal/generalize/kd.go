@@ -149,7 +149,9 @@ func fullDomainBox(schema *dataset.Schema) Box {
 // with both sides >= k inside the current cell: attributes are ranked by
 // normalized span of values present in rows, and the first (widest) one
 // admitting a split wins. Mondrian's chooseSplit is this over the full
-// domain.
+// domain. All scans are column gathers: each attribute's codes come from one
+// contiguous array, so the span pass reads d sequential streams instead of
+// d values per row slice.
 func chooseKDSplit(t *dataset.Table, cell Box, rows []int, k int) (attr int, cut int32, ok bool) {
 	if len(rows) < 2*k {
 		return 0, 0, false
@@ -161,16 +163,7 @@ func chooseKDSplit(t *dataset.Table, cell Box, rows []int, k int) (attr int, cut
 	}
 	spans := make([]span, 0, d)
 	for a := 0; a < d; a++ {
-		lo, hi := t.QI(rows[0], a), t.QI(rows[0], a)
-		for _, i := range rows[1:] {
-			v := t.QI(i, a)
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
+		lo, hi := colMinMax(t.QICol(a), rows)
 		if hi > lo {
 			spans = append(spans, span{a, float64(hi-lo) / float64(t.Schema.QI[a].Size()-1)})
 		}
@@ -178,9 +171,7 @@ func chooseKDSplit(t *dataset.Table, cell Box, rows []int, k int) (attr int, cut
 	sort.Slice(spans, func(i, j int) bool { return spans[i].width > spans[j].width })
 	vals := make([]int32, len(rows))
 	for _, s := range spans {
-		for i, r := range rows {
-			vals[i] = t.QI(r, s.attr)
-		}
+		colGather(t.QICol(s.attr), rows, vals)
 		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 		m := vals[len(vals)/2]
 		for _, c := range []int32{m - 1, m} {

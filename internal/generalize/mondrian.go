@@ -54,33 +54,19 @@ func chooseSplit(t *dataset.Table, rows []int, k int) (attr int, median int32, o
 	return chooseKDSplit(t, fullDomainBox(t.Schema), rows, k)
 }
 
-// partition splits rows on attr <= cut.
+// partition splits rows on attr <= cut with one gather over the attribute's
+// contiguous column.
 func partition(t *dataset.Table, rows []int, attr int, cut int32) (left, right []int) {
-	for _, i := range rows {
-		if t.QI(i, attr) <= cut {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	return left, right
+	return colPartition(t.QICol(attr), rows, cut)
 }
 
-// summarize computes the bounding box of a final partition.
+// summarize computes the bounding box of a final partition, one column
+// min/max sweep per attribute.
 func summarize(t *dataset.Table, rows []int) MondrianBox {
 	d := t.Schema.D()
 	b := MondrianBox{Lo: make([]int32, d), Hi: make([]int32, d), Rows: rows}
 	for a := 0; a < d; a++ {
-		b.Lo[a], b.Hi[a] = t.QI(rows[0], a), t.QI(rows[0], a)
-		for _, i := range rows[1:] {
-			v := t.QI(i, a)
-			if v < b.Lo[a] {
-				b.Lo[a] = v
-			}
-			if v > b.Hi[a] {
-				b.Hi[a] = v
-			}
-		}
+		b.Lo[a], b.Hi[a] = colMinMax(t.QICol(a), rows)
 	}
 	return b
 }

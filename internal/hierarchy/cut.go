@@ -101,6 +101,12 @@ func (c *Cut) Size() int { return len(c.nodes) }
 // Map returns the cut node covering leaf code l.
 func (c *Cut) Map(l int32) int32 { return c.leafTo[l] }
 
+// LeafMap returns the full leaf-code → cut-node lookup table (index l holds
+// Map(l)). Read-only: the cut is immutable and the slice is its backing
+// array. Column-sweeping hot paths use it to resolve a whole column against
+// the cut without a method call per row.
+func (c *Cut) LeafMap() []int32 { return c.leafTo }
+
 // Contains reports whether v is one of the cut's nodes.
 func (c *Cut) Contains(v int32) bool {
 	i := sort.Search(len(c.nodes), func(i int) bool { return c.h.lo[c.nodes[i]] >= c.h.lo[v] })

@@ -101,7 +101,7 @@ func TrainPG(pub *pg.Published, classOf func(int32) int, numClasses int, cfg Con
 	if err != nil {
 		return nil, err
 	}
-	for i, r := range pub.Rows {
+	for i, r := range pub.EnsureRows() {
 		feats := make([]int32, d)
 		for j := 0; j < d; j++ {
 			feats[j] = (r.Box.Lo[j] + r.Box.Hi[j]) / 2

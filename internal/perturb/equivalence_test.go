@@ -1,0 +1,96 @@
+package perturb
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/par"
+)
+
+// syntheticTable builds an n-row table whose sensitive column uses the u8
+// representation (domain <= 256) or the i32 one (domain > 256), so the
+// equivalence property covers both perturbRange instantiations.
+func syntheticTable(t *testing.T, n, sensDomain int) *dataset.Table {
+	t.Helper()
+	age := dataset.MustIntAttribute("Age", 0, 99)
+	zip := dataset.MustIntAttribute("Zip", 0, 49)
+	sens := dataset.MustIntAttribute("S", 0, sensDomain-1)
+	s, err := dataset.NewSchema([]*dataset.Attribute{age, zip}, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.NewTable(s)
+	for i := 0; i < n; i++ {
+		d.MustAppend([]int32{int32(i % 100), int32((i * 7) % 50), int32((i * 13) % sensDomain)})
+	}
+	return d
+}
+
+// referencePerturb is a row-major re-statement of the TableSharded contract:
+// shard s covers rows [s*ShardRows, (s+1)*ShardRows), draws from a private
+// RNG seeded par.SplitSeed(rootSeed, s), and spends exactly one Float64 per
+// row plus one Intn on redraw — expressed through the scalar row API
+// (Sensitive/SetSensitive) instead of the columnar sweep.
+func referencePerturb(d *dataset.Table, p float64, domain int, rootSeed int64) *dataset.Table {
+	out := d.Clone()
+	n := out.Len()
+	for s := 0; s*ShardRows < n; s++ {
+		rng := rand.New(rand.NewSource(par.SplitSeed(rootSeed, s)))
+		hi := (s + 1) * ShardRows
+		if hi > n {
+			hi = n
+		}
+		for i := s * ShardRows; i < hi; i++ {
+			if rng.Float64() < p {
+				continue
+			}
+			out.SetSensitive(i, int32(rng.Intn(domain)))
+		}
+	}
+	return out
+}
+
+// TestTableShardedMatchesRowReference pins the columnar fast path to the
+// row-major definition: the cache-linear column sweep must produce the same
+// table, byte for byte, as the scalar per-row loop, at every worker count and
+// for both sensitive-column element widths.
+func TestTableShardedMatchesRowReference(t *testing.T) {
+	const n = 3*ShardRows + 517 // four shards, last one ragged
+	for _, tc := range []struct {
+		name   string
+		domain int
+	}{
+		{"u8-sensitive", 10},
+		{"i32-sensitive", 300},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := syntheticTable(t, n, tc.domain)
+			pb, err := NewPerturber(0.3, tc.domain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referencePerturb(d, 0.3, tc.domain, 77)
+			for _, workers := range []int{1, 3, 8} {
+				got, err := pb.TableSharded(d, 77, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Len() != want.Len() {
+					t.Fatalf("workers=%d: %d rows, want %d", workers, got.Len(), want.Len())
+				}
+				for i := 0; i < n; i++ {
+					if got.Sensitive(i) != want.Sensitive(i) {
+						t.Fatalf("workers=%d row %d: sharded %d, reference %d",
+							workers, i, got.Sensitive(i), want.Sensitive(i))
+					}
+					for j := 0; j < d.Schema.D(); j++ {
+						if got.QI(i, j) != d.QI(i, j) {
+							t.Fatalf("workers=%d row %d: QI %d perturbed", workers, i, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -87,6 +87,7 @@ func (pb *Perturber) TableSharded(d *dataset.Table, rootSeed int64, workers int)
 	}
 	out := d.Clone()
 	n := out.Len()
+	sens := out.SensitiveCol()
 	shards := (n + ShardRows - 1) / ShardRows
 	par.ForEach(workers, shards, func(s int) {
 		rng := rand.New(rand.NewSource(par.SplitSeed(rootSeed, s)))
@@ -94,22 +95,35 @@ func (pb *Perturber) TableSharded(d *dataset.Table, rootSeed int64, workers int)
 		if hi > n {
 			hi = n
 		}
-		// Inlined Value with per-shard tallies: the RNG draw sequence is
-		// identical to Value's (one Float64, plus one Intn on redraw), so
-		// instrumentation cannot change the published bytes.
+		// The shard sweeps its slice of the contiguous sensitive column
+		// directly — the clone is private, so the write is safe. The RNG
+		// draw sequence is identical to Value's (one Float64, plus one Intn
+		// on redraw), so neither the columnar write path nor the
+		// instrumentation can change the published bytes.
 		var retained, redrawn int64
-		for i := s * ShardRows; i < hi; i++ {
-			if rng.Float64() < pb.P {
-				retained++
-			} else {
-				out.SetSensitive(i, int32(rng.Intn(pb.Domain)))
-				redrawn++
-			}
+		if u8 := sens.U8(); u8 != nil {
+			retained, redrawn = perturbRange(u8, s*ShardRows, hi, pb.P, pb.Domain, rng)
+		} else {
+			retained, redrawn = perturbRange(sens.I32(), s*ShardRows, hi, pb.P, pb.Domain, rng)
 		}
 		pb.Retained.Add(retained)
 		pb.Redrawn.Add(redrawn)
 	})
 	return out, nil
+}
+
+// perturbRange runs the P2 coin flips over rows [lo,hi) of the sensitive
+// column, generic over the column's element width.
+func perturbRange[T uint8 | int32](sens []T, lo, hi int, p float64, domain int, rng *rand.Rand) (retained, redrawn int64) {
+	for i := lo; i < hi; i++ {
+		if rng.Float64() < p {
+			retained++
+		} else {
+			sens[i] = T(rng.Intn(domain))
+			redrawn++
+		}
+	}
+	return retained, redrawn
 }
 
 // TransitionProb returns P[a→b] of Equation 11: p + (1-p)/|U^s| when a == b,

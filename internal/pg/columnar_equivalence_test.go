@@ -1,0 +1,77 @@
+package pg
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pgpub/internal/sal"
+)
+
+// TestColumnarPublishedEquivalence pins the row/columnar duality of
+// Published itself: a publication whose rows were dropped and rebuilt from
+// its columns must be observationally identical — same CSV bytes, same
+// Aggregates, same FindCrucial hits — for every Phase-2 algorithm. This is
+// the property that lets snapshot v2 ship only columns and lets the serving
+// path adopt them without materialising []Row.
+func TestColumnarPublishedEquivalence(t *testing.T) {
+	d, err := sal.Generate(4000, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiers := sal.Hierarchies(d.Schema)
+	for _, alg := range []Algorithm{KD, TDS, FullDomain} {
+		rowPub, err := Publish(d, hiers, Config{K: 6, P: 0.3, Seed: 13, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		meta := *rowPub
+		meta.Rows = nil
+		colPub, err := FromColumns(meta, rowPub.Columns())
+		if err != nil {
+			t.Fatalf("%v: FromColumns: %v", alg, err)
+		}
+		if err := colPub.Validate(); err != nil {
+			t.Fatalf("%v: columnar twin invalid: %v", alg, err)
+		}
+
+		var rowCSV, colCSV bytes.Buffer
+		if err := rowPub.WriteCSV(&rowCSV); err != nil {
+			t.Fatal(err)
+		}
+		if err := colPub.WriteCSV(&colCSV); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rowCSV.Bytes(), colCSV.Bytes()) {
+			t.Fatalf("%v: CSV bytes differ between row and columnar paths", alg)
+		}
+
+		if !reflect.DeepEqual(rowPub.Aggregates(), colPub.Aggregates()) {
+			t.Fatalf("%v: Aggregates differ between row and columnar paths", alg)
+		}
+
+		// FindCrucial must agree on hits and misses alike; probe with every
+		// source row's QI vector plus one vector outside every box.
+		for i := 0; i < d.Len(); i += 97 {
+			vq := d.QIVector(i)
+			rr, rok := rowPub.FindCrucial(vq)
+			cr, cok := colPub.FindCrucial(vq)
+			if rok != cok || !reflect.DeepEqual(rr, cr) {
+				t.Fatalf("%v: FindCrucial(%v) diverges: row (%v,%v), columnar (%v,%v)",
+					alg, vq, rr, rok, cr, cok)
+			}
+		}
+		outside := make([]int32, d.Schema.D())
+		for j := range outside {
+			outside[j] = -1
+		}
+		if _, ok := colPub.FindCrucial(outside); ok {
+			t.Fatalf("%v: FindCrucial matched a vector outside the domain", alg)
+		}
+
+		// EnsureRows materialises rows identical to the originals.
+		if !reflect.DeepEqual(colPub.EnsureRows(), rowPub.Rows) {
+			t.Fatalf("%v: EnsureRows drifted from the original rows", alg)
+		}
+	}
+}

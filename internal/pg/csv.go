@@ -36,7 +36,7 @@ func (p *Published) WriteCSV(w io.Writer) error {
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("pg: writing CSV header: %w", err)
 	}
-	for i, r := range p.Rows {
+	for i, r := range p.EnsureRows() {
 		rec := make([]string, 0, len(header))
 		for j := range p.Schema.QI {
 			rec = append(rec, p.BoxLabel(i, j))

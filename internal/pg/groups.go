@@ -37,24 +37,31 @@ type BoxAggregate struct {
 // aggregates estimates every region weight as 0, so COUNT and SUM estimate
 // 0 for every query and AVG reports the region as empty (see query.Index).
 func (p *Published) Aggregates() []BoxAggregate {
+	// The collapse sweeps the columnar view — dim-major bound streams plus
+	// the value and G columns — so a publication served straight from a
+	// snapshot's column blocks never materializes row-major rows, and the
+	// row-major path pays one conversion instead of a heap box per group
+	// probe. The key bytes and iteration order are the same either way, so
+	// the entry order (first appearance) is identical on both paths.
+	c := p.Columns()
 	domain := p.Schema.SensitiveDomain()
-	idx := make(map[string]int, len(p.Rows))
-	out := make([]BoxAggregate, 0, len(p.Rows))
+	idx := make(map[string]int, c.N)
+	out := make([]BoxAggregate, 0, c.N)
 	var key []byte
-	for _, r := range p.Rows {
+	for i := 0; i < c.N; i++ {
 		key = key[:0]
-		for j := range r.Box.Lo {
-			key = binary.LittleEndian.AppendUint32(key, uint32(r.Box.Lo[j]))
-			key = binary.LittleEndian.AppendUint32(key, uint32(r.Box.Hi[j]))
+		for j := 0; j < c.D; j++ {
+			key = binary.LittleEndian.AppendUint32(key, uint32(c.Lo[j*c.N+i]))
+			key = binary.LittleEndian.AppendUint32(key, uint32(c.Hi[j*c.N+i]))
 		}
-		i, ok := idx[string(key)]
+		a, ok := idx[string(key)]
 		if !ok {
-			i = len(out)
-			idx[string(key)] = i
-			out = append(out, BoxAggregate{Box: r.Box, Hist: make([]int64, domain)})
+			a = len(out)
+			idx[string(key)] = a
+			out = append(out, BoxAggregate{Box: c.Row(i).Box, Hist: make([]int64, domain)})
 		}
-		out[i].G += r.G
-		out[i].Hist[r.Value] += int64(r.G)
+		out[a].G += int(c.G[i])
+		out[a].Hist[c.Value[i]] += c.G[i]
 	}
 	return out
 }

@@ -140,6 +140,13 @@ type Published struct {
 	Rows      []Row
 	P         float64
 	K         int
+
+	// cols is the adopted columnar row view of a publication built by
+	// FromColumns (snapshot serving path); nil for a publication whose rows
+	// were materialized directly. When Rows is nil and cols is set, Len,
+	// Columns, Aggregates, Validate and FindCrucial serve from the columns
+	// and never materialize row-major rows.
+	cols *RowColumns
 }
 
 // Publish runs Phases 1–3 on the microdata and returns D*.
@@ -271,13 +278,26 @@ func resolveK(cfg Config) (int, error) {
 }
 
 // Len returns |D*|.
-func (p *Published) Len() int { return len(p.Rows) }
+func (p *Published) Len() int {
+	if p.Rows == nil && p.cols != nil {
+		return p.cols.N
+	}
+	return len(p.Rows)
+}
 
 // FindCrucial performs step A1 of a linking attack: it retrieves the unique
 // row whose generalized QI box covers vq. Uniqueness is guaranteed by
 // Property G3 plus step S2; ok is false when no row matches (possible only
 // for QI regions whose group was empty in the microdata).
 func (p *Published) FindCrucial(vq []int32) (Row, bool) {
+	if p.Rows == nil && p.cols != nil {
+		for i := 0; i < p.cols.N; i++ {
+			if p.cols.covers(i, vq) {
+				return p.cols.Row(i), true
+			}
+		}
+		return Row{}, false
+	}
 	for _, r := range p.Rows {
 		if r.Box.Covers(vq) {
 			return r, true
@@ -288,40 +308,69 @@ func (p *Published) FindCrucial(vq []int32) (Row, bool) {
 
 // Validate checks the structural invariants of D*: every G at least K,
 // sensitive values in domain, boxes inside the QI domain, and — Property
-// G3 — pairwise-disjoint boxes. The disjointness check is quadratic and
-// skipped beyond 4000 rows (construction guarantees it; tests exercise the
-// small case exhaustively).
+// G3 — pairwise-disjoint boxes. The per-row checks run as columnar sweeps
+// over the struct-of-arrays view, one contiguous stream per field. The
+// disjointness check is quadratic and skipped beyond 4000 rows
+// (construction guarantees it; tests exercise the small case exhaustively).
 func (p *Published) Validate() error {
 	if p.K < 1 {
 		return fmt.Errorf("pg: K = %d", p.K)
 	}
 	d := p.Schema.D()
-	for i, r := range p.Rows {
-		if r.G < p.K {
-			return fmt.Errorf("pg: row %d has G = %d < K = %d", i, r.G, p.K)
-		}
-		if !p.Schema.Sensitive.Valid(r.Value) {
-			return fmt.Errorf("pg: row %d sensitive value %d out of domain", i, r.Value)
-		}
-		if len(r.Box.Lo) != d || len(r.Box.Hi) != d {
+	// Malformed row-major boxes must be reported, not tripped over by the
+	// columnar conversion, so the shape check precedes it.
+	for i := range p.Rows {
+		if len(p.Rows[i].Box.Lo) != d || len(p.Rows[i].Box.Hi) != d {
 			return fmt.Errorf("pg: row %d box has wrong dimensionality", i)
 		}
-		for j := 0; j < d; j++ {
-			if r.Box.Lo[j] < 0 || r.Box.Hi[j] >= int32(p.Schema.QI[j].Size()) || r.Box.Lo[j] > r.Box.Hi[j] {
-				return fmt.Errorf("pg: row %d box attribute %d = [%d,%d] invalid", i, j, r.Box.Lo[j], r.Box.Hi[j])
+	}
+	c := p.Columns()
+	if err := c.Check(); err != nil {
+		return err
+	}
+	if c.D != d {
+		return fmt.Errorf("pg: rows have %d-dimensional boxes for %d QI attributes", c.D, d)
+	}
+	for i, g := range c.G {
+		if g < int64(p.K) {
+			return fmt.Errorf("pg: row %d has G = %d < K = %d", i, g, p.K)
+		}
+	}
+	for i, v := range c.Value {
+		if !p.Schema.Sensitive.Valid(v) {
+			return fmt.Errorf("pg: row %d sensitive value %d out of domain", i, v)
+		}
+	}
+	for j := 0; j < d; j++ {
+		lo, hi := c.Lo[j*c.N:(j+1)*c.N], c.Hi[j*c.N:(j+1)*c.N]
+		size := int32(p.Schema.QI[j].Size())
+		for i := range lo {
+			if lo[i] < 0 || hi[i] >= size || lo[i] > hi[i] {
+				return fmt.Errorf("pg: row %d box attribute %d = [%d,%d] invalid", i, j, lo[i], hi[i])
 			}
 		}
 	}
-	if len(p.Rows) <= 4000 {
-		for i := range p.Rows {
-			for j := i + 1; j < len(p.Rows); j++ {
-				if p.Rows[i].Box.Overlaps(p.Rows[j].Box) {
+	if c.N <= 4000 {
+		for i := 0; i < c.N; i++ {
+			for j := i + 1; j < c.N; j++ {
+				if boxesOverlap(c, i, j) {
 					return fmt.Errorf("pg: rows %d and %d overlap (G3 violation)", i, j)
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// boxesOverlap reports whether rows i and j of the columnar view intersect.
+func boxesOverlap(c *RowColumns, i, j int) bool {
+	for a := 0; a < c.D; a++ {
+		o := a * c.N
+		if c.Hi[o+i] < c.Lo[o+j] || c.Hi[o+j] < c.Lo[o+i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Guarantees returns the privacy bounds of Theorems 2 and 3 for this

@@ -61,7 +61,7 @@ func sumWeight(pub *pg.Published, q CountQuery, value SensitiveValue) (a, b floa
 	if pub.P <= 0 {
 		return 0, 0, fmt.Errorf("query: SUM estimation needs retention probability > 0, publication has p = %v", pub.P)
 	}
-	for _, r := range pub.Rows {
+	for _, r := range pub.EnsureRows() {
 		vf := volumeFraction(r.Box.Lo, r.Box.Hi, q.QI)
 		if vf == 0 {
 			continue

@@ -1,0 +1,83 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgpub/internal/pg"
+)
+
+// TestIndexColumnarRowEquivalence pins the tentpole's core promise at the
+// query layer: an index built from a columnar publication (rows
+// materialised on demand), one built from the original row-backed
+// publication, and one reassembled from Parts() answer every estimator
+// bit-identically — not merely within tolerance — because all three walk the
+// same tree in the same order. Covers all three Phase-2 algorithms.
+func TestIndexColumnarRowEquivalence(t *testing.T) {
+	d, pubs := indexPubs(t, 2500, 31)
+	for name, rowPub := range pubs {
+		// A columnar twin: same metadata, rows dropped, columns adopted.
+		meta := *rowPub
+		meta.Rows = nil
+		colPub, err := pg.FromColumns(meta, rowPub.Columns())
+		if err != nil {
+			t.Fatalf("%s: FromColumns: %v", name, err)
+		}
+
+		ixRow, err := NewIndex(rowPub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ixCol, err := NewIndex(colPub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ixParts, err := NewIndexFromParts(rowPub.Schema, ixRow.Parts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ixRow.Groups() != ixCol.Groups() || ixRow.Groups() != ixParts.Groups() {
+			t.Fatalf("%s: group counts diverge: row %d, columnar %d, parts %d",
+				name, ixRow.Groups(), ixCol.Groups(), ixParts.Groups())
+		}
+
+		rng := rand.New(rand.NewSource(32))
+		qs, err := Workload(d.Schema, WorkloadConfig{
+			Queries: 60, QIFraction: 0.4, RestrictAttrs: 3, SensitiveFraction: 0.3, Rng: rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range qs {
+			type est struct {
+				label string
+				f     func(*Index) (float64, error)
+			}
+			ests := []est{
+				{"Count", func(ix *Index) (float64, error) { return ix.Count(q) }},
+				{"Naive", func(ix *Index) (float64, error) { return ix.Naive(q) }},
+			}
+			if q.Sensitive == nil {
+				ests = append(ests,
+					est{"Sum", func(ix *Index) (float64, error) { return ix.Sum(q, IncomeMidpoint) }},
+					est{"Avg", func(ix *Index) (float64, error) { return ix.Avg(q, IncomeMidpoint) }})
+			}
+			for _, e := range ests {
+				row, errRow := e.f(ixRow)
+				col, errCol := e.f(ixCol)
+				parts, errParts := e.f(ixParts)
+				if (errRow == nil) != (errCol == nil) || (errRow == nil) != (errParts == nil) {
+					t.Fatalf("%s q%d %s: errors diverge: row %v, columnar %v, parts %v",
+						name, qi, e.label, errRow, errCol, errParts)
+				}
+				if errRow != nil {
+					continue
+				}
+				if row != col || row != parts {
+					t.Fatalf("%s q%d %s: row %v, columnar %v, parts %v (must be bit-identical)",
+						name, qi, e.label, row, col, parts)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package query
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"pgpub/internal/dataset"
+)
 
 // The interval-grid layer of the Index: per-dim-pair summed-area tables that
 // answer queries restricting at most two QI attributes in O(1) lookups —
@@ -73,51 +78,95 @@ func neumaierAxis(buf []float64, bases []int, stride, extent int) {
 	}
 }
 
+// gridLayout enumerates the pair tables a schema gets, in canonical (a<b)
+// order, and their total padded cell count. The layout is a pure function of
+// the schema, which is what lets the serialized grid layer be one
+// concatenated float block: reader and writer agree on every offset.
+func gridLayout(s *dataset.Schema) (pairs [][2]int, sizes []int, total int) {
+	d := s.D()
+	dom := s.SensitiveDomain()
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			sz := (s.QI[a].Size() + 1) * (s.QI[b].Size() + 1) * (dom + 1)
+			pairs = append(pairs, [2]int{a, b})
+			sizes = append(sizes, sz)
+			total += sz
+		}
+	}
+	return pairs, sizes, total
+}
+
 // buildGrids constructs the pair tables; returns nil when the schema has
 // fewer than two QI attributes or the tables would blow the cell budget.
-func (ix *Index) buildGrids() []pairGrid {
+// Every table is a sub-slice of the single returned backing array — the
+// form the snapshot writer serializes and sliceGrids re-wraps.
+func (ix *Index) buildGrids() ([]pairGrid, []float64) {
 	d := ix.schema.D()
 	dom := ix.schema.SensitiveDomain()
 	if d < 2 {
-		return nil
+		return nil, nil
 	}
-	total := 0
-	for a := 0; a < d; a++ {
-		for b := a + 1; b < d; b++ {
-			total += (ix.schema.QI[a].Size() + 1) * (ix.schema.QI[b].Size() + 1) * (dom + 1)
-		}
-	}
+	pairs, sizes, total := gridLayout(ix.schema)
 	if total > gridCellBudget {
-		return nil
+		return nil, nil
 	}
-	var grids []pairGrid
-	for a := 0; a < d; a++ {
-		for b := a + 1; b < d; b++ {
-			grids = append(grids, ix.buildPair(a, b, dom))
-		}
+	backing := make([]float64, total)
+	grids := make([]pairGrid, 0, len(pairs))
+	off := 0
+	for i, p := range pairs {
+		grids = append(grids, ix.buildPair(p[0], p[1], dom, backing[off:off+sizes[i]:off+sizes[i]]))
+		off += sizes[i]
 	}
-	return grids
+	return grids, backing
 }
 
-// buildPair builds one pair table: corner difference updates per entry,
-// two prefix passes to materialize the density, then the 3-d cumulative.
-func (ix *Index) buildPair(a, b, dom int) pairGrid {
+// sliceGrids re-wraps a deserialized grid backing array into pair tables.
+// The backing must have exactly the schema's gridLayout total length.
+func sliceGrids(s *dataset.Schema, backing []float64) ([]pairGrid, error) {
+	pairs, sizes, total := gridLayout(s)
+	if len(backing) != total {
+		return nil, fmt.Errorf("query: grid backing has %d cells, schema needs %d", len(backing), total)
+	}
+	dom := s.SensitiveDomain()
+	grids := make([]pairGrid, 0, len(pairs))
+	off := 0
+	for i, p := range pairs {
+		grids = append(grids, pairGrid{
+			a:   p[0],
+			b:   p[1],
+			dv:  s.QI[p[1]].Size() + 1,
+			dy:  dom + 1,
+			sat: backing[off : off+sizes[i] : off+sizes[i]],
+		})
+		off += sizes[i]
+	}
+	return grids, nil
+}
+
+// buildPair builds one pair table into the provided sat backing: corner
+// difference updates per entry, two prefix passes to materialize the
+// density, then the 3-d cumulative. The entry pass reads four contiguous
+// dim-major bound streams plus the CSR histogram — cache-linear in the
+// entry count.
+func (ix *Index) buildPair(a, b, dom int, sat []float64) pairGrid {
 	sa, sb := ix.schema.QI[a].Size(), ix.schema.QI[b].Size()
 	du, dv := sa+1, sb+1
 	// diff[u][v][y], y fastest, unpadded in y.
 	diff := make([]float64, du*dv*dom)
 	idx := func(u, v int32, y int32) int { return (int(u)*dv+int(v))*dom + int(y) }
-	for i := range ix.entries {
-		e := &ix.entries[i]
-		la, ha := e.box.Lo[a], e.box.Hi[a]
-		lb, hb := e.box.Lo[b], e.box.Hi[b]
+	loA, hiA := ix.entLo[a*ix.nE:(a+1)*ix.nE], ix.entHi[a*ix.nE:(a+1)*ix.nE]
+	loB, hiB := ix.entLo[b*ix.nE:(b+1)*ix.nE], ix.entHi[b*ix.nE:(b+1)*ix.nE]
+	for i := 0; i < ix.nE; i++ {
+		la, ha := loA[i], hiA[i]
+		lb, hb := loB[i], hiB[i]
 		inv := 1 / (float64(ha-la+1) * float64(hb-lb+1))
-		for _, vw := range e.vals {
-			w := vw.w * inv
-			diff[idx(la, lb, vw.code)] += w
-			diff[idx(la, hb+1, vw.code)] -= w
-			diff[idx(ha+1, lb, vw.code)] -= w
-			diff[idx(ha+1, hb+1, vw.code)] += w
+		for o := ix.valOff[i]; o < ix.valOff[i+1]; o++ {
+			w := ix.valW[o] * inv
+			code := ix.valCode[o]
+			diff[idx(la, lb, code)] += w
+			diff[idx(la, hb+1, code)] -= w
+			diff[idx(ha+1, lb, code)] -= w
+			diff[idx(ha+1, hb+1, code)] += w
 		}
 	}
 	// Prefix along u then v turns the difference array into the density
@@ -138,7 +187,7 @@ func (ix *Index) buildPair(a, b, dom int) pairGrid {
 	neumaierAxis(diff, vbases, dom, dv)
 	// Cumulate the density into the padded summed-area table.
 	dy := dom + 1
-	g := pairGrid{a: a, b: b, dv: dv, dy: dy, sat: make([]float64, du*dv*dy)}
+	g := pairGrid{a: a, b: b, dv: dv, dy: dy, sat: sat}
 	for u := 0; u < sa; u++ {
 		for v := 0; v < sb; v++ {
 			src := (u*dv + v) * dom

@@ -29,6 +29,16 @@ import (
 // entirely, fully-contained subtrees are answered O(1)/O(|U^s|) from the
 // pre-aggregates (every box inside has volume fraction 1), and only boxes
 // straddling the region boundary pay the per-entry volumeFraction work.
+//
+// Representation. Construction works on an array-of-structs scratch
+// (indexEntry/indexNode — convenient for the median sort), which freeze()
+// converts into the struct-of-arrays form the serving paths run on: dim-major
+// box bound arrays, a CSR layout for the sparse per-entry histograms, and
+// flat per-node histogram/prefix blocks. The SoA form is both the cache
+// layout (a traversal touches a handful of contiguous streams instead of a
+// pointer-rich node heap) and the wire layout: IndexParts exposes the raw
+// slices for snapshotting, and NewIndexFromParts rebuilds a serving index
+// around them — including zero-copy around mmap'd file pages.
 
 // indexLeafSize bounds the entries a leaf holds before it is split. Small
 // leaves sharpen pruning; 8 keeps the tree shallow enough that node overhead
@@ -41,7 +51,8 @@ type valWeight struct {
 	w    float64
 }
 
-// indexEntry is one distinct QI box of the publication.
+// indexEntry is one distinct QI box of the publication (build scratch; the
+// frozen form lives in the Index's ent* arrays).
 type indexEntry struct {
 	box generalize.Box
 	g   float64 // Σ G of the rows sharing the box
@@ -51,7 +62,8 @@ type indexEntry struct {
 	vals []valWeight
 }
 
-// indexNode is one kd-tree node over a contiguous run of entries.
+// indexNode is one kd-tree node over a contiguous run of entries (build
+// scratch; the frozen form lives in the Index's node* arrays).
 type indexNode struct {
 	bound generalize.Box // bounding box of every entry below
 	g     float64        // subtree Σ G
@@ -72,11 +84,29 @@ type indexNode struct {
 // immutable after construction and safe for concurrent use — AnswerWorkload
 // fans queries across workers over a shared Index.
 type Index struct {
-	schema  *dataset.Schema
-	p       float64
-	entries []indexEntry
-	nodes   []indexNode
-	root    int32
+	schema *dataset.Schema
+	p      float64
+
+	// Frozen entry SoA. Boxes are dim-major: entLo[j*nE+i] is entry i's lower
+	// bound along QI dimension j, so a sweep over all entries along one
+	// dimension (the grid builder, a leaf's volume-fraction pass) reads one
+	// contiguous stream per restricted dimension.
+	nE           int
+	entLo, entHi []int32
+	entG         []float64
+	// CSR layout of the sparse per-entry histograms: entry i's bins are
+	// valCode/valW[valOff[i]:valOff[i+1]].
+	valOff, valCode []int32
+	valW            []float64
+
+	// Frozen node SoA, same dim-major bound layout. Node i's dense histogram
+	// is nodeHist[i*dom:(i+1)*dom], its prefix block nodePref[i*(dom+1):].
+	nodeLo, nodeHi      []int32
+	nodeG               []float64
+	nodeHist, nodePref  []float64
+	nodeLeft, nodeRight []int32
+	nodeELo, nodeEHi    []int32
+	root                int32
 
 	// Global aggregates serving full-domain queries exactly.
 	totalG float64
@@ -84,8 +114,10 @@ type Index struct {
 	pref   []float64 // prefix sums of hist
 	// The interval-grid layer (grid.go): per-dim-pair summed-area tables
 	// serving queries that restrict at most two attributes in O(1). nil when
-	// the schema's pair tables would exceed gridCellBudget.
+	// the schema's pair tables would exceed gridCellBudget. All tables share
+	// the single gridSat backing array (the serialized form).
 	grids   []pairGrid
+	gridSat []float64
 	pairIdx []int // pairIdx[a*d+b] → grids index, for a < b
 	partner []int // partner[a] = smallest other dim, pairing 1-dim queries
 	tinyB   float64
@@ -126,14 +158,20 @@ func NewIndexObserved(pub *pg.Published, reg *obs.Registry) (*Index, error) {
 		return nil, err
 	}
 	sp.End()
-	reg.Gauge("query.index.entries").Set(int64(len(ix.entries)))
-	reg.Gauge("query.index.nodes").Set(int64(len(ix.nodes)))
+	ix.observe(reg)
+	return ix, nil
+}
+
+// observe wires the serving-path instruments (shared by the build and
+// from-parts constructors).
+func (ix *Index) observe(reg *obs.Registry) {
+	reg.Gauge("query.index.entries").Set(int64(ix.nE))
+	reg.Gauge("query.index.nodes").Set(int64(len(ix.nodeG)))
 	reg.Gauge("query.index.grids").Set(int64(len(ix.grids)))
 	ix.met.grid = reg.Counter("query.answered.grid")
 	ix.met.reanswer = reg.Counter("query.answered.exact_reanswer")
 	ix.met.kd = reg.Counter("query.answered.kd")
 	ix.met.latency = reg.Histogram("query.count.latency", "ns")
-	return ix, nil
 }
 
 func newIndex(pub *pg.Published) (*Index, error) {
@@ -142,10 +180,13 @@ func newIndex(pub *pg.Published) (*Index, error) {
 	}
 	aggs := pub.Aggregates()
 	ix := &Index{
+		schema: pub.Schema,
+		p:      pub.P,
+		root:   -1,
+	}
+	b := indexBuilder{
 		schema:  pub.Schema,
-		p:       pub.P,
 		entries: make([]indexEntry, len(aggs)),
-		root:    -1,
 	}
 	for i, a := range aggs {
 		e := indexEntry{box: a.Box, g: float64(a.G)}
@@ -154,18 +195,84 @@ func newIndex(pub *pg.Published) (*Index, error) {
 				e.vals = append(e.vals, valWeight{code: int32(code), w: float64(w)})
 			}
 		}
-		ix.entries[i] = e
+		b.entries[i] = e
 	}
-	if len(ix.entries) > 0 {
-		ix.nodes = make([]indexNode, 0, 2*(len(ix.entries)/indexLeafSize+1))
-		ix.root = ix.build(0, len(ix.entries))
+	if len(b.entries) > 0 {
+		b.nodes = make([]indexNode, 0, 2*(len(b.entries)/indexLeafSize+1))
+		ix.root = b.build(0, len(b.entries))
 	}
-	ix.hist = make([]float64, ix.schema.SensitiveDomain())
-	for i := range ix.entries {
-		e := &ix.entries[i]
-		ix.totalG += e.g
+	ix.freeze(b.entries, b.nodes)
+	ix.finish()
+	ix.grids, ix.gridSat = ix.buildGrids()
+	ix.wireGrids()
+	return ix, nil
+}
+
+// freeze converts the AoS build scratch into the frozen SoA arrays.
+func (ix *Index) freeze(entries []indexEntry, nodes []indexNode) {
+	d := ix.schema.D()
+	dom := ix.schema.SensitiveDomain()
+	nE := len(entries)
+	ix.nE = nE
+	ix.entLo = make([]int32, d*nE)
+	ix.entHi = make([]int32, d*nE)
+	ix.entG = make([]float64, nE)
+	ix.valOff = make([]int32, nE+1)
+	nv := 0
+	for i := range entries {
+		nv += len(entries[i].vals)
+	}
+	ix.valCode = make([]int32, 0, nv)
+	ix.valW = make([]float64, 0, nv)
+	for i := range entries {
+		e := &entries[i]
+		for j := 0; j < d; j++ {
+			ix.entLo[j*nE+i] = e.box.Lo[j]
+			ix.entHi[j*nE+i] = e.box.Hi[j]
+		}
+		ix.entG[i] = e.g
 		for _, vw := range e.vals {
-			ix.hist[vw.code] += vw.w
+			ix.valCode = append(ix.valCode, vw.code)
+			ix.valW = append(ix.valW, vw.w)
+		}
+		ix.valOff[i+1] = int32(len(ix.valCode))
+	}
+	nN := len(nodes)
+	ix.nodeLo = make([]int32, d*nN)
+	ix.nodeHi = make([]int32, d*nN)
+	ix.nodeG = make([]float64, nN)
+	ix.nodeHist = make([]float64, nN*dom)
+	ix.nodePref = make([]float64, nN*(dom+1))
+	ix.nodeLeft = make([]int32, nN)
+	ix.nodeRight = make([]int32, nN)
+	ix.nodeELo = make([]int32, nN)
+	ix.nodeEHi = make([]int32, nN)
+	for i := range nodes {
+		n := &nodes[i]
+		for j := 0; j < d; j++ {
+			ix.nodeLo[j*nN+i] = n.bound.Lo[j]
+			ix.nodeHi[j*nN+i] = n.bound.Hi[j]
+		}
+		ix.nodeG[i] = n.g
+		copy(ix.nodeHist[i*dom:(i+1)*dom], n.hist)
+		copy(ix.nodePref[i*(dom+1):(i+1)*(dom+1)], n.pref)
+		ix.nodeLeft[i] = n.left
+		ix.nodeRight[i] = n.right
+		ix.nodeELo[i] = n.lo
+		ix.nodeEHi[i] = n.hi
+	}
+}
+
+// finish computes the derived global aggregates from the frozen entries: the
+// exact full-domain weight and histogram, its prefix sums, and the grid
+// re-answer threshold. Iteration order matches the pre-freeze code (entries
+// ascending, bins ascending), so the sums are bit-identical.
+func (ix *Index) finish() {
+	ix.hist = make([]float64, ix.schema.SensitiveDomain())
+	for i := 0; i < ix.nE; i++ {
+		ix.totalG += ix.entG[i]
+		for o := ix.valOff[i]; o < ix.valOff[i+1]; o++ {
+			ix.hist[ix.valCode[o]] += ix.valW[o]
 		}
 	}
 	ix.pref = make([]float64, len(ix.hist)+1)
@@ -175,33 +282,36 @@ func newIndex(pub *pg.Published) (*Index, error) {
 	// A grid answer below tinyB cannot be told apart from the cancellation
 	// noise of an empty region, so gather re-answers it through the tree.
 	ix.tinyB = 1e-9 * (1 + ix.totalG)
-	ix.grids = ix.buildGrids()
-	if ix.grids != nil {
-		d := ix.schema.D()
-		ix.pairIdx = make([]int, d*d)
-		for gi := range ix.grids {
-			g := &ix.grids[gi]
-			ix.pairIdx[g.a*d+g.b] = gi
-		}
-		ix.partner = make([]int, d)
-		for a := 0; a < d; a++ {
-			best := -1
-			for b := 0; b < d; b++ {
-				if b == a {
-					continue
-				}
-				if best < 0 || ix.schema.QI[b].Size() < ix.schema.QI[best].Size() {
-					best = b
-				}
-			}
-			ix.partner[a] = best
-		}
+}
+
+// wireGrids builds the pair-lookup tables over the grid layer.
+func (ix *Index) wireGrids() {
+	if ix.grids == nil {
+		return
 	}
-	return ix, nil
+	d := ix.schema.D()
+	ix.pairIdx = make([]int, d*d)
+	for gi := range ix.grids {
+		g := &ix.grids[gi]
+		ix.pairIdx[g.a*d+g.b] = gi
+	}
+	ix.partner = make([]int, d)
+	for a := 0; a < d; a++ {
+		best := -1
+		for b := 0; b < d; b++ {
+			if b == a {
+				continue
+			}
+			if best < 0 || ix.schema.QI[b].Size() < ix.schema.QI[best].Size() {
+				best = b
+			}
+		}
+		ix.partner[a] = best
+	}
 }
 
 // Groups returns the number of distinct QI boxes the index serves from.
-func (ix *Index) Groups() int { return len(ix.entries) }
+func (ix *Index) Groups() int { return ix.nE }
 
 // Schema returns the publication schema the index serves. Consumers that
 // hold only the index — the network serving layer parses attribute names and
@@ -213,16 +323,23 @@ func (ix *Index) Schema() *dataset.Schema { return ix.schema }
 // metadata the estimators invert perturbation with.
 func (ix *Index) P() float64 { return ix.p }
 
+// indexBuilder is the AoS construction scratch freeze() consumes.
+type indexBuilder struct {
+	schema  *dataset.Schema
+	entries []indexEntry
+	nodes   []indexNode
+}
+
 // build constructs the subtree over entries[lo:hi) and returns its node
 // index. The recursion is deterministic: the split dimension is the widest
 // normalized bound extent (lowest dimension on ties) and entries are ordered
 // by a total comparator, so the tree shape depends only on the entry set.
-func (ix *Index) build(lo, hi int) int32 {
+func (b *indexBuilder) build(lo, hi int) int32 {
 	n := indexNode{left: -1, right: -1, lo: int32(lo), hi: int32(hi)}
-	n.bound = cloneBox(ix.entries[lo].box)
-	n.hist = make([]float64, ix.schema.SensitiveDomain())
+	n.bound = cloneBox(b.entries[lo].box)
+	n.hist = make([]float64, b.schema.SensitiveDomain())
 	for i := lo; i < hi; i++ {
-		e := &ix.entries[i]
+		e := &b.entries[i]
 		for j := range n.bound.Lo {
 			if e.box.Lo[j] < n.bound.Lo[j] {
 				n.bound.Lo[j] = e.box.Lo[j]
@@ -241,19 +358,19 @@ func (ix *Index) build(lo, hi int) int32 {
 		n.pref[y+1] = n.pref[y] + h
 	}
 	if hi-lo > indexLeafSize {
-		dim := widestDim(ix.schema, n.bound)
-		ents := ix.entries[lo:hi]
-		sort.Slice(ents, func(a, b int) bool { return lessByCenter(&ents[a].box, &ents[b].box, dim) })
+		dim := widestDim(b.schema, n.bound)
+		ents := b.entries[lo:hi]
+		sort.Slice(ents, func(a, c int) bool { return lessByCenter(&ents[a].box, &ents[c].box, dim) })
 		mid := (lo + hi) / 2
 		// Children are built before the parent is appended, so parent indices
 		// are always larger than their children's — the slice order itself is
 		// a valid bottom-up evaluation order.
-		n.left = ix.build(lo, mid)
-		n.right = ix.build(mid, hi)
+		n.left = b.build(lo, mid)
+		n.right = b.build(mid, hi)
 		n.lo, n.hi = 0, 0
 	}
-	ix.nodes = append(ix.nodes, n)
-	return int32(len(ix.nodes) - 1)
+	b.nodes = append(b.nodes, n)
+	return int32(len(b.nodes) - 1)
 }
 
 // widestDim picks the split dimension: the largest bound extent normalized by
@@ -330,11 +447,13 @@ func (ix *Index) activeRanges(q []Range) []activeRange {
 	return act
 }
 
-// relate classifies a node bound against the restricting ranges.
-func relate(bound generalize.Box, act []activeRange) int {
+// relateNode classifies node ni's bound against the restricting ranges.
+func (ix *Index) relateNode(ni int32, act []activeRange) int {
+	nN := int32(len(ix.nodeG))
 	rel := relContained
 	for _, r := range act {
-		lo, hi := bound.Lo[r.dim], bound.Hi[r.dim]
+		o := int32(r.dim)*nN + ni
+		lo, hi := ix.nodeLo[o], ix.nodeHi[o]
 		if hi < r.lo || r.hi < lo {
 			return relDisjoint
 		}
@@ -345,21 +464,25 @@ func relate(bound generalize.Box, act []activeRange) int {
 	return rel
 }
 
-// vfActive is volumeFraction over the restricting dims only.
-func vfActive(box *generalize.Box, act []activeRange) float64 {
+// vfEntry is volumeFraction of entry i over the restricting dims only.
+// Factors multiply in act (= dim) order, matching the scan path's partial
+// products bit for bit.
+func (ix *Index) vfEntry(i int, act []activeRange) float64 {
 	f := 1.0
 	for _, r := range act {
-		a, b := box.Lo[r.dim], box.Hi[r.dim]
-		if r.lo > a {
-			a = r.lo
+		o := r.dim*ix.nE + i
+		a, b := ix.entLo[o], ix.entHi[o]
+		lo, hi := a, b
+		if r.lo > lo {
+			lo = r.lo
 		}
-		if r.hi < b {
-			b = r.hi
+		if r.hi < hi {
+			hi = r.hi
 		}
-		if a > b {
+		if lo > hi {
 			return 0
 		}
-		f *= float64(b-a+1) / float64(box.Hi[r.dim]-box.Lo[r.dim]+1)
+		f *= float64(hi-lo+1) / float64(b-a+1)
 	}
 	return f
 }
@@ -386,18 +509,20 @@ type valuer struct {
 // fixed by the tree, so a query's answer is bit-identical no matter which
 // goroutine computes it.
 func (ix *Index) walk(ni int32, act []activeRange, v *valuer, a, b *float64) {
-	n := &ix.nodes[ni]
-	switch relate(n.bound, act) {
+	switch ix.relateNode(ni, act) {
 	case relDisjoint:
 		return
 	case relContained:
-		*b += n.g
+		*b += ix.nodeG[ni]
+		dom := ix.schema.SensitiveDomain()
 		switch {
 		case v.wv == nil:
 		case v.band:
-			*a += n.pref[v.hi+1] - n.pref[v.lo]
+			pref := ix.nodePref[int(ni)*(dom+1) : (int(ni)+1)*(dom+1)]
+			*a += pref[v.hi+1] - pref[v.lo]
 		default:
-			for code, h := range n.hist {
+			hist := ix.nodeHist[int(ni)*dom : (int(ni)+1)*dom]
+			for code, h := range hist {
 				if h != 0 {
 					*a += h * v.wv[code]
 				}
@@ -405,21 +530,20 @@ func (ix *Index) walk(ni int32, act []activeRange, v *valuer, a, b *float64) {
 		}
 		return
 	}
-	if n.left >= 0 {
-		ix.walk(n.left, act, v, a, b)
-		ix.walk(n.right, act, v, a, b)
+	if l := ix.nodeLeft[ni]; l >= 0 {
+		ix.walk(l, act, v, a, b)
+		ix.walk(ix.nodeRight[ni], act, v, a, b)
 		return
 	}
-	for i := n.lo; i < n.hi; i++ {
-		e := &ix.entries[i]
-		vf := vfActive(&e.box, act)
+	for i := int(ix.nodeELo[ni]); i < int(ix.nodeEHi[ni]); i++ {
+		vf := ix.vfEntry(i, act)
 		if vf == 0 {
 			continue
 		}
-		*b += e.g * vf
+		*b += ix.entG[i] * vf
 		if v.wv != nil {
-			for _, vw := range e.vals {
-				*a += vw.w * vf * v.wv[vw.code]
+			for o := ix.valOff[i]; o < ix.valOff[i+1]; o++ {
+				*a += ix.valW[o] * vf * v.wv[ix.valCode[o]]
 			}
 		}
 	}

@@ -119,7 +119,7 @@ func Estimate(pub *pg.Published, q CountQuery) (float64, error) {
 		return 0, fmt.Errorf("query: sensitive predicates need retention probability > 0, publication has p = %v", pub.P)
 	}
 	a, b := 0.0, 0.0
-	for _, r := range pub.Rows {
+	for _, r := range pub.EnsureRows() {
 		vf := volumeFraction(r.Box.Lo, r.Box.Hi, q.QI)
 		if vf == 0 {
 			continue
@@ -151,7 +151,7 @@ func EstimateNaive(pub *pg.Published, q CountQuery) (float64, error) {
 		return 0, err
 	}
 	total := 0.0
-	for _, r := range pub.Rows {
+	for _, r := range pub.EnsureRows() {
 		vf := volumeFraction(r.Box.Lo, r.Box.Hi, q.QI)
 		if vf == 0 {
 			continue

@@ -1,0 +1,123 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// The v2 column blocks are little-endian images of []int32/[]int64/[]float64
+// arrays. On little-endian hosts (every platform this project targets in
+// practice) the image *is* the in-memory representation, so both directions
+// of the conversion can alias instead of copy — which is the whole point of
+// the mmap serving path: the file's pages become the serving arrays. On
+// big-endian hosts, or when a buffer lands misaligned, the helpers fall back
+// to an element-wise copy; the format stays portable, only the zero-copy
+// fast path is lost.
+
+// hostLittle reports whether the host stores integers little-endian.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// aligned reports whether b's first byte sits on an n-byte boundary.
+func aligned(b []byte, n uintptr) bool {
+	return uintptr(unsafe.Pointer(&b[0]))%n == 0
+}
+
+// i32Bytes returns the little-endian byte image of v, aliasing v's memory
+// on little-endian hosts. Callers must not write through the result.
+func i32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+	}
+	b := make([]byte, len(v)*4)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(x))
+	}
+	return b
+}
+
+// i64Bytes is i32Bytes for []int64.
+func i64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	b := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(x))
+	}
+	return b
+}
+
+// f64Bytes is i32Bytes for []float64 (IEEE-754 bit patterns).
+func f64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+	}
+	b := make([]byte, len(v)*8)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return b
+}
+
+// bytesToI32 interprets b (length a multiple of 4) as little-endian int32s,
+// aliasing b's memory when the host is little-endian and b is 4-byte
+// aligned. Callers must not write through the result.
+func bytesToI32(b []byte) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && aligned(b, 4) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// bytesToI64 is bytesToI32 for []int64.
+func bytesToI64(b []byte) []int64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && aligned(b, 8) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// bytesToF64 is bytesToI32 for []float64.
+func bytesToF64(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && aligned(b, 8) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

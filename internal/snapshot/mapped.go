@@ -1,0 +1,180 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"pgpub/internal/obs"
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+)
+
+// Mapped is a version-2 snapshot opened in place: the publication's row
+// columns and the serving index alias the file's pages (read-only mmap on
+// linux/darwin, an in-memory copy elsewhere or when mapping fails). Close
+// releases the mapping — after Close every slice that aliased it is invalid,
+// so drop the Mapped only when the serving structures built from it are no
+// longer in use.
+type Mapped struct {
+	// Pub is the publication in columnar form (Rows nil; see
+	// pg.Published.EnsureRows — but note materializing rows copies out of the
+	// mapping, defeating the point on the serving path).
+	Pub *pg.Published
+	// Guarantee is the certified guarantee metadata, nil when absent.
+	Guarantee *pg.GuaranteeMetadata
+	// Index is the serving index, reconstructed around the mapped arrays
+	// without a rebuild.
+	Index *query.Index
+
+	data   []byte
+	mapped bool
+	dirs   []blockDir
+	base   int
+}
+
+// OpenMapped opens a version-2 snapshot for serving without parsing it: the
+// file is mapped read-only and the column arrays are adopted in place, so
+// the cost of a cold start is the metadata pages plus the page faults the
+// first queries take — not a decode of the whole file.
+//
+// Integrity at open is deliberately shallower than Read's: the header and
+// metadata body are fully CRC-verified and every structural array the index
+// traversal depends on is validated, but the bulk column payloads are NOT
+// checksummed (that would fault in every page, which is exactly the cost
+// being avoided) and the publication validator is not run. Call Verify to
+// pay that cost when wanted; Read/Load remain the fully-verifying path.
+//
+// Version-1 snapshots cannot be mapped (their body is a parse-only stream);
+// use Load.
+func OpenMapped(path string) (*Mapped, error) { return OpenMappedObserved(path, nil) }
+
+// OpenMappedObserved is OpenMapped with the serving-path instrumentation
+// NewIndexObserved wires. A nil registry disables it.
+func OpenMappedObserved(path string, reg *obs.Registry) (*Mapped, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMapped(data, mapped, reg)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// newMapped builds the serving view over a snapshot image.
+func newMapped(data []byte, mapped bool, reg *obs.Registry) (*Mapped, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("snapshot: %d-byte file shorter than the %d-byte header (truncated file?)", len(data), headerLen)
+	}
+	if [6]byte(data[:6]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q — not a snapshot file", data[:6])
+	}
+	version := binary.LittleEndian.Uint16(data[6:8])
+	if version == versionV1 {
+		return nil, fmt.Errorf("snapshot: version 1 snapshots have no mappable layout; use Load")
+	}
+	if version != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (reader supports %d and %d)",
+			version, versionV1, Version)
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	if n > maxBodyLen || headerLen+int(n) > len(data) {
+		return nil, fmt.Errorf("snapshot: metadata length %d exceeds the file (truncated file?)", n)
+	}
+	meta := data[headerLen : headerLen+int(n)]
+	if crc32.Checksum(meta, castagnoli) != binary.LittleEndian.Uint32(data[16:20]) {
+		return nil, fmt.Errorf("snapshot: metadata checksum mismatch (corrupted file)")
+	}
+
+	d := &dec{b: meta}
+	pub, err := decodePubMeta(d)
+	if err != nil {
+		return nil, err
+	}
+	gm, err := decodeGuarantee(d)
+	if err != nil {
+		return nil, err
+	}
+	rowN, root, dirs, err := decodeV2Meta(d, len(meta))
+	if err != nil {
+		return nil, err
+	}
+	base := headerLen + len(meta)
+	last := dirs[len(dirs)-1]
+	if int(last.off)+prefixLen+int(last.n) != len(data) {
+		return nil, fmt.Errorf("snapshot: file is %d bytes, directory ends at %d (truncated file?)",
+			len(data), int(last.off)+prefixLen+int(last.n))
+	}
+	payloads := make([][]byte, len(dirs))
+	for i, dd := range dirs {
+		if pre := binary.LittleEndian.Uint64(data[dd.off:]); pre != dd.n {
+			return nil, fmt.Errorf("snapshot: %s block length prefix %d disagrees with directory %d",
+				v2Blocks[i].name, pre, dd.n)
+		}
+		payloads[i] = data[int(dd.off)+prefixLen : int(dd.off)+prefixLen+int(dd.n)]
+	}
+
+	// Shape-check the row columns (FromColumns runs Check) and rebuild the
+	// index around the mapped arrays; NewIndexFromParts validates every
+	// structural array. Deep validation (payload CRCs, pg.Validate) is
+	// Verify's job.
+	cols := &pg.RowColumns{
+		N:         rowN,
+		D:         pub.Schema.D(),
+		Lo:        bytesToI32(payloads[0]),
+		Hi:        bytesToI32(payloads[1]),
+		Value:     bytesToI32(payloads[2]),
+		G:         bytesToI64(payloads[3]),
+		SourceRow: bytesToI64(payloads[4]),
+	}
+	out, err := pg.FromColumns(*pub, cols)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	ix, err := query.NewIndexFromPartsObserved(out.Schema, v2IndexParts(out.P, root, payloads), reg)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: mapped serving index invalid: %w", err)
+	}
+	return &Mapped{Pub: out, Guarantee: gm, Index: ix, data: data, mapped: mapped, dirs: dirs, base: base}, nil
+}
+
+// Mmapped reports whether the snapshot is actually memory-mapped (false on
+// platforms or filesystems where mapFile fell back to a read).
+func (m *Mapped) Mmapped() bool { return m.mapped }
+
+// Verify runs the integrity checks OpenMapped skipped: every block CRC,
+// every padding byte, and the full publication validator. It faults in the
+// whole file — use it when corruption matters more than cold-start latency
+// (e.g. a one-time check after copying a snapshot between hosts).
+func (m *Mapped) Verify() error {
+	if _, err := verifyV2Blocks(m.data[m.base:], m.base, m.dirs); err != nil {
+		return err
+	}
+	if m.Pub.Len() > 0 {
+		if err := m.Pub.Validate(); err != nil {
+			return fmt.Errorf("snapshot: mapped publication invalid: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases the mapping. The Mapped's publication and index — and
+// anything sharing their arrays — must not be used afterwards.
+func (m *Mapped) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data, mapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if mapped {
+		if err := unmapFile(data); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	return nil
+}

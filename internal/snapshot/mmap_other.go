@@ -1,0 +1,23 @@
+//go:build !linux && !darwin
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile on platforms without a wired mmap syscall reads the file into an
+// anonymous buffer: OpenMapped still works, it just pays the read up front.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("snapshot: %w", err)
+	}
+	if len(b) == 0 {
+		return nil, false, fmt.Errorf("snapshot: %s is empty", path)
+	}
+	return b, false, nil
+}
+
+func unmapFile(b []byte) error { return nil }

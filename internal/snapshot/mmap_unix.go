@@ -1,0 +1,45 @@
+//go:build linux || darwin
+
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only into memory and reports mapped=true. When the
+// kernel refuses (an unusual filesystem, resource limits) it degrades to
+// reading the file into an anonymous buffer — same bytes, no page-fault
+// laziness — and reports mapped=false.
+func mapFile(path string) (data []byte, mapped bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("snapshot: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, fmt.Errorf("snapshot: %s is empty", path)
+	}
+	if uint64(size) > math.MaxInt {
+		return nil, false, fmt.Errorf("snapshot: %s is too large to map", path)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, false, fmt.Errorf("snapshot: %w", rerr)
+		}
+		return b, false, nil
+	}
+	return b, true, nil
+}
+
+// unmapFile releases a mapping returned by mapFile with mapped=true.
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -12,31 +12,39 @@
 // round-tripping through the release CSV, which drops the algorithm tag, the
 // exact K, and the recoding.
 //
-// # File format (version 1)
+// # File format
 //
-// A fixed 20-byte header followed by the body:
+// Both versions open with the same fixed 20-byte header:
 //
 //	offset  size  field
 //	0       6     magic "PGSNAP"
-//	6       2     format version, little-endian uint16 (currently 1)
+//	6       2     format version, little-endian uint16 (writer emits 2)
 //	8       8     body length in bytes, little-endian uint64
 //	16      4     CRC-32C (Castagnoli) of the body, little-endian uint32
 //	20      len   body
 //
-// The body is a flat little-endian encoding (no alignment, no compression):
-// fixed-width integers, IEEE-754 bit patterns for float64, and
-// length-prefixed UTF-8 for strings. Section order: schema, pipeline
-// parameters (algorithm, P, K), optional recoding (per-attribute hierarchy
-// parent arrays and cut node lists), rows (Lo/Hi box bounds, value, G,
-// source row), optional guarantee metadata. The encoding is deterministic —
-// the same publication always produces the same bytes — so snapshots can be
-// content-addressed and diffed.
+// Version 1 (read compatibility only) stores everything — schema, pipeline
+// parameters, optional recoding, rows, optional guarantee metadata — in the
+// single flat little-endian body the header describes: fixed-width integers,
+// IEEE-754 bit patterns for float64, length-prefixed UTF-8 strings.
 //
-// Read rejects anything it cannot vouch for: a short or oversized header,
-// an unknown version, a body shorter or longer than the header promises
-// (truncation), a checksum mismatch (corruption), trailing garbage inside
-// the body, and any decoded structure the validators of dataset, hierarchy,
-// generalize, or pg refuse.
+// Version 2 (what Write emits) splits the file in two: the header's body is
+// just the *metadata* (schema, parameters, recoding, guarantee, row count,
+// index root, and a block directory), and the rows plus a prebuilt
+// query-serving index follow as page-aligned, length-prefixed,
+// individually-CRC'd column blocks — one contiguous array per logical field.
+// The v2 layout lives in v2.go; the field-level spec is docs/SERVING.md.
+// Page alignment is what makes the mmap serving path (OpenMapped) possible:
+// a cold start maps the file and adopts the arrays in place, paying page
+// faults instead of a parse.
+//
+// Either way the encoding is deterministic — the same publication always
+// produces the same bytes — so snapshots can be content-addressed and
+// diffed, and Read rejects anything it cannot vouch for: a short or
+// oversized header, an unknown version, a body shorter or longer than the
+// header promises (truncation), any checksum mismatch (corruption), nonzero
+// padding or trailing garbage, and any decoded structure the validators of
+// dataset, hierarchy, generalize, or pg refuse.
 package snapshot
 
 import (
@@ -54,8 +62,11 @@ import (
 	"pgpub/internal/pg"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version (what Write emits).
+const Version = 2
+
+// versionV1 is the legacy flat-body format, still accepted by Read.
+const versionV1 = 1
 
 // magic identifies a snapshot file; it never changes across versions.
 var magic = [6]byte{'P', 'G', 'S', 'N', 'A', 'P'}
@@ -68,10 +79,21 @@ const maxBodyLen = 1 << 30
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Write serializes the publication and its optional guarantee metadata to w.
-// The guarantee block is what pg.Metadata carries beyond the publication
-// itself; pass nil when no level was certified.
+// Write serializes the publication and its optional guarantee metadata to w
+// in the current (version 2) format: metadata body, then the rows and a
+// prebuilt query-serving index as page-aligned column blocks. The guarantee
+// block is what pg.Metadata carries beyond the publication itself; pass nil
+// when no level was certified.
 func Write(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
+	if pub == nil || pub.Schema == nil {
+		return fmt.Errorf("snapshot: nil publication or schema")
+	}
+	return writeV2(w, pub, g)
+}
+
+// writeV1 emits the legacy single-body format. It exists so the v1 read
+// compatibility path stays testable without archived fixture files.
+func writeV1(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
 	if pub == nil || pub.Schema == nil {
 		return fmt.Errorf("snapshot: nil publication or schema")
 	}
@@ -79,12 +101,7 @@ func Write(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
 	if err != nil {
 		return err
 	}
-	var hdr [headerLen]byte
-	copy(hdr[:6], magic[:])
-	binary.LittleEndian.PutUint16(hdr[6:8], Version)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(body)))
-	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(body, castagnoli))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(makeHeader(versionV1, body)); err != nil {
 		return fmt.Errorf("snapshot: writing header: %w", err)
 	}
 	if _, err := w.Write(body); err != nil {
@@ -93,10 +110,26 @@ func Write(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
 	return nil
 }
 
-// Read loads a snapshot written by Write, verifying the magic, version, body
-// length and checksum before decoding, and re-validating every structure it
-// reconstructs. The returned guarantee metadata is nil when the snapshot
-// carries none.
+// makeHeader builds the 20-byte header for a body of the given version.
+func makeHeader(version uint16, body []byte) []byte {
+	hdr := make([]byte, headerLen)
+	copy(hdr[:6], magic[:])
+	binary.LittleEndian.PutUint16(hdr[6:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(body)))
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(body, castagnoli))
+	return hdr
+}
+
+// Read loads a snapshot written by Write (either format version), verifying
+// the magic, version, body length and every checksum before decoding, and
+// re-validating every structure it reconstructs. The returned guarantee
+// metadata is nil when the snapshot carries none.
+//
+// A version-2 publication is returned in columnar form (pg.FromColumns):
+// Rows is nil until a consumer that needs row-major tuples calls
+// pg.Published.EnsureRows. Every serving path (aggregation, indexing, CSV
+// export, scan estimation, crucial-tuple lookup) works directly on the
+// columns.
 func Read(r io.Reader) (*pg.Published, *pg.GuaranteeMetadata, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -105,9 +138,7 @@ func Read(r io.Reader) (*pg.Published, *pg.GuaranteeMetadata, error) {
 	if [6]byte(hdr[:6]) != magic {
 		return nil, nil, fmt.Errorf("snapshot: bad magic %q — not a snapshot file", hdr[:6])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[6:8]); v != Version {
-		return nil, nil, fmt.Errorf("snapshot: unsupported format version %d (reader supports %d)", v, Version)
-	}
+	version := binary.LittleEndian.Uint16(hdr[6:8])
 	n := binary.LittleEndian.Uint64(hdr[8:16])
 	if n > maxBodyLen {
 		return nil, nil, fmt.Errorf("snapshot: body length %d exceeds the %d-byte limit", n, maxBodyLen)
@@ -119,7 +150,15 @@ func Read(r io.Reader) (*pg.Published, *pg.GuaranteeMetadata, error) {
 	if sum := crc32.Checksum(body, castagnoli); sum != binary.LittleEndian.Uint32(hdr[16:20]) {
 		return nil, nil, fmt.Errorf("snapshot: body checksum mismatch (corrupted file)")
 	}
-	return decodeBody(body)
+	switch version {
+	case versionV1:
+		return decodeBody(body)
+	case Version:
+		return readV2(r, body)
+	default:
+		return nil, nil, fmt.Errorf("snapshot: unsupported format version %d (reader supports %d and %d)",
+			version, versionV1, Version)
+	}
 }
 
 // Save writes the snapshot to path atomically enough for the single-writer
@@ -195,8 +234,36 @@ func (e *enc) i32s(vs []int32) {
 }
 
 func encodeBody(pub *pg.Published, g *pg.GuaranteeMetadata) ([]byte, error) {
-	e := &enc{b: make([]byte, 0, 64+len(pub.Rows)*(8*pub.Schema.D()+16))}
+	rows := pub.EnsureRows()
+	e := &enc{b: make([]byte, 0, 64+len(rows)*(8*pub.Schema.D()+16))}
+	if err := encodePubMeta(e, pub); err != nil {
+		return nil, err
+	}
 
+	// Rows.
+	d := pub.Schema.D()
+	e.u32(uint32(len(rows)))
+	for i, r := range rows {
+		if len(r.Box.Lo) != d || len(r.Box.Hi) != d {
+			return nil, fmt.Errorf("snapshot: row %d box has %d/%d bounds for %d attributes",
+				i, len(r.Box.Lo), len(r.Box.Hi), d)
+		}
+		for j := 0; j < d; j++ {
+			e.i32(r.Box.Lo[j])
+			e.i32(r.Box.Hi[j])
+		}
+		e.i32(r.Value)
+		e.i64(int64(r.G))
+		e.i64(int64(r.SourceRow))
+	}
+
+	encodeGuarantee(e, g)
+	return e.b, nil
+}
+
+// encodePubMeta encodes the shared metadata prefix both format versions
+// open their body with: schema, pipeline parameters, optional recoding.
+func encodePubMeta(e *enc, pub *pg.Published) error {
 	// Schema: d QI attributes then the sensitive attribute.
 	e.u32(uint32(pub.Schema.D()))
 	for _, a := range pub.Schema.QI {
@@ -214,7 +281,7 @@ func encodeBody(pub *pg.Published, g *pg.GuaranteeMetadata) ([]byte, error) {
 		e.u8(0)
 	} else {
 		if len(pub.Recoding.Hierarchies) != pub.Schema.D() || len(pub.Recoding.Cuts) != pub.Schema.D() {
-			return nil, fmt.Errorf("snapshot: recoding covers %d hierarchies / %d cuts for %d QI attributes",
+			return fmt.Errorf("snapshot: recoding covers %d hierarchies / %d cuts for %d QI attributes",
 				len(pub.Recoding.Hierarchies), len(pub.Recoding.Cuts), pub.Schema.D())
 		}
 		e.u8(1)
@@ -223,35 +290,20 @@ func encodeBody(pub *pg.Published, g *pg.GuaranteeMetadata) ([]byte, error) {
 			e.i32s(pub.Recoding.Cuts[j].Nodes())
 		}
 	}
+	return nil
+}
 
-	// Rows.
-	d := pub.Schema.D()
-	e.u32(uint32(len(pub.Rows)))
-	for i, r := range pub.Rows {
-		if len(r.Box.Lo) != d || len(r.Box.Hi) != d {
-			return nil, fmt.Errorf("snapshot: row %d box has %d/%d bounds for %d attributes",
-				i, len(r.Box.Lo), len(r.Box.Hi), d)
-		}
-		for j := 0; j < d; j++ {
-			e.i32(r.Box.Lo[j])
-			e.i32(r.Box.Hi[j])
-		}
-		e.i32(r.Value)
-		e.i64(int64(r.G))
-		e.i64(int64(r.SourceRow))
-	}
-
-	// Guarantee metadata.
+// encodeGuarantee encodes the optional guarantee metadata block.
+func encodeGuarantee(e *enc, g *pg.GuaranteeMetadata) {
 	if g == nil {
 		e.u8(0)
-	} else {
-		e.u8(1)
-		e.f64(g.Lambda)
-		e.f64(g.Rho1)
-		e.f64(g.Rho2)
-		e.f64(g.Delta)
+		return
 	}
-	return e.b, nil
+	e.u8(1)
+	e.f64(g.Lambda)
+	e.f64(g.Rho1)
+	e.f64(g.Rho2)
+	e.f64(g.Delta)
 }
 
 func encodeAttr(e *enc, a *dataset.Attribute) {
@@ -352,29 +404,29 @@ func (d *dec) i32s(what string) []int32 {
 	return out
 }
 
-func decodeBody(body []byte) (*pg.Published, *pg.GuaranteeMetadata, error) {
-	d := &dec{b: body}
-
+// decodePubMeta decodes the shared metadata prefix (schema, parameters,
+// recoding) into a row-less publication shell.
+func decodePubMeta(d *dec) (*pg.Published, error) {
 	// Schema.
 	nqi := d.count("QI attribute", 9)
 	if d.err != nil {
-		return nil, nil, d.err
+		return nil, d.err
 	}
 	qi := make([]*dataset.Attribute, 0, nqi)
 	for j := 0; j < nqi; j++ {
 		a, err := decodeAttr(d)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		qi = append(qi, a)
 	}
 	sens, err := decodeAttr(d)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	schema, err := dataset.NewSchema(qi, sens)
 	if err != nil {
-		return nil, nil, fmt.Errorf("snapshot: %w", err)
+		return nil, fmt.Errorf("snapshot: %w", err)
 	}
 
 	// Pipeline parameters.
@@ -383,16 +435,16 @@ func decodeBody(body []byte) (*pg.Published, *pg.GuaranteeMetadata, error) {
 	case pg.KD, pg.TDS, pg.FullDomain:
 	default:
 		if d.err == nil {
-			return nil, nil, fmt.Errorf("snapshot: unknown algorithm code %d", int(alg))
+			return nil, fmt.Errorf("snapshot: unknown algorithm code %d", int(alg))
 		}
 	}
 	p := d.f64()
 	k := int(d.u32())
 	if d.err != nil {
-		return nil, nil, d.err
+		return nil, d.err
 	}
 	if math.IsNaN(p) || p < 0 || p > 1 {
-		return nil, nil, fmt.Errorf("snapshot: retention probability %v outside [0,1]", p)
+		return nil, fmt.Errorf("snapshot: retention probability %v outside [0,1]", p)
 	}
 
 	pub := &pg.Published{Schema: schema, Algorithm: alg, P: p, K: k}
@@ -407,31 +459,60 @@ func decodeBody(body []byte) (*pg.Published, *pg.GuaranteeMetadata, error) {
 			parents := d.i32s("hierarchy node")
 			cutNodes := d.i32s("cut node")
 			if d.err != nil {
-				return nil, nil, d.err
+				return nil, d.err
 			}
 			h, err := hierarchy.FromParents(schema.QI[j].Size(), parents)
 			if err != nil {
-				return nil, nil, fmt.Errorf("snapshot: attribute %q: %w", schema.QI[j].Name, err)
+				return nil, fmt.Errorf("snapshot: attribute %q: %w", schema.QI[j].Name, err)
 			}
 			c, err := hierarchy.NewCut(h, cutNodes)
 			if err != nil {
-				return nil, nil, fmt.Errorf("snapshot: attribute %q: %w", schema.QI[j].Name, err)
+				return nil, fmt.Errorf("snapshot: attribute %q: %w", schema.QI[j].Name, err)
 			}
 			hiers[j], cuts[j] = h, c
 		}
 		rec, err := generalize.NewRecoding(schema, hiers, cuts)
 		if err != nil {
-			return nil, nil, fmt.Errorf("snapshot: %w", err)
+			return nil, fmt.Errorf("snapshot: %w", err)
 		}
 		pub.Recoding = rec
 	default:
 		if d.err == nil {
-			return nil, nil, fmt.Errorf("snapshot: bad recoding presence flag")
+			return nil, fmt.Errorf("snapshot: bad recoding presence flag")
 		}
 	}
 	if d.err != nil {
-		return nil, nil, d.err
+		return nil, d.err
 	}
+	return pub, nil
+}
+
+// decodeGuarantee decodes the optional guarantee metadata block.
+func decodeGuarantee(d *dec) (*pg.GuaranteeMetadata, error) {
+	switch d.u8() {
+	case 0:
+	case 1:
+		gm := &pg.GuaranteeMetadata{
+			Lambda: d.f64(), Rho1: d.f64(), Rho2: d.f64(), Delta: d.f64(),
+		}
+		if d.err == nil {
+			return gm, nil
+		}
+	default:
+		if d.err == nil {
+			return nil, fmt.Errorf("snapshot: bad guarantee presence flag")
+		}
+	}
+	return nil, d.err
+}
+
+func decodeBody(body []byte) (*pg.Published, *pg.GuaranteeMetadata, error) {
+	d := &dec{b: body}
+	pub, err := decodePubMeta(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := pub.Schema
 
 	// Rows.
 	dd := schema.D()
@@ -461,20 +542,9 @@ func decodeBody(body []byte) (*pg.Published, *pg.GuaranteeMetadata, error) {
 	}
 
 	// Guarantee metadata.
-	var gm *pg.GuaranteeMetadata
-	switch d.u8() {
-	case 0:
-	case 1:
-		gm = &pg.GuaranteeMetadata{
-			Lambda: d.f64(), Rho1: d.f64(), Rho2: d.f64(), Delta: d.f64(),
-		}
-	default:
-		if d.err == nil {
-			return nil, nil, fmt.Errorf("snapshot: bad guarantee presence flag")
-		}
-	}
-	if d.err != nil {
-		return nil, nil, d.err
+	gm, err := decodeGuarantee(d)
+	if err != nil {
+		return nil, nil, err
 	}
 	if d.off != len(d.b) {
 		return nil, nil, fmt.Errorf("snapshot: %d trailing bytes after the guarantee block", len(d.b)-d.off)

@@ -60,7 +60,7 @@ func TestRoundTripAllAlgorithms(t *testing.T) {
 			t.Fatalf("%v: parameters drifted: %v/%v p=%v/%v k=%d/%d",
 				alg, got.Algorithm, pub.Algorithm, got.P, pub.P, got.K, pub.K)
 		}
-		if !reflect.DeepEqual(got.Rows, pub.Rows) {
+		if !reflect.DeepEqual(got.EnsureRows(), pub.Rows) {
 			t.Fatalf("%v: rows drifted across the round trip", alg)
 		}
 
@@ -139,7 +139,7 @@ func TestRoundTripSAL(t *testing.T) {
 	if g == nil || g.Rho2 != 0.45 {
 		t.Fatalf("guarantee block drifted: %+v", g)
 	}
-	if !reflect.DeepEqual(got.Rows, pub.Rows) {
+	if !reflect.DeepEqual(got.EnsureRows(), pub.Rows) {
 		t.Fatal("rows drifted across the round trip")
 	}
 	for j, a := range pub.Schema.QI {
@@ -168,26 +168,68 @@ func TestSaveLoadFile(t *testing.T) {
 	if g != nil {
 		t.Fatal("unexpected guarantee block")
 	}
-	if !reflect.DeepEqual(got.Rows, pub.Rows) {
+	if !reflect.DeepEqual(got.EnsureRows(), pub.Rows) {
 		t.Fatal("rows drifted through the file round trip")
 	}
 }
 
+// tinyPublication builds the smallest structurally complete publication —
+// recoding present, grids present, several rows — so the exhaustive
+// every-byte and every-prefix sweeps stay fast: even a minimal v2 file is 21
+// page-aligned blocks (~90 KiB), and the sweeps are quadratic in file size.
+// The hospital publications cover the same paths at realistic scale in the
+// round-trip tests.
+func tinyPublication(t *testing.T) *pg.Published {
+	t.Helper()
+	q0, err := dataset.NewIntAttribute("q0", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := dataset.NewIntAttribute("q1", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := dataset.NewIntAttribute("s", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := dataset.NewSchema([]*dataset.Attribute{q0, q1}, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := dataset.NewTable(schema)
+	for i := 0; i < 12; i++ {
+		if err := tab.Append([]int32{int32(i % 4), int32(i % 3), int32(i % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hiers := []*hierarchy.Hierarchy{
+		hierarchy.MustInterval(4, 2, 4),
+		hierarchy.MustFlat(3),
+	}
+	pub, err := pg.Publish(tab, hiers, pg.Config{K: 2, P: 0.25, Algorithm: pg.TDS, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
 // TestRejectsCorruption flips every single byte of a valid snapshot in turn
 // and requires Read to reject each mutant: header damage is caught by the
-// magic/version/length checks, body damage by the CRC-32C.
+// magic/version/length checks, metadata damage by its CRC-32C, block damage
+// by the per-block CRCs, padding damage by the zero check.
 func TestRejectsCorruption(t *testing.T) {
-	pub := publishHospital(t, pg.KD)
 	var buf bytes.Buffer
-	if err := Write(&buf, pub, &pg.GuaranteeMetadata{Lambda: 0.1, Rho1: 0.2, Rho2: 0.4, Delta: 0.2}); err != nil {
+	if err := Write(&buf, tinyPublication(t), &pg.GuaranteeMetadata{Lambda: 0.1, Rho1: 0.2, Rho2: 0.4, Delta: 0.2}); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
 	for i := range data {
-		mut := append([]byte(nil), data...)
-		mut[i] ^= 0x5a
-		if _, _, err := Read(bytes.NewReader(mut)); err == nil {
-			t.Fatalf("byte %d: corruption accepted", i)
+		data[i] ^= 0x5a
+		_, _, err := Read(bytes.NewReader(data))
+		data[i] ^= 0x5a
+		if err == nil {
+			t.Fatalf("byte %d of %d: corruption accepted", i, len(data))
 		}
 	}
 }
@@ -195,9 +237,8 @@ func TestRejectsCorruption(t *testing.T) {
 // TestRejectsTruncation cuts the file at every possible length short of the
 // full one and requires a loud error each time.
 func TestRejectsTruncation(t *testing.T) {
-	pub := publishHospital(t, pg.KD)
 	var buf bytes.Buffer
-	if err := Write(&buf, pub, nil); err != nil {
+	if err := Write(&buf, tinyPublication(t), nil); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()

@@ -1,0 +1,361 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+)
+
+// Version-2 layout. The header's body (CRC'd like any version's) is the
+// metadata:
+//
+//	encodePubMeta        schema, algorithm, p, K, recoding
+//	encodeGuarantee      optional guarantee block
+//	u64                  row count N
+//	i32                  serving-index kd-tree root (-1 when empty)
+//	u32                  block count (always len(v2Blocks))
+//	per block            u64 file offset, u64 payload length, u32 CRC-32C
+//
+// After the metadata come the column blocks, in the fixed v2Blocks order.
+// Each block starts at a 4096-byte-aligned file offset with a u64
+// little-endian length prefix (equal to the directory's payload length)
+// followed by the raw payload — the little-endian image of one
+// []int32/[]int64/[]float64 array. Gaps forced by alignment are zero-filled
+// and the file ends exactly at the last block's end. Payloads start 8 bytes
+// past a page boundary, so every element width divides its payload's
+// alignment — which is what lets OpenMapped adopt the mapped pages as Go
+// slices without copying.
+//
+// The directory is authoritative for offsets and lengths; the length
+// prefixes are deliberate redundancy so a block is self-describing when the
+// metadata page is unavailable (and a cheap consistency check when it is).
+
+// pageAlign is the file alignment of every v2 column block.
+const pageAlign = 4096
+
+// prefixLen is the u64 length prefix preceding each block payload.
+const prefixLen = 8
+
+// dirEntryLen is the encoded size of one block directory entry.
+const dirEntryLen = 8 + 8 + 4
+
+// v2Block describes one column block: its name (for error messages and the
+// format spec) and element width in bytes (payload length must divide it).
+type v2Block struct {
+	name string
+	elem int
+}
+
+// v2Blocks is the fixed block order of the format. Changing it is a format
+// break: readers locate blocks by position, not by name.
+var v2Blocks = []v2Block{
+	{"rows.lo", 4}, {"rows.hi", 4}, {"rows.value", 4}, {"rows.g", 8}, {"rows.source", 8},
+	{"ent.lo", 4}, {"ent.hi", 4}, {"ent.g", 8},
+	{"val.off", 4}, {"val.code", 4}, {"val.w", 8},
+	{"node.lo", 4}, {"node.hi", 4}, {"node.g", 8},
+	{"node.hist", 8}, {"node.pref", 8},
+	{"node.left", 4}, {"node.right", 4}, {"node.elo", 4}, {"node.ehi", 4},
+	{"grid.sat", 8},
+}
+
+// V2BlockNames returns the block names of the version-2 layout in file
+// order. It exists for tooling and the documentation tests, which pin the
+// format spec in docs/SERVING.md to this table.
+func V2BlockNames() []string {
+	names := make([]string, len(v2Blocks))
+	for i, b := range v2Blocks {
+		names[i] = b.name
+	}
+	return names
+}
+
+// blockDir is one decoded directory entry.
+type blockDir struct {
+	off, n uint64
+	crc    uint32
+}
+
+// alignUp rounds x up to the next pageAlign boundary.
+func alignUp(x int) int { return (x + pageAlign - 1) &^ (pageAlign - 1) }
+
+// v2Payloads gathers the 21 column payloads in v2Blocks order. On
+// little-endian hosts the byte slices alias the source arrays (no copy).
+func v2Payloads(cols *pg.RowColumns, parts query.IndexParts) [][]byte {
+	return [][]byte{
+		i32Bytes(cols.Lo), i32Bytes(cols.Hi), i32Bytes(cols.Value),
+		i64Bytes(cols.G), i64Bytes(cols.SourceRow),
+		i32Bytes(parts.EntLo), i32Bytes(parts.EntHi), f64Bytes(parts.EntG),
+		i32Bytes(parts.ValOff), i32Bytes(parts.ValCode), f64Bytes(parts.ValW),
+		i32Bytes(parts.NodeLo), i32Bytes(parts.NodeHi), f64Bytes(parts.NodeG),
+		f64Bytes(parts.NodeHist), f64Bytes(parts.NodePref),
+		i32Bytes(parts.NodeLeft), i32Bytes(parts.NodeRight),
+		i32Bytes(parts.NodeELo), i32Bytes(parts.NodeEHi),
+		f64Bytes(parts.GridSat),
+	}
+}
+
+// writeV2 emits the version-2 format: metadata body, then the row columns
+// and the prebuilt serving index as page-aligned blocks. The index is built
+// here — publish time — so every cold start afterwards adopts it instead of
+// rebuilding it.
+func writeV2(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
+	cols := pub.Columns()
+	if err := cols.Check(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	for i := 0; i < cols.N; i++ {
+		if cols.G[i] < 1 || cols.G[i] > math.MaxInt32 {
+			return fmt.Errorf("snapshot: row %d has G = %d", i, cols.G[i])
+		}
+		if cols.SourceRow[i] < -1 || cols.SourceRow[i] > math.MaxInt32 {
+			return fmt.Errorf("snapshot: row %d has source row %d", i, cols.SourceRow[i])
+		}
+	}
+	ix, err := query.NewIndex(pub)
+	if err != nil {
+		return fmt.Errorf("snapshot: building serving index: %w", err)
+	}
+	parts := ix.Parts()
+	payloads := v2Payloads(cols, parts)
+
+	// Metadata body: shared prefix, then the v2 tail.
+	e := &enc{}
+	if err := encodePubMeta(e, pub); err != nil {
+		return err
+	}
+	encodeGuarantee(e, g)
+	e.u64(uint64(cols.N))
+	e.i32(parts.Root)
+
+	// Lay the blocks out before encoding the directory (its size is fixed, so
+	// offsets don't depend on their own encoding).
+	metaLen := len(e.b) + 4 + len(payloads)*dirEntryLen
+	off := alignUp(headerLen + metaLen)
+	dirs := make([]blockDir, len(payloads))
+	for i, p := range payloads {
+		dirs[i] = blockDir{off: uint64(off), n: uint64(len(p)), crc: crc32.Checksum(p, castagnoli)}
+		off = alignUp(off + prefixLen + len(p))
+	}
+	e.u32(uint32(len(dirs)))
+	for _, dd := range dirs {
+		e.u64(dd.off)
+		e.u64(dd.n)
+		e.u32(dd.crc)
+	}
+
+	if _, err := w.Write(makeHeader(Version, e.b)); err != nil {
+		return fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	if _, err := w.Write(e.b); err != nil {
+		return fmt.Errorf("snapshot: writing metadata: %w", err)
+	}
+	pos := headerLen + len(e.b)
+	zero := make([]byte, pageAlign)
+	var pre [prefixLen]byte
+	for i, p := range payloads {
+		if gap := int(dirs[i].off) - pos; gap > 0 {
+			if _, err := w.Write(zero[:gap]); err != nil {
+				return fmt.Errorf("snapshot: writing padding: %w", err)
+			}
+			pos += gap
+		}
+		binary.LittleEndian.PutUint64(pre[:], dirs[i].n)
+		if _, err := w.Write(pre[:]); err != nil {
+			return fmt.Errorf("snapshot: writing %s block: %w", v2Blocks[i].name, err)
+		}
+		if _, err := w.Write(p); err != nil {
+			return fmt.Errorf("snapshot: writing %s block: %w", v2Blocks[i].name, err)
+		}
+		pos += prefixLen + len(p)
+	}
+	return nil
+}
+
+// decodeV2Meta decodes the v2 tail of the metadata body (after the shared
+// prefix): row count, index root, block directory. The directory is checked
+// for shape here — count, ascending page-aligned offsets, element-width
+// divisibility — so every later consumer can trust its geometry.
+func decodeV2Meta(d *dec, metaLen int) (rowN int, root int32, dirs []blockDir, err error) {
+	n := d.u64()
+	root = d.i32()
+	cnt := int(d.u32())
+	if d.err != nil {
+		return 0, 0, nil, d.err
+	}
+	if n > math.MaxInt32 {
+		return 0, 0, nil, fmt.Errorf("snapshot: row count %d exceeds the format limit", n)
+	}
+	if cnt != len(v2Blocks) {
+		return 0, 0, nil, fmt.Errorf("snapshot: directory lists %d blocks, format has %d", cnt, len(v2Blocks))
+	}
+	dirs = make([]blockDir, cnt)
+	end := headerLen + metaLen
+	for i := range dirs {
+		dirs[i] = blockDir{off: d.u64(), n: d.u64(), crc: d.u32()}
+		if d.err != nil {
+			return 0, 0, nil, d.err
+		}
+		b := v2Blocks[i]
+		if dirs[i].off%pageAlign != 0 {
+			return 0, 0, nil, fmt.Errorf("snapshot: %s block offset %d not page-aligned", b.name, dirs[i].off)
+		}
+		if dirs[i].off < uint64(alignUp(end)) {
+			return 0, 0, nil, fmt.Errorf("snapshot: %s block offset %d overlaps the previous section", b.name, dirs[i].off)
+		}
+		if dirs[i].n > maxBodyLen {
+			return 0, 0, nil, fmt.Errorf("snapshot: %s block length %d exceeds the %d-byte limit", b.name, dirs[i].n, maxBodyLen)
+		}
+		if dirs[i].n%uint64(b.elem) != 0 {
+			return 0, 0, nil, fmt.Errorf("snapshot: %s block length %d not a multiple of %d", b.name, dirs[i].n, b.elem)
+		}
+		end = int(dirs[i].off) + prefixLen + int(dirs[i].n)
+	}
+	if d.off != len(d.b) {
+		return 0, 0, nil, fmt.Errorf("snapshot: %d trailing bytes after the block directory", len(d.b)-d.off)
+	}
+	return int(n), root, dirs, nil
+}
+
+// verifyV2Blocks checks the block region bytes against the directory: zero
+// padding between blocks, length prefixes matching the directory, payload
+// CRCs, and nothing after the last block. data starts at file offset base
+// (the first byte after the metadata). Returns the payload slices
+// (subslices of data, in v2Blocks order).
+func verifyV2Blocks(data []byte, base int, dirs []blockDir) ([][]byte, error) {
+	payloads := make([][]byte, len(dirs))
+	pos := base
+	for i, dd := range dirs {
+		b := v2Blocks[i]
+		end := int(dd.off) + prefixLen + int(dd.n)
+		if end > base+len(data) {
+			return nil, fmt.Errorf("snapshot: %s block extends past the file end (truncated file?)", b.name)
+		}
+		for _, z := range data[pos-base : int(dd.off)-base] {
+			if z != 0 {
+				return nil, fmt.Errorf("snapshot: nonzero padding before the %s block", b.name)
+			}
+		}
+		pre := binary.LittleEndian.Uint64(data[int(dd.off)-base:])
+		if pre != dd.n {
+			return nil, fmt.Errorf("snapshot: %s block length prefix %d disagrees with directory %d", b.name, pre, dd.n)
+		}
+		p := data[int(dd.off)+prefixLen-base : end-base]
+		if crc32.Checksum(p, castagnoli) != dd.crc {
+			return nil, fmt.Errorf("snapshot: %s block checksum mismatch (corrupted file)", b.name)
+		}
+		payloads[i] = p
+		pos = end
+	}
+	if pos != base+len(data) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after the %s block",
+			base+len(data)-pos, v2Blocks[len(v2Blocks)-1].name)
+	}
+	return payloads, nil
+}
+
+// v2Rows assembles the publication from the decoded metadata shell and the
+// five row-column payloads, re-validating everything the row-major decoder
+// would: G and source-row ranges, then the full publication validator.
+func v2Rows(pub *pg.Published, rowN int, payloads [][]byte) (*pg.Published, error) {
+	cols := &pg.RowColumns{
+		N:         rowN,
+		D:         pub.Schema.D(),
+		Lo:        bytesToI32(payloads[0]),
+		Hi:        bytesToI32(payloads[1]),
+		Value:     bytesToI32(payloads[2]),
+		G:         bytesToI64(payloads[3]),
+		SourceRow: bytesToI64(payloads[4]),
+	}
+	out, err := pg.FromColumns(*pub, cols)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	for i := 0; i < cols.N; i++ {
+		if cols.G[i] < 1 || cols.G[i] > math.MaxInt32 {
+			return nil, fmt.Errorf("snapshot: row %d has G = %d", i, cols.G[i])
+		}
+		if cols.SourceRow[i] < -1 || cols.SourceRow[i] > math.MaxInt32 {
+			return nil, fmt.Errorf("snapshot: row %d has source row %d", i, cols.SourceRow[i])
+		}
+	}
+	if cols.N > 0 {
+		if err := out.Validate(); err != nil {
+			return nil, fmt.Errorf("snapshot: loaded publication invalid: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// v2IndexParts wraps the 16 index payloads as query.IndexParts.
+func v2IndexParts(p float64, root int32, payloads [][]byte) query.IndexParts {
+	return query.IndexParts{
+		P:         p,
+		Root:      root,
+		EntLo:     bytesToI32(payloads[5]),
+		EntHi:     bytesToI32(payloads[6]),
+		EntG:      bytesToF64(payloads[7]),
+		ValOff:    bytesToI32(payloads[8]),
+		ValCode:   bytesToI32(payloads[9]),
+		ValW:      bytesToF64(payloads[10]),
+		NodeLo:    bytesToI32(payloads[11]),
+		NodeHi:    bytesToI32(payloads[12]),
+		NodeG:     bytesToF64(payloads[13]),
+		NodeHist:  bytesToF64(payloads[14]),
+		NodePref:  bytesToF64(payloads[15]),
+		NodeLeft:  bytesToI32(payloads[16]),
+		NodeRight: bytesToI32(payloads[17]),
+		NodeELo:   bytesToI32(payloads[18]),
+		NodeEHi:   bytesToI32(payloads[19]),
+		GridSat:   bytesToF64(payloads[20]),
+	}
+}
+
+// readV2 finishes Read for a version-2 stream: meta is the already
+// CRC-verified metadata body, r is positioned at the first byte after it.
+// Every block CRC, every length prefix, all padding and the exact file end
+// are verified; the index blocks are additionally checked structurally (by
+// reconstructing an index from them), though the streaming Read returns only
+// the publication — Write rebuilds the index deterministically, which is
+// what keeps save(load(save)) byte-identical.
+func readV2(r io.Reader, meta []byte) (*pg.Published, *pg.GuaranteeMetadata, error) {
+	d := &dec{b: meta}
+	pub, err := decodePubMeta(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	gm, err := decodeGuarantee(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	rowN, root, dirs, err := decodeV2Meta(d, len(meta))
+	if err != nil {
+		return nil, nil, err
+	}
+	// Consume exactly the bytes the directory describes: like the v1 reader,
+	// Read leaves anything after the snapshot unread, so it can be layered
+	// over concatenated streams. (OpenMapped, which sees the whole file,
+	// additionally requires the file to end at the last block.)
+	last := dirs[len(dirs)-1]
+	base := headerLen + len(meta)
+	data := make([]byte, int(last.off)+prefixLen+int(last.n)-base)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: reading column blocks (truncated file?): %w", err)
+	}
+	payloads, err := verifyV2Blocks(data, base, dirs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := v2Rows(pub, rowN, payloads)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := query.NewIndexFromParts(out.Schema, v2IndexParts(out.P, root, payloads)); err != nil {
+		return nil, nil, fmt.Errorf("snapshot: loaded serving index invalid: %w", err)
+	}
+	return out, gm, nil
+}

@@ -83,6 +83,9 @@ type (
 	Published = pg.Published
 	// Row is one published tuple (generalized box, observed value, G).
 	Row = pg.Row
+	// RowColumns is the struct-of-arrays view of the published rows (one
+	// contiguous array per field, box bounds dim-major).
+	RowColumns = pg.RowColumns
 	// Algorithm selects the Phase-2 recoding algorithm.
 	Algorithm = pg.Algorithm
 )
@@ -374,7 +377,15 @@ var (
 	WriteSnapshot = snapshot.Write
 	// ReadSnapshot deserializes a publication snapshot from a reader.
 	ReadSnapshot = snapshot.Read
+	// OpenSnapshot maps a version-2 snapshot for serving in place: the
+	// column blocks and the prebuilt query index adopt the file's pages, so
+	// a cold start costs page faults instead of a parse.
+	OpenSnapshot = snapshot.OpenMapped
 )
+
+// MappedSnapshot is a snapshot opened in place by OpenSnapshot: publication,
+// guarantee metadata and serving index aliasing the mapped file.
+type MappedSnapshot = snapshot.Mapped
 
 // Network serving layer (cmd/pgserve; API reference in docs/SERVING.md).
 type (
