@@ -54,6 +54,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	n := flag.Int("n", 0, "fleet: SAL microdata cardinality (0 = 20000)")
 	url := flag.String("url", "", "fleet: attack this pgserve endpoint instead of self-serving")
+	shards := flag.Int("shards", 0, "fleet: attack a sharded release through its coordinator, one reconstruction per shard (0 = unsharded; with -url, adopted from the coordinator's metadata)")
 	victims := flag.Int("victims", 0, "fleet: number of attacked owners (0 = 48)")
 	fractions := flag.String("fractions", "", "fleet: comma-separated corruption fractions (default 0,0.25,0.5,0.75,1)")
 	workers := flag.Int("workers", 0, "fleet: client-side parallelism (0 = GOMAXPROCS)")
@@ -101,7 +102,7 @@ func main() {
 		if err := runFleet(fleetOptions{
 			set: set, reg: reg,
 			n: *n, seed: *seed, k: *k, p: *p, algorithm: *algorithm,
-			url: *url, victims: *victims, fractions: *fractions,
+			url: *url, shards: *shards, victims: *victims, fractions: *fractions,
 			workers: *workers, soak: *soak,
 			jsonOut: *jsonOut, benchout: *benchout,
 		}); err != nil {
@@ -275,6 +276,7 @@ type fleetOptions struct {
 	p         float64
 	algorithm string
 	url       string
+	shards    int
 	victims   int
 	fractions string
 	workers   int
@@ -288,7 +290,8 @@ type fleetOptions struct {
 func runFleet(o fleetOptions) error {
 	cfg := attackfleet.Config{
 		BaseURL: o.url, N: o.n, Seed: o.seed, Algorithm: o.algorithm,
-		Victims: o.victims, Workers: o.workers, Soak: o.soak, Metrics: o.reg,
+		Shards: o.shards, Victims: o.victims, Workers: o.workers,
+		Soak: o.soak, Metrics: o.reg,
 	}
 	// -p/-k defaults describe the hospital attack, not the fleet; only pass
 	// them when given explicitly so BaseURL mode can adopt the served values.
@@ -341,8 +344,12 @@ func runFleet(o fleetOptions) error {
 
 // renderFleet prints the human-readable breach curves and soak summary.
 func renderFleet(rep *attackfleet.Report) {
-	fmt.Printf("fleet: n=%d rows=%d groups=%d %s k=%d p=%.4f seed=%d victims=%d queries=%d\n",
-		rep.N, rep.Rows, rep.Groups, rep.Algorithm, rep.K, rep.P, rep.Seed, rep.Victims, rep.Queries)
+	sharded := ""
+	if rep.Shards > 0 {
+		sharded = fmt.Sprintf(" shards=%d", rep.Shards)
+	}
+	fmt.Printf("fleet: n=%d rows=%d groups=%d %s k=%d p=%.4f seed=%d%s victims=%d queries=%d\n",
+		rep.N, rep.Rows, rep.Groups, rep.Algorithm, rep.K, rep.P, rep.Seed, sharded, rep.Victims, rep.Queries)
 	fmt.Printf("bounds: h<=%.4f rho2<=%.4f growth<=%.4f (lambda=%.3f rho1=%.3f)\n\n",
 		rep.HBound, rep.Rho2Bound, rep.DeltaBound, rep.Lambda, rep.Rho1)
 	for _, m := range rep.Modes {
@@ -374,7 +381,8 @@ func renderFleet(rep *attackfleet.Report) {
 }
 
 // mergeFleetBench merges the report into the tracked perf report's `fleet`
-// block, keyed by (n, algorithm), without clobbering the other sections.
+// block, keyed by (n, algorithm, shards), without clobbering the other
+// sections.
 func mergeFleetBench(path string, rep *attackfleet.Report) error {
 	var pr experiments.PerfReport
 	if data, err := os.ReadFile(path); err == nil {
@@ -384,7 +392,7 @@ func mergeFleetBench(path string, rep *attackfleet.Report) error {
 	}
 	replaced := false
 	for i, old := range pr.Fleet {
-		if old.N == rep.N && old.Algorithm == rep.Algorithm {
+		if old.N == rep.N && old.Algorithm == rep.Algorithm && old.Shards == rep.Shards {
 			pr.Fleet[i] = rep
 			replaced = true
 			break
@@ -397,7 +405,10 @@ func mergeFleetBench(path string, rep *attackfleet.Report) error {
 		if pr.Fleet[i].N != pr.Fleet[j].N {
 			return pr.Fleet[i].N < pr.Fleet[j].N
 		}
-		return pr.Fleet[i].Algorithm < pr.Fleet[j].Algorithm
+		if pr.Fleet[i].Algorithm != pr.Fleet[j].Algorithm {
+			return pr.Fleet[i].Algorithm < pr.Fleet[j].Algorithm
+		}
+		return pr.Fleet[i].Shards < pr.Fleet[j].Shards
 	})
 	data, err := json.MarshalIndent(&pr, "", "  ")
 	if err != nil {

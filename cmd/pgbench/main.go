@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|qserve|repub|miners|perf|serve|all")
+	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|qserve|repub|miners|perf|serve|shard|all")
 	n := flag.Int("n", 100000, "SAL microdata cardinality for utility experiments")
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 1, "repetitions per utility point (averaged)")
@@ -266,9 +266,32 @@ func main() {
 		return nil
 	})
 
+	run("shard", func() error {
+		srep, err := experiments.ShardLoad(experiments.ShardLoadConfig{
+			N: *n / 5, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Shard: closed-loop load through a fan-out coordinator (k=6, p=0.3)\n")
+		fmt.Print(experiments.RenderShardLoad(srep))
+		if *benchout != "" {
+			rep, err := readBenchJSON(*benchout)
+			if err != nil {
+				rep = &experiments.PerfReport{}
+			}
+			rep.Shard = srep
+			if err := writeBenchJSON(*benchout, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchout)
+		}
+		return nil
+	})
+
 	switch *exp {
 	case "all", "table3a", "table3b", "fig2a", "fig2b", "fig3a", "fig3b",
-		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "qserve", "repub", "miners", "perf", "serve":
+		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "qserve", "repub", "miners", "perf", "serve", "shard":
 	default:
 		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -11,6 +11,15 @@
 //	pgpublish -dataset sal -n 100000 -k 6 -rho2 0.45
 //	pgpublish -in sal.csv -k 6 -delta 0.24 -out anonymized.csv
 //	pgpublish -dataset sal -n 50000 -k 6 -p 0.3 -snapshot release.pgsnap
+//	pgpublish -dataset sal -n 100000 -k 6 -p 0.3 -shards 4 \
+//	    -snapshot release.pgsnap -manifest release.pgman
+//
+// With -shards S the microdata is partitioned round-robin into S
+// deterministic shards, each published independently (per-shard seeds split
+// from -seed, so shard bytes are stable for any worker count), saved to
+// release-00.pgsnap ... release-0{S-1}.pgsnap, and described by a
+// checksummed manifest (-manifest) that pgserve -coordinator and pgquery
+// -manifest consume. The CSV and -meta outputs then describe the union.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"pgpub/internal/pg"
 	"pgpub/internal/privacy"
 	"pgpub/internal/sal"
+	"pgpub/internal/shard"
 	"pgpub/internal/snapshot"
 )
 
@@ -44,6 +54,8 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	meta := flag.String("meta", "", "also write release metadata JSON to this file")
 	snap := flag.String("snapshot", "", "also write a binary publication snapshot (.pgsnap) for pgserve/pgquery")
+	shards := flag.Int("shards", 0, "partition into this many deterministic shards, one snapshot each (requires -snapshot as the base name and -manifest)")
+	manifestPath := flag.String("manifest", "", "write the shard manifest (.pgman) here (with -shards)")
 	workers := flag.Int("workers", 0, "pipeline worker goroutines (0 = GOMAXPROCS); output is identical for any value")
 	metrics := flag.Bool("metrics", false, "instrument the pipeline and print the counter/phase report to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
@@ -164,12 +176,37 @@ func main() {
 		fail(fmt.Errorf("unknown algorithm %q", *alg))
 	}
 
-	pub, err := pg.Publish(d, hiers, pg.Config{
+	cfg := pg.Config{
 		K: kk, P: retention, Algorithm: algorithm, Seed: *seed, Workers: *workers,
 		Metrics: reg,
-	})
-	if err != nil {
-		fail(err)
+	}
+	var (
+		pub  *pg.Published
+		pubs []*pg.Published
+	)
+	if *shards > 0 {
+		if *snap == "" || *manifestPath == "" {
+			fail(fmt.Errorf("-shards requires -snapshot (the per-shard base name) and -manifest"))
+		}
+		pubs, err = pg.PublishSharded(d, hiers, cfg, *shards)
+		if err != nil {
+			fail(err)
+		}
+		// The merged view backs the CSV/metadata outputs; it is not itself a
+		// PG release (boxes overlap across shards), which is why the sharded
+		// path never saves it as a snapshot.
+		pub, err = pg.Merge(pubs)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		if *manifestPath != "" {
+			fail(fmt.Errorf("-manifest needs -shards"))
+		}
+		pub, err = pg.Publish(d, hiers, cfg)
+		if err != nil {
+			fail(err)
+		}
 	}
 	r2, dl, err := pub.Guarantees(*lambda, *rho1)
 	if err != nil {
@@ -199,10 +236,18 @@ func main() {
 
 	if *snap != "" {
 		g := &pg.GuaranteeMetadata{Lambda: *lambda, Rho1: *rho1, Rho2: r2, Delta: dl}
-		if err := snapshot.Save(*snap, pub, g); err != nil {
-			fail(err)
+		if *shards > 0 {
+			if _, err := shard.WriteRelease(*manifestPath, *snap, pubs, g, *seed, d.Len()); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "pgpublish: %d shard snapshots (%s ... %s) and manifest %s written\n",
+				len(pubs), shard.SnapshotPath(*snap, 0), shard.SnapshotPath(*snap, len(pubs)-1), *manifestPath)
+		} else {
+			if err := snapshot.Save(*snap, pub, g); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "pgpublish: snapshot written to %s\n", *snap)
 		}
-		fmt.Fprintf(os.Stderr, "pgpublish: snapshot written to %s\n", *snap)
 	}
 
 	w := os.Stdout

@@ -11,6 +11,13 @@
 //	pgquery -in anonymized.csv -p 0.2996 -where "Age=30..50,Gender=M..M" -income 25..49
 //	pgquery -in anonymized.csv -p 0.2996 -workload 50 -truth sal.csv -workers 4
 //	pgquery -snapshot release.pgsnap -where "Age=30..50" -income 25..49
+//	pgquery -manifest release.pgman -where "Age=30..50" -income 25..49
+//
+// With -manifest the query is answered against a sharded release
+// (pgpublish -shards): every shard snapshot is checksum-verified against
+// the manifest, indexed, and answers compose in shard order — the same
+// arithmetic a pgserve coordinator applies over HTTP, so the two agree bit
+// for bit.
 package main
 
 import (
@@ -29,12 +36,14 @@ import (
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
 	"pgpub/internal/sal"
+	"pgpub/internal/shard"
 	"pgpub/internal/snapshot"
 )
 
 func main() {
 	in := flag.String("in", "", "published CSV (required unless -snapshot)")
 	snap := flag.String("snapshot", "", "publication snapshot (.pgsnap) written by pgpublish -snapshot; replaces -in/-p/-meta")
+	manifest := flag.String("manifest", "", "shard manifest (.pgman) written by pgpublish -manifest; answers compose across all shards")
 	p := flag.Float64("p", -1, "the release's retention probability (or use -meta)")
 	metaPath := flag.String("meta", "", "release metadata JSON written by pgpublish -meta")
 	where := flag.String("where", "", "QI predicate: Attr=lo..hi[,Attr=lo..hi...] using attribute labels")
@@ -70,6 +79,33 @@ func main() {
 	if *metrics {
 		defer reg.WriteText(os.Stderr)
 	}
+	if *manifest != "" {
+		if *snap != "" || *in != "" {
+			fail(fmt.Errorf("-manifest composes a sharded release; drop -snapshot/-in"))
+		}
+		start := time.Now()
+		g, err := shard.OpenObserved(*manifest, reg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pgquery: opened %d shards (%d published tuples, k=%d, p=%.4f) in %v\n",
+			g.Shards(), g.Rows(), g.Manifest.K, g.Manifest.P, time.Since(start).Round(time.Millisecond))
+		if *workload > 0 {
+			runWorkload(g.Schema(), g, *workload, *seed, *truth, *workers, fail)
+			return
+		}
+		q, err := parseQuery(g.Schema(), *where, *income)
+		if err != nil {
+			fail(err)
+		}
+		est, err := g.Count(q)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("estimated count: %.1f\n", est)
+		return
+	}
+
 	var pub *pg.Published
 	if *snap != "" {
 		var err error
@@ -107,7 +143,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pgquery: loaded %d published tuples (k=%d, p=%.4f)\n", pub.Len(), pub.K, pub.P)
 
 	if *workload > 0 {
-		runWorkload(pub, *workload, *seed, *truth, *workers, reg, fail)
+		start := time.Now()
+		ix, err := query.NewIndexObserved(pub, reg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pgquery: indexed %d groups in %v\n",
+			ix.Groups(), time.Since(start).Round(time.Millisecond))
+		runWorkload(schema, ix, *workload, *seed, *truth, *workers, fail)
 		return
 	}
 
@@ -177,12 +220,17 @@ func parseQuery(schema *dataset.Schema, where, income string) (query.CountQuery,
 	return q, nil
 }
 
-// runWorkload evaluates N random queries through the serving index,
-// optionally against ground truth. The index is built once; the workload is
-// answered in a single batched pass.
-func runWorkload(pub *pg.Published, n int, seed int64, truthPath string, workers int, reg *obs.Registry, fail func(error)) {
+// workloadAnswerer is what runWorkload needs from its backend: a single
+// serving index or a sharded release's compose group.
+type workloadAnswerer interface {
+	AnswerWorkload(qs []query.CountQuery, workers int) ([]float64, error)
+}
+
+// runWorkload evaluates N random queries through an already-built answering
+// backend, optionally against ground truth, in a single batched pass.
+func runWorkload(schema *dataset.Schema, ix workloadAnswerer, n int, seed int64, truthPath string, workers int, fail func(error)) {
 	rng := rand.New(rand.NewSource(seed))
-	qs, err := query.Workload(pub.Schema, query.WorkloadConfig{
+	qs, err := query.Workload(schema, query.WorkloadConfig{
 		Queries: n, QIFraction: 0.5, RestrictAttrs: 2, SensitiveFraction: 0.4, Rng: rng,
 	})
 	if err != nil {
@@ -194,20 +242,13 @@ func runWorkload(pub *pg.Published, n int, seed int64, truthPath string, workers
 		if err != nil {
 			fail(err)
 		}
-		d, err = dataset.ReadCSV(pub.Schema, bufio.NewReader(f))
+		d, err = dataset.ReadCSV(schema, bufio.NewReader(f))
 		f.Close()
 		if err != nil {
 			fail(err)
 		}
 	}
 	start := time.Now()
-	ix, err := query.NewIndexObserved(pub, reg)
-	if err != nil {
-		fail(err)
-	}
-	built := time.Since(start)
-	fmt.Fprintf(os.Stderr, "pgquery: indexed %d groups in %v\n", ix.Groups(), built.Round(time.Millisecond))
-	start = time.Now()
 	ests, err := ix.AnswerWorkload(qs, workers)
 	if err != nil {
 		fail(err)

@@ -10,10 +10,19 @@
 //	pgserve -snapshot release.pgsnap -addr :8080
 //	pgserve -snapshot release.pgsnap -mmap -addr :8080
 //	pgserve -in anonymized.csv -p 0.2996 -addr :8080 -debug-addr :6060
+//	pgserve -coordinator -manifest release.pgman \
+//	    -shard-urls http://h0:8081,http://h1:8081 -addr :8080
 //
 // With -mmap the snapshot's column blocks and prebuilt serving index are
 // adopted straight from the file's pages (read-only memory map) instead of
 // being parsed and rebuilt: the cold start costs page faults, not a decode.
+//
+// With -coordinator the process holds no data at all: it loads the shard
+// manifest (pgpublish -shards -manifest), validates each shard server
+// against it over HTTP, and serves the same /v1 API by fanning queries out
+// to the shards with per-shard timeouts and p95-triggered hedged requests,
+// merging answers (count/naive/sum additively, avg from per-shard
+// sum/weight pairs). A dead shard turns into a 502 naming it.
 // See docs/SERVING.md for the API reference and a worked session.
 package main
 
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +51,11 @@ func main() {
 	in := flag.String("in", "", "published CSV with the SAL schema (alternative to -snapshot)")
 	p := flag.Float64("p", -1, "the release's retention probability (with -in; or use -meta)")
 	metaPath := flag.String("meta", "", "release metadata JSON written by pgpublish -meta (with -in)")
+	coordinator := flag.Bool("coordinator", false, "run as a fan-out coordinator over shard servers instead of serving a snapshot")
+	manifestPath := flag.String("manifest", "", "shard manifest (.pgman) written by pgpublish -manifest (with -coordinator)")
+	shardURLs := flag.String("shard-urls", "", "comma-separated shard server base URLs, one per manifest shard in shard order (with -coordinator)")
+	shardTimeout := flag.Duration("shard-timeout", 5*time.Second, "per-shard call deadline at the coordinator, hedges included")
+	hedge := flag.Duration("hedge", 25*time.Millisecond, "hedge delay before a shard has a latency history (its live p95 takes over after); negative disables hedging")
 	addr := flag.String("addr", ":8080", "API listen address")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent request admission limit (0 = 8*GOMAXPROCS); excess load is shed with 429")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request answer deadline")
@@ -72,6 +87,50 @@ func main() {
 		defer reg.WriteText(os.Stderr)
 	}
 
+	if *coordinator {
+		if *manifestPath == "" || *shardURLs == "" {
+			fail(fmt.Errorf("-coordinator requires -manifest and -shard-urls"))
+		}
+		if *snap != "" || *in != "" {
+			fail(fmt.Errorf("-coordinator holds no data; drop -snapshot/-in"))
+		}
+		man, err := snapshot.LoadManifest(*manifestPath)
+		if err != nil {
+			fail(err)
+		}
+		urls := strings.Split(*shardURLs, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSuffix(strings.TrimSpace(urls[i]), "/")
+		}
+		coord, err := serve.NewCoordinator(serve.CoordConfig{
+			Manifest:     man,
+			ShardURLs:    urls,
+			ShardTimeout: *shardTimeout,
+			HedgeAfter:   *hedge,
+			Metrics:      reg,
+		})
+		if err != nil {
+			fail(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *shardTimeout+5*time.Second)
+		err = coord.Start(ctx)
+		cancel()
+		if err != nil {
+			fail(err)
+		}
+		hs, err := coord.Serve(*addr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pgserve: coordinating %d shards (%d rows total) on http://%s (POST /v1/query, POST /v1/batch, GET /v1/metadata, GET /v1/shards)\n",
+			len(man.Shards), man.SourceRows, hs.Addr)
+		waitAndDrain(hs, *drain, fail)
+		return
+	}
+	if *manifestPath != "" || *shardURLs != "" {
+		fail(fmt.Errorf("-manifest/-shard-urls need -coordinator"))
+	}
+
 	// Load the release: snapshot (parsed or mapped in place) or CSV +
 	// announced p. The mapped path also adopts the snapshot's prebuilt
 	// serving index, so ix is already set when it succeeds.
@@ -87,6 +146,9 @@ func main() {
 		fail(fmt.Errorf("-snapshot and -in are mutually exclusive"))
 	case *snap != "":
 		if *mmapSnap {
+			if v, verr := snapshot.FileVersion(*snap); verr == nil && v == 1 {
+				fail(fmt.Errorf("snapshot %s is format v1, which has no mappable layout; upgrade it by re-saving with a current pgpublish -snapshot (a v2 re-save is byte-stable), or serve it without -mmap", *snap))
+			}
 			m, err := snapshot.OpenMappedObserved(*snap, reg)
 			if err != nil {
 				fail(err)
@@ -168,13 +230,17 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "pgserve: serving on http://%s (POST /v1/query, POST /v1/batch, GET /v1/metadata)\n", hs.Addr)
+	waitAndDrain(hs, *drain, fail)
+}
 
-	// Run until a termination signal, then drain in-flight requests.
+// waitAndDrain blocks until SIGINT/SIGTERM, then drains in-flight requests
+// up to the deadline — shared by the snapshot server and the coordinator.
+func waitAndDrain(hs *serve.HTTPServer, drain time.Duration, fail func(error)) {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigs
-	fmt.Fprintf(os.Stderr, "pgserve: %v received, draining (deadline %v)\n", sig, *drain)
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	fmt.Fprintf(os.Stderr, "pgserve: %v received, draining (deadline %v)\n", sig, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		hs.Close()

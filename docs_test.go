@@ -78,6 +78,9 @@ func TestDocCatalogCoversMetrics(t *testing.T) {
 		"serve.errors", "serve.shed", "serve.timeouts",
 		"serve.cache.hits", "serve.cache.misses", "serve.cache.evictions",
 		"serve.coalesced", "serve.latency.query", "serve.latency.batch",
+		"coord.requests.query", "coord.requests.batch", "coord.requests.metadata",
+		"coord.errors", "coord.fanout.latency", "coord.hedge.fired",
+		"coord.hedge.won", "coord.shard.errors", "coord.shard.timeouts",
 		"fleet.queries", "fleet.retries", "fleet.latency.query",
 		"fleet.victims", "fleet.violations", "fleet.probe.fallbacks",
 		"fleet.cut.nodes", "fleet.soak.dropped",
@@ -108,6 +111,26 @@ func TestDocCoversSnapshotV2(t *testing.T) {
 	} {
 		if !strings.Contains(spec, fact) {
 			t.Errorf("docs/SERVING.md: format fact %q missing from the spec", fact)
+		}
+	}
+}
+
+// TestDocCoversShardManifest pins the sharded-release spec the same way:
+// the manifest format facts and the coordinator semantics a client or a
+// re-implementing consumer relies on must stay in docs/SERVING.md.
+func TestDocCoversShardManifest(t *testing.T) {
+	data, err := os.ReadFile("docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := string(data)
+	for _, fact := range []string{
+		"PGMAN", ".pgman", "-shards", "-coordinator", "-shard-urls",
+		"-hedge", "-shard-timeout", "/v1/shards",
+		"502", "shard N:", "round-robin",
+	} {
+		if !strings.Contains(spec, fact) {
+			t.Errorf("docs/SERVING.md: sharding fact %q missing from the spec", fact)
 		}
 	}
 }

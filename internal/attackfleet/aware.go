@@ -63,14 +63,16 @@ func (m *groupModel) crucialOf(victim int) (box generalize.Box, g int, candidate
 	return m.boxes[gi], len(ids), candidates
 }
 
-// adversaryTable rebuilds the Phase-2 input as the adversary knows it: ℰ's
-// QI vectors with a zeroed sensitive column. The replayable algorithms never
-// read that column, so the zero stands in for the perturbed values the
-// adversary cannot see.
-func adversaryTable(ext *attack.External) *dataset.Table {
+// adversaryTable rebuilds a target's Phase-2 input as the adversary knows
+// it: the owners' QI vectors (in ID order) with a zeroed sensitive column.
+// The replayable algorithms never read that column, so the zero stands in
+// for the perturbed values the adversary cannot see. Against a shard the
+// owners are its round-robin subset of ℰ — the adversary reproduces the
+// publisher's partition exactly because the assignment is public.
+func adversaryTable(ext *attack.External, owners []int) *dataset.Table {
 	s := ext.Table().Schema
 	t := dataset.NewTable(s)
-	for id := 0; id < ext.Len(); id++ {
+	for _, id := range owners {
 		row := make([]int32, s.Width())
 		copy(row, ext.QIOf(id))
 		t.MustAppend(row)
@@ -78,18 +80,27 @@ func adversaryTable(ext *attack.External) *dataset.Table {
 	return t
 }
 
-// replayPhase2 reruns the known Phase-2 algorithm on the adversary's table.
-// Owner IDs equal row indices (the fleet's ℰ lists exactly the microdata
-// owners), so the algorithm's row groups are identity groups directly.
-func replayPhase2(ext *attack.External, hiers []*hierarchy.Hierarchy, algorithm string, k, workers int) (*groupModel, error) {
-	t := adversaryTable(ext)
+// replayPhase2 reruns the known Phase-2 algorithm on the adversary's table
+// for one target. Owner IDs equal microdata row indices (the fleet's ℰ lists
+// exactly the microdata owners), and the algorithm's local row indices map
+// back through owners, so its row groups become identity groups directly.
+func replayPhase2(ext *attack.External, hiers []*hierarchy.Hierarchy, algorithm string, k, workers int, owners []int) (*groupModel, error) {
+	t := adversaryTable(ext, owners)
+	remap := func(local [][]int) [][]int {
+		for _, rows := range local {
+			for i, l := range rows {
+				rows[i] = owners[l]
+			}
+		}
+		return local
+	}
 	switch algorithm {
 	case "kd":
 		res, err := generalize.KDPartitionParallel(t, k, par.SpawnDepth(workers))
 		if err != nil {
 			return nil, fmt.Errorf("attackfleet: replaying kd: %w", err)
 		}
-		return newGroupModel(ext.Len(), res.Cells, res.Rows), nil
+		return newGroupModel(ext.Len(), res.Cells, remap(res.Rows)), nil
 	case "full-domain":
 		res, err := generalize.SearchFullDomain(t, hiers, generalize.FullDomainConfig{
 			Principle: generalize.KAnonymity{K: k}, Workers: workers,
@@ -101,21 +112,23 @@ func replayPhase2(ext *attack.External, hiers []*hierarchy.Hierarchy, algorithm 
 		for i, key := range res.Groups.Keys {
 			boxes[i] = res.Recoding.BoxOf(key)
 		}
-		return newGroupModel(ext.Len(), boxes, res.Groups.Rows), nil
+		return newGroupModel(ext.Len(), boxes, remap(res.Groups.Rows)), nil
 	default:
 		return nil, fmt.Errorf("attackfleet: algorithm %q is not replayable", algorithm)
 	}
 }
 
-// recoverCuts reconstructs a cut-based recoding's global cuts over HTTP.
-// Per dimension it descends the public hierarchy from the root: a node v is
-// in the cut iff, for every owner w whose dim-j value v covers, w's box
-// spans exactly v's leaf range in dimension j. Each candidate node is tested
-// through up to three witnesses picked from distinct regions of v's range;
-// a witness passes when interior point fingerprints across the range all
-// match its own and both segment queries scale linearly with the span. The
-// recovery runs serially (before the victim fan-out), so its query sequence
-// is deterministic.
+// recoverCuts reconstructs a cut-based recoding's global cuts over HTTP —
+// the cuts of this runner's target, from its owners' boxes alone (pinned to
+// the target's shard when the release is sharded). Per dimension it
+// descends the public hierarchy from the root: a node v is in the cut iff,
+// for every owner w whose dim-j value v covers, w's box spans exactly v's
+// leaf range in dimension j. Each candidate node is tested through up to
+// three witnesses picked from distinct regions of v's range; a witness
+// passes when interior point fingerprints across the range all match its
+// own and both segment queries scale linearly with the span. The recovery
+// runs serially (before the victim fan-out), so its query sequence is
+// deterministic.
 func (r *runner) recoverCuts() (*generalize.Recoding, error) {
 	d := r.schema.D()
 	cuts := make([]*hierarchy.Cut, d)
@@ -124,10 +137,8 @@ func (r *runner) recoverCuts() (*generalize.Recoding, error) {
 		h := r.hiers[j]
 		// Owners sorted by their dim-j coordinate, for range lookups and
 		// witness spreading.
-		ids := make([]int, r.ext.Len())
-		for i := range ids {
-			ids[i] = i
-		}
+		ids := make([]int, len(r.owners))
+		copy(ids, r.owners)
 		sort.Slice(ids, func(a, b int) bool {
 			va, vb := r.ext.QIOf(ids[a])[j], r.ext.QIOf(ids[b])[j]
 			if va != vb {
@@ -175,8 +186,8 @@ func (r *runner) recoverCuts() (*generalize.Recoding, error) {
 			return nil, fmt.Errorf("attackfleet: recovered dim-%d nodes do not form a cut: %w", j, err)
 		}
 		cuts[j] = cut
-		r.cutNodes.Add(int64(len(nodes)))
-		r.met.cutNodes.Add(int64(len(nodes)))
+		r.sh.cutNodes.Add(int64(len(nodes)))
+		r.sh.met.cutNodes.Add(int64(len(nodes)))
 	}
 	return generalize.NewRecoding(r.schema, r.hiers, cuts)
 }
@@ -241,9 +252,9 @@ func (r *runner) cutNodeHolds(j int, v int32, covered []int, fps map[int]fingerp
 	return true, nil
 }
 
-// modelFromRecoding groups ℰ under a recovered recoding — the cut-based
-// counterpart of replayPhase2's output.
-func modelFromRecoding(ext *attack.External, rec *generalize.Recoding) *groupModel {
+// modelFromRecoding groups a target's owners under a recovered recoding —
+// the cut-based counterpart of replayPhase2's output.
+func modelFromRecoding(ext *attack.External, rec *generalize.Recoding, owners []int) *groupModel {
 	type group struct {
 		box generalize.Box
 		ids []int
@@ -252,7 +263,7 @@ func modelFromRecoding(ext *attack.External, rec *generalize.Recoding) *groupMod
 	var order []string
 	d := ext.Table().Schema.D()
 	gen := make([]int32, d)
-	for id := 0; id < ext.Len(); id++ {
+	for _, id := range owners {
 		rec.GeneralizeInto(gen, ext.QIOf(id))
 		key := string(int32sToBytes(gen))
 		g, ok := byKey[key]

@@ -20,12 +20,18 @@ import (
 // while counting *logical* queries separately from retries, so the query
 // count in the report is deterministic even when the limiter sheds some of
 // the fleet's own traffic.
+// Against a sharded release the fleet talks to the coordinator, and forShard
+// derives per-shard views that pin every query to one shard — the adversary
+// knows the public round-robin assignment, and a merged answer (summed over
+// shards) would smear the per-box fingerprints the reconstruction reads.
 type client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	shard *int // pin queries to this coordinator shard (nil = unpinned)
 
-	queries atomic.Int64 // logical queries answered (retries excluded)
-	retries atomic.Int64
+	// Pointers so forShard copies share the totals.
+	queries *atomic.Int64 // logical queries answered (retries excluded)
+	retries *atomic.Int64
 
 	met struct {
 		queries *obs.Counter
@@ -49,6 +55,8 @@ func newClient(base string, workers int, reg *obs.Registry) *client {
 				MaxIdleConnsPerHost: 2 * workers,
 			},
 		},
+		queries: &atomic.Int64{},
+		retries: &atomic.Int64{},
 	}
 	c.met.queries = reg.Counter("fleet.queries")
 	c.met.retries = reg.Counter("fleet.retries")
@@ -73,10 +81,21 @@ func (c *client) metadata() (serve.MetadataResponse, error) {
 	return md, nil
 }
 
+// forShard returns a view of the client that pins every query to coordinator
+// shard s. The copy shares the connection pool and counters.
+func (c *client) forShard(s int) *client {
+	cc := *c
+	cc.shard = &s
+	return &cc
+}
+
 // query answers one aggregate query, retrying shed and timed-out attempts.
 // Queries are idempotent reads, so re-POSTing after a transport error is
 // safe.
 func (c *client) query(req serve.QueryRequest) (float64, error) {
+	if c.shard != nil {
+		req.Shard = c.shard
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return 0, fmt.Errorf("attackfleet: encoding query: %w", err)

@@ -21,12 +21,14 @@
 package attackfleet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"pgpub/internal/attack"
 	"pgpub/internal/dataset"
@@ -38,6 +40,7 @@ import (
 	"pgpub/internal/query"
 	"pgpub/internal/sal"
 	"pgpub/internal/serve"
+	"pgpub/internal/snapshot"
 )
 
 // Config parameterizes a fleet run.
@@ -62,6 +65,16 @@ type Config struct {
 	K         int
 	P         float64
 	Algorithm string
+	// Shards attacks a sharded release through its coordinator. The shard
+	// assignment is public (round-robin, pg.ShardOf), so the adversary runs
+	// one reconstruction per shard over that shard's owners, pinning every
+	// query to the victim's shard — a merged answer would sum box weights
+	// across shards and smear the fingerprints. Zero means unsharded. In
+	// BaseURL mode zero adopts the served shard count (a coordinator
+	// announces it in /v1/metadata) and a non-zero value must match it;
+	// self-serve spins up Shards in-process shard servers plus a
+	// coordinator.
+	Shards int
 	// Victims is the number of attacked owners (default 48, capped at |ℰ|).
 	Victims int
 	// Fractions lists the corruption fractions of the breach curve
@@ -121,6 +134,7 @@ type Report struct {
 	P          float64      `json:"p"`
 	Algorithm  string       `json:"algorithm"`
 	Seed       int64        `json:"seed"`
+	Shards     int          `json:"shards,omitempty"`
 	Victims    int          `json:"victims"`
 	Lambda     float64      `json:"lambda"`
 	Rho1       float64      `json:"rho1"`
@@ -155,16 +169,9 @@ type victimDetail struct {
 	fracs  []fracOutcome
 }
 
-// runner shares the per-victim attack machinery between the fan-out workers.
-// All fields are read-only during the fan-out except the atomics.
-type runner struct {
-	cl     *client
-	ext    *attack.External
-	schema *dataset.Schema
-	hiers  []*hierarchy.Hierarchy
-	domain int
-	p      float64
-
+// fleetShared is the run-wide state every runner feeds: the deterministic
+// tallies the report carries and the fleet.* instrumentation.
+type fleetShared struct {
 	probeFallbacks atomic.Int64
 	cutNodes       atomic.Int64
 
@@ -175,6 +182,28 @@ type runner struct {
 		cutNodes       *obs.Counter
 		soakDropped    *obs.Counter
 	}
+}
+
+// runner is the per-victim attack machinery for one target: the whole
+// release when unsharded, or one shard of it (pinned client, that shard's
+// owners and partition model) against a coordinator. All fields are
+// read-only during the fan-out except the shared atomics.
+type runner struct {
+	cl     *client
+	ext    *attack.External
+	schema *dataset.Schema
+	hiers  []*hierarchy.Hierarchy
+	domain int
+	p      float64
+	// owners lists the global IDs whose tuples this runner's target serves,
+	// ascending — every candidate scan is restricted to it, because no other
+	// identity can appear in a box the target answers for.
+	owners []int
+	// model is the aware adversary's reconstruction of the target's Phase-2
+	// partition, with global IDs.
+	model *groupModel
+
+	sh *fleetShared
 }
 
 // Run executes the fleet and aggregates the breach curves. A bound violation
@@ -197,6 +226,12 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	cfg.Workers = par.N(cfg.Workers)
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("attackfleet: shard count %d must be non-negative", cfg.Shards)
+	}
+	if cfg.Soak && cfg.Shards > 0 {
+		return nil, fmt.Errorf("attackfleet: the soak phases drive a single-snapshot server; run them with Shards = 0")
+	}
 	if cfg.Lambda <= 0 {
 		cfg.Lambda = 0.1
 	}
@@ -234,10 +269,18 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	// Target: self-serve a fresh publication or attach to BaseURL.
+	// Target: self-serve a fresh publication (one server, or a shard fleet
+	// plus coordinator) or attach to BaseURL.
 	var hs *serve.HTTPServer
 	base := strings.TrimSuffix(cfg.BaseURL, "/")
-	if selfServe {
+	if selfServe && cfg.Shards > 0 {
+		b, cleanup, err := selfServeSharded(d, hiers, cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		base = b
+	} else if selfServe {
 		alg, err := pg.ParseAlgorithm(cfg.Algorithm)
 		if err != nil {
 			return nil, err
@@ -248,28 +291,8 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ix, err := query.NewIndex(pub)
+		hs, err = servePub(pub, cfg)
 		if err != nil {
-			return nil, err
-		}
-		meta, err := pub.Metadata(cfg.Lambda, cfg.Rho1)
-		if err != nil {
-			return nil, err
-		}
-		inFlight := 2 * cfg.Workers
-		if inFlight < 8 {
-			inFlight = 8
-		}
-		srv, err := serve.New(serve.Config{
-			Index: ix, Meta: meta,
-			MaxInFlight: inFlight,
-			Workers:     cfg.Workers,
-			Metrics:     cfg.Metrics,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if hs, err = srv.Serve("127.0.0.1:0"); err != nil {
 			return nil, err
 		}
 		defer hs.Close()
@@ -298,6 +321,19 @@ func Run(cfg Config) (*Report, error) {
 			"attackfleet: config wants algorithm=%s p=%v k=%d but the served release is algorithm=%s p=%v k=%d",
 			cfg.Algorithm, cfg.P, cfg.K, md.Algorithm, md.P, md.K)
 	}
+	// A coordinator announces its shard count; a plain server announces none.
+	// The per-shard reconstruction and query pinning only make sense against
+	// the former, so the two must agree.
+	if cfg.Shards == 0 {
+		cfg.Shards = md.Shards
+	}
+	if cfg.Shards != md.Shards {
+		return nil, fmt.Errorf(
+			"attackfleet: config wants %d shards but the served release reports %d", cfg.Shards, md.Shards)
+	}
+	if cfg.Soak && cfg.Shards > 0 {
+		return nil, fmt.Errorf("attackfleet: the soak phases drive a single-snapshot server, not a coordinator")
+	}
 	if _, err := pg.ParseAlgorithm(cfg.Algorithm); err != nil {
 		return nil, err
 	}
@@ -308,7 +344,8 @@ func Run(cfg Config) (*Report, error) {
 	domain := d.Schema.SensitiveDomain()
 	rep := &Report{
 		N: cfg.N, Rows: md.Rows, Groups: md.Groups, K: cfg.K, P: cfg.P,
-		Algorithm: cfg.Algorithm, Seed: cfg.Seed, Lambda: cfg.Lambda, Rho1: cfg.Rho1,
+		Algorithm: cfg.Algorithm, Seed: cfg.Seed, Shards: cfg.Shards,
+		Lambda: cfg.Lambda, Rho1: cfg.Rho1,
 	}
 	rep.HBound = privacy.HTop(cfg.P, cfg.Lambda, cfg.K, domain)
 	if rep.Rho2Bound, err = privacy.MinRho2(cfg.P, cfg.Lambda, cfg.Rho1, cfg.K, domain); err != nil {
@@ -318,25 +355,58 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	r := &runner{cl: cl, ext: ext, schema: d.Schema, hiers: hiers, domain: domain, p: cfg.P}
-	r.met.victims = cfg.Metrics.Counter("fleet.victims")
-	r.met.violations = cfg.Metrics.Counter("fleet.violations")
-	r.met.probeFallbacks = cfg.Metrics.Counter("fleet.probe.fallbacks")
-	r.met.cutNodes = cfg.Metrics.Counter("fleet.cut.nodes")
-	r.met.soakDropped = cfg.Metrics.Counter("fleet.soak.dropped")
+	sh := &fleetShared{}
+	sh.met.victims = cfg.Metrics.Counter("fleet.victims")
+	sh.met.violations = cfg.Metrics.Counter("fleet.violations")
+	sh.met.probeFallbacks = cfg.Metrics.Counter("fleet.probe.fallbacks")
+	sh.met.cutNodes = cfg.Metrics.Counter("fleet.cut.nodes")
+	sh.met.soakDropped = cfg.Metrics.Counter("fleet.soak.dropped")
 
-	// Aware adversary: reconstruct the whole partition once, up front. The
-	// tds cut recovery queries serially, so its stream is deterministic.
-	var model *groupModel
-	if cfg.Algorithm == pg.TDS.String() {
-		rec, err := r.recoverCuts()
-		if err != nil {
-			return nil, err
+	// One runner per target. Unsharded: a single runner over all of ℰ.
+	// Sharded: one per shard, with a pinned client and the round-robin owner
+	// subset {id : pg.ShardOf(id, S) == s} — the same partition the publisher
+	// applied, which the adversary knows (the assignment is public).
+	newRunner := func(cl *client, owners []int) *runner {
+		return &runner{
+			cl: cl, ext: ext, schema: d.Schema, hiers: hiers,
+			domain: domain, p: cfg.P, owners: owners, sh: sh,
 		}
-		model = modelFromRecoding(ext, rec)
+	}
+	var runners []*runner
+	if cfg.Shards == 0 {
+		all := make([]int, ext.Len())
+		for id := range all {
+			all[id] = id
+		}
+		runners = []*runner{newRunner(cl, all)}
 	} else {
-		if model, err = replayPhase2(ext, hiers, cfg.Algorithm, cfg.K, cfg.Workers); err != nil {
-			return nil, err
+		runners = make([]*runner, cfg.Shards)
+		for s := 0; s < cfg.Shards; s++ {
+			var owners []int
+			for id := s; id < ext.Len(); id += cfg.Shards {
+				owners = append(owners, id)
+			}
+			if len(owners) == 0 {
+				return nil, fmt.Errorf("attackfleet: shard %d of %d holds no owners at n = %d", s, cfg.Shards, ext.Len())
+			}
+			runners[s] = newRunner(cl.forShard(s), owners)
+		}
+	}
+
+	// Aware adversary: reconstruct each target's whole partition once, up
+	// front. The tds cut recovery queries serially, so its stream is
+	// deterministic.
+	for s, r := range runners {
+		if cfg.Algorithm == pg.TDS.String() {
+			rec, err := r.recoverCuts()
+			if err != nil {
+				return nil, fmt.Errorf("attackfleet: recovering shard %d cuts: %w", s, err)
+			}
+			r.model = modelFromRecoding(ext, rec, r.owners)
+		} else {
+			if r.model, err = replayPhase2(ext, hiers, cfg.Algorithm, cfg.K, cfg.Workers, r.owners); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -367,7 +437,11 @@ func Run(cfg Config) (*Report, error) {
 	// a dedicated slot so aggregation order never depends on scheduling.
 	details := make([]victimDetail, cfg.Victims)
 	err = par.ForEachErr(cfg.Workers, cfg.Victims, func(i int) error {
-		det, err := r.attackVictim(victims[i], i, fleetRoot, model, cfg)
+		r := runners[0]
+		if cfg.Shards > 0 {
+			r = runners[pg.ShardOf(victims[i], cfg.Shards)]
+		}
+		det, err := r.attackVictim(victims[i], i, fleetRoot, cfg)
 		if err != nil {
 			return fmt.Errorf("victim %d: %w", victims[i], err)
 		}
@@ -377,15 +451,15 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.met.victims.Add(int64(cfg.Victims))
+	sh.met.victims.Add(int64(cfg.Victims))
 
 	rep.details = details
-	rep.aggregate(details, cfg.Fractions, r)
+	rep.aggregate(details, cfg.Fractions, sh)
 	rep.Queries = cl.queries.Load()
-	r.met.violations.Add(int64(rep.Violations))
+	sh.met.violations.Add(int64(rep.Violations))
 
 	if cfg.Soak {
-		soak, err := r.soak(cfg, fleetRoot, hs)
+		soak, err := runners[0].soak(cfg, fleetRoot, hs)
 		if err != nil {
 			return nil, err
 		}
@@ -395,9 +469,99 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// servePub builds the serving stack for one in-process publication and
+// exposes it on a loopback port — one shard of a sharded self-serve, or the
+// whole release of an unsharded one.
+func servePub(pub *pg.Published, cfg Config) (*serve.HTTPServer, error) {
+	ix, err := query.NewIndex(pub)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := pub.Metadata(cfg.Lambda, cfg.Rho1)
+	if err != nil {
+		return nil, err
+	}
+	inFlight := 2 * cfg.Workers
+	if inFlight < 8 {
+		inFlight = 8
+	}
+	srv, err := serve.New(serve.Config{
+		Index: ix, Meta: meta,
+		MaxInFlight: inFlight,
+		Workers:     cfg.Workers,
+		Metrics:     cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return srv.Serve("127.0.0.1:0")
+}
+
+// selfServeSharded publishes the microdata in cfg.Shards deterministic
+// shards, serves each on its own loopback server, and fronts them with an
+// in-process coordinator validated against an in-memory manifest — the
+// loopback twin of pgpublish -shards + pgserve -coordinator. It returns the
+// coordinator's base URL and a cleanup closing all the servers.
+func selfServeSharded(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (string, func(), error) {
+	var servers []*serve.HTTPServer
+	cleanup := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	alg, err := pg.ParseAlgorithm(cfg.Algorithm)
+	if err != nil {
+		return "", cleanup, err
+	}
+	pubs, err := pg.PublishSharded(d, hiers, pg.Config{
+		K: cfg.K, P: cfg.P, Algorithm: alg, Seed: cfg.Seed, Workers: cfg.Workers,
+	}, cfg.Shards)
+	if err != nil {
+		return "", cleanup, err
+	}
+	man := &snapshot.Manifest{
+		K: cfg.K, P: cfg.P, Algorithm: alg.String(), Seed: cfg.Seed, SourceRows: d.Len(),
+	}
+	urls := make([]string, len(pubs))
+	for s, pub := range pubs {
+		hs, err := servePub(pub, cfg)
+		if err != nil {
+			return "", cleanup, err
+		}
+		servers = append(servers, hs)
+		urls[s] = "http://" + hs.Addr
+		// The snapshots never touch disk, so the path is a label and the CRC
+		// is unchecked (the coordinator validates shards over HTTP, not from
+		// files).
+		man.Shards = append(man.Shards, snapshot.ShardEntry{
+			Path:       fmt.Sprintf("inproc-%02d.pgsnap", s),
+			Rows:       pub.Len(),
+			SourceRows: (d.Len() + len(pubs) - 1 - s) / len(pubs),
+		})
+	}
+	coord, err := serve.NewCoordinator(serve.CoordConfig{
+		Manifest: man, ShardURLs: urls, Metrics: cfg.Metrics,
+	})
+	if err != nil {
+		return "", cleanup, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = coord.Start(ctx)
+	cancel()
+	if err != nil {
+		return "", cleanup, err
+	}
+	hs, err := coord.Serve("127.0.0.1:0")
+	if err != nil {
+		return "", cleanup, err
+	}
+	servers = append(servers, hs)
+	return "http://" + hs.Addr, cleanup, nil
+}
+
 // attackVictim runs both adversary modes against one victim and computes its
 // breach curve points.
-func (r *runner) attackVictim(victim, slot int, fleetRoot int64, model *groupModel, cfg Config) (victimDetail, error) {
+func (r *runner) attackVictim(victim, slot int, fleetRoot int64, cfg Config) (victimDetail, error) {
 	var det victimDetail
 	det.victim = victim
 	vq := r.ext.QIOf(victim)
@@ -412,7 +576,7 @@ func (r *runner) attackVictim(victim, slot int, fleetRoot int64, model *groupMod
 
 	// Aware mode reads the crucial tuple off the reconstructed partition;
 	// the served box weight must agree with the reconstruction's G.
-	awareBox, gAware, candAware := model.crucialOf(victim)
+	awareBox, gAware, candAware := r.model.crucialOf(victim)
 	uAware := float64(gAware)
 	for j := range awareBox.Lo {
 		uAware /= float64(awareBox.Hi[j]-awareBox.Lo[j]) + 1
@@ -519,7 +683,7 @@ func planFor(candidates []int, frac, lambda float64, domain int, truth, y int32,
 // every estimate against the Theorem 1–3 bounds: h against Inequality 20,
 // posterior against the Theorem-2 bound whenever the prior confidence is
 // within rho1, and posterior growth against the Theorem-3 bound.
-func (rep *Report) aggregate(details []victimDetail, fractions []float64, r *runner) {
+func (rep *Report) aggregate(details []victimDetail, fractions []float64, sh *fleetShared) {
 	pick := func(f fracOutcome, mode string) outcome {
 		if mode == "aware" {
 			return f.aware
@@ -563,9 +727,9 @@ func (rep *Report) aggregate(details []victimDetail, fractions []float64, r *run
 		}
 		switch mode {
 		case "aware":
-			mr.RecoveredCutNodes = int(r.cutNodes.Load())
+			mr.RecoveredCutNodes = int(sh.cutNodes.Load())
 		case "probe":
-			mr.ProbeFallbacks = r.probeFallbacks.Load()
+			mr.ProbeFallbacks = sh.probeFallbacks.Load()
 			for _, det := range details {
 				if det.agree {
 					mr.AgreeWithAware++

@@ -163,8 +163,8 @@ func (r *runner) probeBox(vq []int32, fp fingerprint) (generalize.Box, error) {
 			// Linear fallback: step one code at a time. This survives the
 			// (rare) case where the gallop fingerprint collided with an
 			// adjacent box.
-			r.probeFallbacks.Add(1)
-			r.met.probeFallbacks.Inc()
+			r.sh.probeFallbacks.Add(1)
+			r.sh.met.probeFallbacks.Inc()
 			if lo, hi, err = linearEdges(vq[j], size, match); err != nil {
 				return box, err
 			}
@@ -276,7 +276,8 @@ func (r *runner) verifySegment(vq []int32, j int, lo, hi int32, fp fingerprint) 
 
 // groupFromBox turns a verified box into the crucial-tuple facts the
 // posterior needs: G from the box weight (unit·vol must be integral) and
-// the candidate set from ℰ, cross-checked against each other.
+// the candidate set from the target's owners (only they can appear in one
+// of its boxes), cross-checked against each other.
 func (r *runner) groupFromBox(vq []int32, box generalize.Box, unit float64, victim int) (g int, candidates []int, err error) {
 	vol := 1.0
 	for j := range box.Lo {
@@ -287,7 +288,7 @@ func (r *runner) groupFromBox(vq []int32, box generalize.Box, unit float64, vict
 	if g < 1 || math.Abs(gf-float64(g)) > 1e-6*(1+float64(g)) {
 		return 0, nil, fmt.Errorf("attackfleet: box weight %v times volume %v is not integral at %v", unit, vol, vq)
 	}
-	for id := 0; id < r.ext.Len(); id++ {
+	for _, id := range r.owners {
 		if id != victim && box.Covers(r.ext.QIOf(id)) {
 			candidates = append(candidates, id)
 		}

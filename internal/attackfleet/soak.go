@@ -220,7 +220,7 @@ func (r *runner) soak(cfg Config, fleetRoot int64, hs *serve.HTTPServer) (*SoakR
 		rep.Queries += int(issued64.Load())
 		rep.DrainOK = int(ok64.Load())
 		rep.DrainDropped = int(dropped64.Load())
-		r.met.soakDropped.Add(dropped64.Load())
+		r.sh.met.soakDropped.Add(dropped64.Load())
 	}
 	return rep, nil
 }

@@ -1,14 +1,11 @@
 package experiments
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
-	"sort"
 	"strings"
-	"time"
 
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
@@ -122,56 +119,7 @@ func ServeLoad(cfg ServeLoadConfig) ([]ServeLoadResult, error) {
 
 	var out []ServeLoadResult
 	for _, clients := range cfg.Clients {
-		total := clients * cfg.PerClient
-		latCh := make(chan []time.Duration, clients)
-		errCh := make(chan int, clients)
-		start := time.Now()
-		for c := 0; c < clients; c++ {
-			go func(c int) {
-				lats := make([]time.Duration, 0, cfg.PerClient)
-				errs := 0
-				for i := 0; i < cfg.PerClient; i++ {
-					body := bodies[(c*cfg.PerClient+i*7)%len(bodies)]
-					t0 := time.Now()
-					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-					if err != nil {
-						errs++
-						continue
-					}
-					var qr serve.QueryResponse
-					if json.NewDecoder(resp.Body).Decode(&qr) != nil || resp.StatusCode != http.StatusOK {
-						errs++
-					}
-					resp.Body.Close()
-					lats = append(lats, time.Since(t0))
-				}
-				latCh <- lats
-				errCh <- errs
-			}(c)
-		}
-		var all []time.Duration
-		errs := 0
-		for c := 0; c < clients; c++ {
-			all = append(all, <-latCh...)
-			errs += <-errCh
-		}
-		elapsed := time.Since(start)
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		pct := func(q float64) float64 {
-			if len(all) == 0 {
-				return 0
-			}
-			i := int(q * float64(len(all)-1))
-			return float64(all[i].Nanoseconds()) / 1e3
-		}
-		out = append(out, ServeLoadResult{
-			Clients: clients, Requests: total,
-			QPS:    float64(len(all)) / elapsed.Seconds(),
-			P50us:  pct(0.50),
-			P95us:  pct(0.95),
-			P99us:  pct(0.99),
-			Errors: errs,
-		})
+		out = append(out, driveClosedLoop(client, url, bodies, clients, cfg.PerClient))
 	}
 	return out, nil
 }

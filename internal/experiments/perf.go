@@ -56,18 +56,23 @@ type PerfReport struct {
 	// -benchout), one report per (n, algorithm); empty until the fleet has
 	// been run against this report.
 	Fleet []*attackfleet.Report `json:"fleet,omitempty"`
+	// Shard holds the sharded-serving scaling levels and hedging
+	// demonstration (pgbench -exp shard); nil until that experiment has been
+	// run against this report.
+	Shard *ShardLoadReport `json:"shard,omitempty"`
 }
 
 // MergePerf folds a fresh perf run into a tracked report: a run block
 // replaces the tracked block with the same (name, workers) pair, other
-// blocks and the serve/fleet sections are preserved. It refuses to merge
+// blocks and the serve/fleet/shard sections are preserved. It refuses to
+// merge
 // when any identity field differs — a silent mix of machines or workloads
 // would make the trajectory meaningless; regenerate the file instead.
 func MergePerf(file, run *PerfReport) (*PerfReport, error) {
 	if file == nil || len(file.Results) == 0 && file.GoVersion == "" {
 		out := *run
 		if file != nil {
-			out.Serve, out.Fleet = file.Serve, file.Fleet
+			out.Serve, out.Fleet, out.Shard = file.Serve, file.Fleet, file.Shard
 		}
 		return &out, nil
 	}

@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pgpub/internal/dataset"
+	"pgpub/internal/hierarchy"
+	"pgpub/internal/obs"
+	"pgpub/internal/pg"
+	"pgpub/internal/query"
+	"pgpub/internal/sal"
+	"pgpub/internal/serve"
+	"pgpub/internal/snapshot"
+)
+
+// ShardLoadResult is one coordinator load level: the same closed-loop
+// measurement as ServeLoadResult, taken through a fan-out coordinator over
+// Shards shard servers, plus the hedging counters the coordinator observed.
+type ShardLoadResult struct {
+	Shards int `json:"shards"`
+	ServeLoadResult
+	HedgesFired int64 `json:"hedges_fired"`
+	HedgesWon   int64 `json:"hedges_won"`
+}
+
+// HedgeReport is the tail-control demonstration: one shard of a two-shard
+// deployment stalls every LagEvery-th query by LagMs, and the same workload
+// runs once with hedging disabled and once enabled. The hedged p99 should
+// collapse to the fast path because the duplicate request dodges the
+// injected stall.
+type HedgeReport struct {
+	Shards        int     `json:"shards"`
+	LagMs         float64 `json:"lag_ms"`
+	LagEvery      int     `json:"lag_every"`
+	UnhedgedP99us float64 `json:"unhedged_p99_us"`
+	HedgedP99us   float64 `json:"hedged_p99_us"`
+	HedgesFired   int64   `json:"hedges_fired"`
+	HedgesWon     int64   `json:"hedges_won"`
+}
+
+// ShardLoadReport is the sharded-serving experiment: a direct single-server
+// baseline, the coordinator levels at each shard count, and the hedging
+// demonstration.
+type ShardLoadReport struct {
+	N        int               `json:"n"`
+	Clients  int               `json:"clients"`
+	Queries  int               `json:"queries"`
+	Baseline ServeLoadResult   `json:"baseline"`
+	Levels   []ShardLoadResult `json:"levels"`
+	Hedge    *HedgeReport      `json:"hedge,omitempty"`
+}
+
+// ShardLoadConfig parameterizes the sharded-serving experiment.
+type ShardLoadConfig struct {
+	// N is the SAL microdata cardinality behind each deployment.
+	N int
+	// Queries is the distinct-query pool; PerClient the requests each client
+	// issues per level; Clients the closed-loop concurrency.
+	Queries   int
+	PerClient int
+	Clients   int
+	// Shards lists the coordinator fan-out widths; default {1, 2, 4, 8}.
+	Shards []int
+	Seed   int64
+	K      int
+	P      float64
+	// Workers is the publisher/server-side parallelism.
+	Workers int
+	// LagMs and LagEvery shape the hedging demonstration's injected stall:
+	// every LagEvery-th query on shard 0 sleeps LagMs before answering.
+	// Defaults 25ms every 50th — the stall must be rarer than 5% of calls,
+	// or it inflates the shard's own p95 and the p95-triggered hedge fires
+	// too late to rescue anything. LagEvery < 0 skips the demonstration.
+	LagMs    float64
+	LagEvery int
+}
+
+// ShardLoad publishes a SAL release sharded S ways for each S, stands up S
+// shard servers plus a fan-out coordinator on loopback ports, and drives
+// the coordinator closed-loop — the distributed counterpart of ServeLoad.
+// On a single-CPU host every deployment shares one core, so the levels
+// price the coordinator's fan-out overhead, not parallel speedup; the
+// hedging demonstration injects a stall to show the tail control that
+// overhead buys.
+func ShardLoad(cfg ShardLoadConfig) (*ShardLoadReport, error) {
+	if cfg.N <= 0 {
+		cfg.N = 20000
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 400
+	}
+	if cfg.PerClient <= 0 {
+		cfg.PerClient = 150
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 2, 4, 8}
+	}
+	if cfg.K <= 0 {
+		cfg.K = 6
+	}
+	if cfg.P <= 0 {
+		cfg.P = 0.3
+	}
+	if cfg.LagMs <= 0 {
+		cfg.LagMs = 25
+	}
+	if cfg.LagEvery == 0 {
+		cfg.LagEvery = 50
+	}
+
+	d, err := sal.Generate(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hiers := sal.Hierarchies(d.Schema)
+	rep := &ShardLoadReport{N: cfg.N, Clients: cfg.Clients, Queries: cfg.Queries}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: 4 * cfg.Clients, MaxIdleConnsPerHost: 4 * cfg.Clients,
+	}}
+
+	// Baseline: one snapshot, one server, no coordinator in the path.
+	pub, err := pg.Publish(d, hiers, pg.Config{
+		K: cfg.K, P: cfg.P, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bodies, err := serveBodies(pub, cfg.Queries, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := query.NewIndex(pub)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := pub.Metadata(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(serve.Config{
+		Index: ix, Meta: meta, MaxInFlight: 4 * cfg.Clients, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rep.Baseline = driveClosedLoop(client, "http://"+hs.Addr+"/v1/query", bodies, cfg.Clients, cfg.PerClient)
+	hs.Close()
+
+	// Coordinator levels.
+	for _, s := range cfg.Shards {
+		dep, err := newShardDeployment(d, hiers, cfg, s, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		level := ShardLoadResult{
+			Shards:          s,
+			ServeLoadResult: driveClosedLoop(client, dep.url+"/v1/query", bodies, cfg.Clients, cfg.PerClient),
+			HedgesFired:     dep.reg.Counter("coord.hedge.fired").Value(),
+			HedgesWon:       dep.reg.Counter("coord.hedge.won").Value(),
+		}
+		dep.close()
+		rep.Levels = append(rep.Levels, level)
+	}
+
+	// Hedging demonstration.
+	if cfg.LagEvery > 0 {
+		lag := time.Duration(cfg.LagMs * float64(time.Millisecond))
+		hedge := &HedgeReport{Shards: 2, LagMs: cfg.LagMs, LagEvery: cfg.LagEvery}
+		for _, hedged := range []bool{false, true} {
+			hedgeAfter := time.Duration(-1)
+			if hedged {
+				hedgeAfter = lag / 8
+			}
+			dep, err := newShardDeployment(d, hiers, cfg, 2, hedgeAfter, lag)
+			if err != nil {
+				return nil, err
+			}
+			res := driveClosedLoop(client, dep.url+"/v1/query", bodies, cfg.Clients, cfg.PerClient)
+			if hedged {
+				hedge.HedgedP99us = res.P99us
+				hedge.HedgesFired = dep.reg.Counter("coord.hedge.fired").Value()
+				hedge.HedgesWon = dep.reg.Counter("coord.hedge.won").Value()
+			} else {
+				hedge.UnhedgedP99us = res.P99us
+			}
+			dep.close()
+		}
+		rep.Hedge = hedge
+	}
+	return rep, nil
+}
+
+// shardDeployment is a running sharded deployment on loopback ports.
+type shardDeployment struct {
+	url   string
+	reg   *obs.Registry
+	close func()
+}
+
+// newShardDeployment publishes d sharded s ways and serves it: s shard
+// servers plus a started coordinator. When lag > 0, shard 0's handler
+// stalls every LagEvery-th /v1/query by lag — the adversary of the hedging
+// demonstration. hedgeAfter 0 keeps the coordinator default; negative
+// disables hedging.
+func newShardDeployment(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg ShardLoadConfig, s int, hedgeAfter, lag time.Duration) (*shardDeployment, error) {
+	pubs, err := pg.PublishSharded(d, hiers, pg.Config{
+		K: cfg.K, P: cfg.P, Seed: cfg.Seed, Workers: cfg.Workers,
+	}, s)
+	if err != nil {
+		return nil, err
+	}
+	man := &snapshot.Manifest{
+		K: cfg.K, P: cfg.P, Algorithm: pubs[0].Algorithm.String(), Seed: cfg.Seed, SourceRows: d.Len(),
+		Shards: make([]snapshot.ShardEntry, s),
+	}
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	urls := make([]string, s)
+	for i, pub := range pubs {
+		man.Shards[i] = snapshot.ShardEntry{
+			Path: fmt.Sprintf("inproc-%02d.pgsnap", i), Rows: pub.Len(),
+			SourceRows: (d.Len() + s - 1 - i) / s,
+		}
+		ix, err := query.NewIndex(pub)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		meta, err := pub.Metadata(0, 0)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		srv, err := serve.New(serve.Config{
+			Index: ix, Meta: meta, MaxInFlight: 4 * cfg.Clients, Workers: cfg.Workers,
+		})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		h := srv.Handler()
+		if i == 0 && lag > 0 {
+			h = lagMiddleware(h, cfg.LagEvery, lag)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		hsrv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+		go hsrv.Serve(lis) //nolint:errcheck // always ErrServerClosed after Close
+		closers = append(closers, func() { hsrv.Close() })
+		urls[i] = "http://" + lis.Addr().String()
+	}
+
+	reg := obs.NewRegistry()
+	coord, err := serve.NewCoordinator(serve.CoordConfig{
+		Manifest: man, ShardURLs: urls, HedgeAfter: hedgeAfter, Metrics: reg,
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = coord.Start(ctx)
+	cancel()
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	chs, err := coord.Serve("127.0.0.1:0")
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	closers = append(closers, func() { chs.Close() })
+	return &shardDeployment{url: "http://" + chs.Addr, reg: reg, close: closeAll}, nil
+}
+
+// lagMiddleware stalls every every-th /v1/query by lag — deterministic
+// injected tail latency for the hedging demonstration.
+func lagMiddleware(h http.Handler, every int, lag time.Duration) http.Handler {
+	var n atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/query" && n.Add(1)%int64(every) == 0 {
+			time.Sleep(lag)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// driveClosedLoop issues clients×perClient requests against url, each
+// client back-to-back over its own slice of the body pool, and measures
+// end-to-end latency per request — the shared engine of ServeLoad and
+// ShardLoad.
+func driveClosedLoop(client *http.Client, url string, bodies [][]byte, clients, perClient int) ServeLoadResult {
+	latCh := make(chan []time.Duration, clients)
+	errCh := make(chan int, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			lats := make([]time.Duration, 0, perClient)
+			errs := 0
+			for i := 0; i < perClient; i++ {
+				body := bodies[(c*perClient+i*7)%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs++
+					continue
+				}
+				var qr serve.QueryResponse
+				if json.NewDecoder(resp.Body).Decode(&qr) != nil || resp.StatusCode != http.StatusOK {
+					errs++
+				}
+				resp.Body.Close()
+				lats = append(lats, time.Since(t0))
+			}
+			latCh <- lats
+			errCh <- errs
+		}(c)
+	}
+	var all []time.Duration
+	errs := 0
+	for c := 0; c < clients; c++ {
+		all = append(all, <-latCh...)
+		errs += <-errCh
+	}
+	elapsed := time.Since(start)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	return ServeLoadResult{
+		Clients: clients, Requests: clients * perClient,
+		QPS:    float64(len(all)) / elapsed.Seconds(),
+		P50us:  pct(0.50),
+		P95us:  pct(0.95),
+		P99us:  pct(0.99),
+		Errors: errs,
+	}
+}
+
+// RenderShardLoad formats the sharded-serving report.
+func RenderShardLoad(rep *ShardLoadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d, %d clients × closed loop, %d-query pool\n", rep.N, rep.Clients, rep.Queries)
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %7s %7s\n",
+		"deployment", "qps", "p50(us)", "p95(us)", "p99(us)", "errors", "hedges")
+	fmt.Fprintf(&b, "%-12s %10.0f %10.0f %10.0f %10.0f %7d %7s\n",
+		"direct", rep.Baseline.QPS, rep.Baseline.P50us, rep.Baseline.P95us, rep.Baseline.P99us,
+		rep.Baseline.Errors, "-")
+	for _, l := range rep.Levels {
+		fmt.Fprintf(&b, "%-12s %10.0f %10.0f %10.0f %10.0f %7d %7d\n",
+			fmt.Sprintf("coord S=%d", l.Shards), l.QPS, l.P50us, l.P95us, l.P99us, l.Errors, l.HedgesFired)
+	}
+	if h := rep.Hedge; h != nil {
+		fmt.Fprintf(&b, "hedging vs a laggy shard (S=%d, +%.0fms on every %dth query of shard 0):\n",
+			h.Shards, h.LagMs, h.LagEvery)
+		fmt.Fprintf(&b, "  p99 unhedged %.0f us -> hedged %.0f us (%d hedges fired, %d won)\n",
+			h.UnhedgedP99us, h.HedgedP99us, h.HedgesFired, h.HedgesWon)
+	}
+	return b.String()
+}

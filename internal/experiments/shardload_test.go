@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestShardLoadExperiment smoke-runs the sharded-serving experiment at toy
+// scale: every level must complete error-free, and the injected-lag
+// demonstration must actually fire and win hedges.
+func TestShardLoadExperiment(t *testing.T) {
+	rep, err := ShardLoad(ShardLoadConfig{
+		N: 2000, Queries: 40, PerClient: 25, Clients: 4,
+		Shards: []int{1, 2}, Seed: 3, K: 6, P: 0.3, Workers: 2,
+		LagMs: 20, LagEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline.Errors != 0 || rep.Baseline.QPS <= 0 {
+		t.Fatalf("baseline: %+v", rep.Baseline)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("%d levels", len(rep.Levels))
+	}
+	for _, l := range rep.Levels {
+		if l.Errors != 0 || l.QPS <= 0 {
+			t.Fatalf("S=%d level: %+v", l.Shards, l)
+		}
+	}
+	h := rep.Hedge
+	if h == nil {
+		t.Fatal("no hedge demonstration")
+	}
+	if h.HedgesFired == 0 || h.HedgesWon == 0 {
+		t.Fatalf("hedges fired=%d won=%d against a shard stalling %vms every %d queries",
+			h.HedgesFired, h.HedgesWon, h.LagMs, h.LagEvery)
+	}
+	if h.UnhedgedP99us <= 0 || h.HedgedP99us <= 0 {
+		t.Fatalf("hedge p99s: %+v", h)
+	}
+
+	// The shard block must survive a perf merge.
+	merged, err := MergePerf(&PerfReport{Shard: rep}, &PerfReport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Shard != rep {
+		t.Fatal("MergePerf dropped the shard block")
+	}
+}

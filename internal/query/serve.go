@@ -111,28 +111,39 @@ func (ix *Index) sumWeight(q CountQuery, value SensitiveValue) (a, b float64, er
 	return a, b, nil
 }
 
+// AvgParts exposes the compose form of the SUM/AVG estimators: the
+// perturbation-inverted region SUM and the region weight b (the published
+// tuple mass under the QI predicate). SUM is additive in the first part and
+// AVG over a union of disjoint publications — the sharded release — is
+// Σ sums / Σ weights, which is how the fan-out coordinator merges per-shard
+// answers without a second round trip.
+func (ix *Index) AvgParts(q CountQuery, value SensitiveValue) (sum, weight float64, err error) {
+	a, b, err := ix.sumWeight(q, value)
+	if err != nil {
+		return 0, 0, err
+	}
+	sum = (a - (1-ix.p)*domainMean(ix.schema.SensitiveDomain(), value)*b) / ix.p
+	return sum, b, nil
+}
+
 // Sum is the indexed EstimateSum: SUM(value(sensitive)) over the query
 // region, inverted for perturbation in aggregate.
 func (ix *Index) Sum(q CountQuery, value SensitiveValue) (float64, error) {
-	a, b, err := ix.sumWeight(q, value)
-	if err != nil {
-		return 0, err
-	}
-	return (a - (1-ix.p)*domainMean(ix.schema.SensitiveDomain(), value)*b) / ix.p, nil
+	sum, _, err := ix.AvgParts(q, value)
+	return sum, err
 }
 
 // Avg is the indexed EstimateAvg: one traversal yields both the SUM
 // inversion and the region's count estimate (the weight term b), so AVG
 // costs a single pass. Errors when the region is estimated empty.
 func (ix *Index) Avg(q CountQuery, value SensitiveValue) (float64, error) {
-	a, b, err := ix.sumWeight(q, value)
+	sum, b, err := ix.AvgParts(q, value)
 	if err != nil {
 		return 0, err
 	}
 	if b == 0 {
 		return 0, fmt.Errorf("query: region estimated empty")
 	}
-	sum := (a - (1-ix.p)*domainMean(ix.schema.SensitiveDomain(), value)*b) / ix.p
 	return sum / b, nil
 }
 

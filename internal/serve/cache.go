@@ -32,9 +32,20 @@ type cacheShard struct {
 	ll  *list.List // front = most recently used
 }
 
+// answerVal is the cached/coalesced unit of answer: the estimate plus, for
+// sum/avg, the compose pair (inverted sum, region weight) the wire exposes
+// so coordinators can merge. Caching the triple keeps a cache hit able to
+// serve the full response, not just the scalar.
+type answerVal struct {
+	est    float64
+	sum    float64
+	weight float64
+	parts  bool // sum/weight are meaningful (op was sum or avg)
+}
+
 type cacheEntry struct {
 	key string
-	val float64
+	val answerVal
 }
 
 // newResultCache builds a cache holding at most entries results in total.
@@ -62,16 +73,16 @@ func (c *resultCache) shard(key string) *cacheShard {
 }
 
 // get returns the cached answer for key and refreshes its recency.
-func (c *resultCache) get(key string) (float64, bool) {
+func (c *resultCache) get(key string) (answerVal, bool) {
 	if c == nil {
-		return 0, false
+		return answerVal{}, false
 	}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.m[key]
 	if !ok {
-		return 0, false
+		return answerVal{}, false
 	}
 	s.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
@@ -79,7 +90,7 @@ func (c *resultCache) get(key string) (float64, bool) {
 
 // put stores an answer, evicting the shard's least-recently-used entry when
 // the shard is full. It reports whether an entry was evicted.
-func (c *resultCache) put(key string, val float64) (evicted bool) {
+func (c *resultCache) put(key string, val answerVal) (evicted bool) {
 	if c == nil {
 		return false
 	}
@@ -127,7 +138,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{}
-	val  float64
+	val  answerVal
 	err  error
 }
 
@@ -138,7 +149,7 @@ func newFlightGroup() *flightGroup {
 // do runs fn once among concurrent callers of the same key. The second
 // return reports whether this caller shared a leader's result instead of
 // computing its own.
-func (g *flightGroup) do(key string, fn func() (float64, error)) (v float64, shared bool, err error) {
+func (g *flightGroup) do(key string, fn func() (answerVal, error)) (v answerVal, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()

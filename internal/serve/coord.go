@@ -1,0 +1,678 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgpub/internal/obs"
+	"pgpub/internal/snapshot"
+)
+
+// This file is the fan-out coordinator: the front of a sharded release.
+// Where a Server answers from one snapshot, a Coordinator holds no data at
+// all — it loads the shard manifest, validates each shard server against it
+// over HTTP at startup, and answers /v1/query and /v1/batch by fanning the
+// request out to every shard concurrently and merging:
+//
+//   - count, naive, sum: additive — the merged answer is the shard-order sum
+//     of per-shard estimates, the same arithmetic as shard.Group, so the
+//     coordinator and the in-process composition agree bit for bit.
+//   - avg: not additive. The coordinator fans an avg out as sum (whose
+//     response carries the (inverted sum, weight) compose pair even for an
+//     empty region, where a per-shard avg would error) and answers
+//     Σ sums / Σ weights, erroring only when the whole region is empty.
+//
+// Tail control: every shard call runs under a per-shard timeout, and a
+// hedged duplicate is launched when the first attempt outlives the shard's
+// observed p95 latency (first response wins, the loser is abandoned to the
+// shared context). Partial failure is loud: if any shard fails after
+// retries and hedges, the coordinator returns 502 naming that shard rather
+// than a silently-partial aggregate.
+
+// CoordConfig parameterizes a Coordinator.
+type CoordConfig struct {
+	// Manifest describes the sharded release (required).
+	Manifest *snapshot.Manifest
+	// ShardURLs is one base URL per manifest shard, in shard order
+	// (required). Shard i of the manifest must be served at ShardURLs[i];
+	// Start verifies that over HTTP.
+	ShardURLs []string
+	// ShardTimeout bounds one shard call, hedges included. Default 5s.
+	ShardTimeout time.Duration
+	// HedgeAfter is the hedge delay used until a shard has enough latency
+	// samples for a p95 estimate (after which the live p95 is the delay).
+	// Default 25ms; negative disables hedging entirely.
+	HedgeAfter time.Duration
+	// Client optionally overrides the HTTP client used for shard calls.
+	Client *http.Client
+	// Metrics optionally receives the coord.* instrumentation. nil disables.
+	Metrics *obs.Registry
+}
+
+// Coordinator fans queries out to shard servers and merges their answers.
+// Build with NewCoordinator, then call Start to validate the fleet before
+// exposing Handler.
+type Coordinator struct {
+	man        *snapshot.Manifest
+	shards     []*coordShard
+	timeout    time.Duration
+	hedgeAfter time.Duration
+	hc         *http.Client
+
+	mu   sync.RWMutex
+	meta MetadataResponse // merged, filled by Start
+
+	met struct {
+		reqQuery    *obs.Counter
+		reqBatch    *obs.Counter
+		reqMetadata *obs.Counter
+		errors      *obs.Counter
+		fanout      *obs.Histogram
+		hedgeFired  *obs.Counter
+		hedgeWon    *obs.Counter
+		shardErrors *obs.Counter
+		shardTO     *obs.Counter
+	}
+}
+
+// coordShard is the coordinator's view of one shard server.
+type coordShard struct {
+	index  int
+	url    string
+	lat    latTracker
+	errors atomic.Int64
+}
+
+// NewCoordinator validates the configuration and builds a Coordinator.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Manifest == nil {
+		return nil, fmt.Errorf("serve: CoordConfig.Manifest is required")
+	}
+	if err := cfg.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.ShardURLs) != len(cfg.Manifest.Shards) {
+		return nil, fmt.Errorf("serve: %d shard URLs for a %d-shard manifest",
+			len(cfg.ShardURLs), len(cfg.Manifest.Shards))
+	}
+	c := &Coordinator{
+		man:        cfg.Manifest,
+		timeout:    cfg.ShardTimeout,
+		hedgeAfter: cfg.HedgeAfter,
+		hc:         cfg.Client,
+	}
+	if c.timeout <= 0 {
+		c.timeout = 5 * time.Second
+	}
+	if c.hedgeAfter == 0 {
+		c.hedgeAfter = 25 * time.Millisecond
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	for i, u := range cfg.ShardURLs {
+		if u == "" {
+			return nil, fmt.Errorf("serve: shard %d has an empty URL", i)
+		}
+		c.shards = append(c.shards, &coordShard{index: i, url: u})
+	}
+	reg := cfg.Metrics
+	c.met.reqQuery = reg.Counter("coord.requests.query")
+	c.met.reqBatch = reg.Counter("coord.requests.batch")
+	c.met.reqMetadata = reg.Counter("coord.requests.metadata")
+	c.met.errors = reg.Counter("coord.errors")
+	c.met.fanout = reg.Histogram("coord.fanout.latency", "ns")
+	c.met.hedgeFired = reg.Counter("coord.hedge.fired")
+	c.met.hedgeWon = reg.Counter("coord.hedge.won")
+	c.met.shardErrors = reg.Counter("coord.shard.errors")
+	c.met.shardTO = reg.Counter("coord.shard.timeouts")
+	return c, nil
+}
+
+// Start validates every shard server against the manifest over HTTP: each
+// /v1/metadata must report the manifest's parameters and its shard's row
+// count, and must not itself be a coordinator. On success the merged
+// /v1/metadata document (rows and groups summed, Shards set) is assembled
+// and the coordinator is ready to serve.
+func (c *Coordinator) Start(ctx context.Context) error {
+	type shardMeta struct {
+		md  MetadataResponse
+		err error
+	}
+	metas := make([]shardMeta, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *coordShard) {
+			defer wg.Done()
+			metas[i].md, metas[i].err = c.fetchMetadata(ctx, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	merged := MetadataResponse{Shards: len(c.shards)}
+	for i := range metas {
+		if metas[i].err != nil {
+			return fmt.Errorf("serve: shard %d (%s): %w", i, c.shards[i].url, metas[i].err)
+		}
+		md := metas[i].md
+		if md.Shards != 0 {
+			return fmt.Errorf("serve: shard %d (%s) is itself a coordinator", i, c.shards[i].url)
+		}
+		if md.P != c.man.P || md.K != c.man.K || md.Algorithm != c.man.Algorithm {
+			return fmt.Errorf("serve: shard %d (%s) serves (%s, p=%v, k=%d), manifest says (%s, p=%v, k=%d)",
+				i, c.shards[i].url, md.Algorithm, md.P, md.K, c.man.Algorithm, c.man.P, c.man.K)
+		}
+		if md.Rows != c.man.Shards[i].Rows {
+			return fmt.Errorf("serve: shard %d (%s) serves %d rows, manifest records %d",
+				i, c.shards[i].url, md.Rows, c.man.Shards[i].Rows)
+		}
+		merged.Rows += md.Rows
+		merged.Groups += md.Groups
+		if i == 0 {
+			merged.P, merged.K, merged.Algorithm = md.P, md.K, md.Algorithm
+			merged.Guarantee = md.Guarantee
+		}
+	}
+	c.mu.Lock()
+	c.meta = merged
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Coordinator) fetchMetadata(ctx context.Context, sh *coordShard) (MetadataResponse, error) {
+	var md MetadataResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/v1/metadata", nil)
+	if err != nil {
+		return md, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return md, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return md, fmt.Errorf("metadata returned HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&md); err != nil {
+		return md, fmt.Errorf("decoding metadata: %w", err)
+	}
+	return md, nil
+}
+
+// Handler returns the coordinator's API mux: the same surface a Server
+// exposes, plus GET /v1/shards reporting per-shard health.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", c.handleQuery)
+	mux.HandleFunc("/v1/batch", c.handleBatch)
+	mux.HandleFunc("/v1/metadata", c.handleMetadata)
+	mux.HandleFunc("/v1/shards", c.handleShards)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve starts the coordinator on addr (Server.Serve semantics).
+func (c *Coordinator) Serve(addr string) (*HTTPServer, error) {
+	return serveHandler(addr, c.Handler())
+}
+
+func (c *Coordinator) clientError(w http.ResponseWriter, err error) {
+	c.met.errors.Inc()
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+// shardError reports a failed shard call: 502, naming the dead shard —
+// never a silently-partial aggregate.
+func (c *Coordinator) shardError(w http.ResponseWriter, shard int, err error) {
+	c.met.errors.Inc()
+	writeJSON(w, http.StatusBadGateway, errorResponse{
+		Error: fmt.Sprintf("shard %d (%s): %v", shard, c.shards[shard].url, err),
+	})
+}
+
+func (c *Coordinator) handleMetadata(w http.ResponseWriter, _ *http.Request) {
+	c.met.reqMetadata.Inc()
+	c.mu.RLock()
+	md := c.meta
+	c.mu.RUnlock()
+	writeJSON(w, http.StatusOK, md)
+}
+
+// ShardStatus is one entry of the GET /v1/shards document.
+type ShardStatus struct {
+	Shard   int    `json:"shard"`
+	URL     string `json:"url"`
+	Rows    int    `json:"rows"`
+	Healthy bool   `json:"healthy"`
+	P95us   int64  `json:"p95_us"` // observed query p95; 0 until enough samples
+	Errors  int64  `json:"errors"` // failed shard calls since start
+}
+
+// handleShards live-probes every shard's /healthz and reports per-shard
+// status: the coordinator's operational view of the fleet.
+func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	out := make([]ShardStatus, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *coordShard) {
+			defer wg.Done()
+			out[i] = ShardStatus{
+				Shard:   i,
+				URL:     sh.url,
+				Rows:    c.man.Shards[i].Rows,
+				Healthy: c.probeHealth(r.Context(), sh),
+				P95us:   sh.lat.p95().Microseconds(),
+				Errors:  sh.errors.Load(),
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) probeHealth(ctx context.Context, sh *coordShard) bool {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ---------------------------------------------------------------------------
+// Query fan-out
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	c.met.reqQuery.Inc()
+	if r.Method != http.MethodPost {
+		c.met.errors.Inc()
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c.clientError(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	op := req.Op
+	if op == "" {
+		op = "count"
+	}
+	switch op {
+	case "count", "naive", "sum", "avg":
+	default:
+		c.clientError(w, fmt.Errorf("unknown op %q (want count, naive, sum or avg)", op))
+		return
+	}
+
+	// Pinned: answer from one shard alone, verbatim. The coordinator does
+	// not validate the query body — the shard server owns the schema.
+	if req.Shard != nil {
+		s := *req.Shard
+		if s < 0 || s >= len(c.shards) {
+			c.clientError(w, fmt.Errorf("shard %d outside [0,%d]", s, len(c.shards)-1))
+			return
+		}
+		req.Shard = nil
+		body, err := json.Marshal(&req)
+		if err != nil {
+			c.clientError(w, err)
+			return
+		}
+		raw, err := c.callShard(r.Context(), c.shards[s], "/v1/query", body)
+		if err != nil {
+			c.forwardShardFailure(w, s, err)
+			return
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			c.shardError(w, s, fmt.Errorf("undecodable response: %w", err))
+			return
+		}
+		resp.Source = "shard"
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Fan out. avg travels as sum so every shard returns its compose pair
+	// even where its region is empty (a per-shard avg would 400 there), and
+	// the coordinator alone decides emptiness for the union.
+	fanOp := op
+	if op == "avg" {
+		fanOp = "sum"
+	}
+	req.Op = fanOp
+	body, err := json.Marshal(&req)
+	if err != nil {
+		c.clientError(w, err)
+		return
+	}
+	t0 := time.Now()
+	raws, failed, err := c.fanOut(r.Context(), "/v1/query", body)
+	c.met.fanout.Observe(time.Since(t0).Nanoseconds())
+	if err != nil {
+		c.forwardShardFailure(w, failed, err)
+		return
+	}
+
+	merged := QueryResponse{Op: op, Source: "merged"}
+	var sum, weight float64
+	for s, raw := range raws {
+		var resp QueryResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			c.shardError(w, s, fmt.Errorf("undecodable response: %w", err))
+			return
+		}
+		merged.Estimate += resp.Estimate
+		if fanOp == "sum" {
+			if resp.Sum == nil || resp.Weight == nil {
+				c.shardError(w, s, fmt.Errorf("response lacks the sum/weight compose pair"))
+				return
+			}
+			sum += *resp.Sum
+			weight += *resp.Weight
+		}
+	}
+	if fanOp == "sum" {
+		merged.Sum, merged.Weight = &sum, &weight
+		if op == "avg" {
+			if weight == 0 {
+				c.clientError(w, fmt.Errorf("region estimated empty"))
+				return
+			}
+			merged.Estimate = sum / weight
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	c.met.reqBatch.Inc()
+	if r.Method != http.MethodPost {
+		c.met.errors.Inc()
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c.clientError(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	for i := range req.Queries {
+		if req.Queries[i].Shard != nil {
+			c.clientError(w, fmt.Errorf("query %d: shard pinning is not available in batches", i))
+			return
+		}
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		c.clientError(w, err)
+		return
+	}
+	t0 := time.Now()
+	raws, failed, err := c.fanOut(r.Context(), "/v1/batch", body)
+	c.met.fanout.Observe(time.Since(t0).Nanoseconds())
+	if err != nil {
+		c.forwardShardFailure(w, failed, err)
+		return
+	}
+
+	merged := BatchResponse{Estimates: make([]float64, len(req.Queries))}
+	for s, raw := range raws {
+		var resp BatchResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			c.shardError(w, s, fmt.Errorf("undecodable response: %w", err))
+			return
+		}
+		if len(resp.Estimates) != len(req.Queries) {
+			c.shardError(w, s, fmt.Errorf("%d answers for %d queries", len(resp.Estimates), len(req.Queries)))
+			return
+		}
+		for i, v := range resp.Estimates {
+			merged.Estimates[i] += v
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// forwardShardFailure renders a failed shard call. A shed (429) or
+// timed-out (504) shard passes through with its original status so clients
+// keep their usual retry semantics; other client-side rejections (the shard
+// judged the query invalid: HTTP 4xx) pass through as 400 with the shard's
+// message — the query is wrong, not the shard. Everything else is a dead
+// shard: 502 naming it.
+func (c *Coordinator) forwardShardFailure(w http.ResponseWriter, shard int, err error) {
+	var se *shardCallError
+	if errors.As(err, &se) {
+		switch {
+		case se.status == http.StatusTooManyRequests || se.status == http.StatusGatewayTimeout:
+			c.met.errors.Inc()
+			writeJSON(w, se.status, errorResponse{Error: fmt.Sprintf("shard %d: %s", shard, se.msg)})
+			return
+		case se.status >= 400 && se.status < 500:
+			c.clientError(w, fmt.Errorf("shard %d: %s", shard, se.msg))
+			return
+		}
+	}
+	c.shardError(w, shard, err)
+}
+
+// ---------------------------------------------------------------------------
+// Shard calls: timeout + hedging
+
+// fanOut posts body to path on every shard concurrently and returns the raw
+// response bodies in shard order. On any shard failure it returns that
+// shard's index and error (the lowest-indexed failure when several die).
+func (c *Coordinator) fanOut(ctx context.Context, path string, body []byte) (raws [][]byte, failedShard int, err error) {
+	raws = make([][]byte, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *coordShard) {
+			defer wg.Done()
+			raws[i], errs[i] = c.callShard(ctx, sh, path, body)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, i, e
+		}
+	}
+	return raws, -1, nil
+}
+
+// callShard posts body to one shard under the per-shard timeout, hedging
+// with a duplicate request when the first attempt outlives the shard's
+// observed p95 (first response wins). Attempts share the context, so the
+// loser is abandoned, not awaited.
+func (c *Coordinator) callShard(ctx context.Context, sh *coordShard, path string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+
+	type res struct {
+		b      []byte
+		err    error
+		hedged bool
+	}
+	ch := make(chan res, 2)
+	attempt := func(hedged bool) {
+		t0 := time.Now()
+		b, err := c.post(ctx, sh.url+path, body)
+		if err == nil {
+			sh.lat.observe(time.Since(t0))
+		}
+		ch <- res{b, err, hedged}
+	}
+	go attempt(false)
+
+	var hedgeC <-chan time.Time
+	if d := c.hedgeDelay(sh); d >= 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			c.met.shardTO.Inc()
+			sh.errors.Add(1)
+			return nil, fmt.Errorf("no answer within %v: %w", c.timeout, ctx.Err())
+		case <-hedgeC:
+			hedgeC = nil
+			c.met.hedgeFired.Inc()
+			inFlight++
+			go attempt(true)
+		case r := <-ch:
+			inFlight--
+			if r.err == nil {
+				if r.hedged {
+					c.met.hedgeWon.Inc()
+				}
+				return r.b, nil
+			}
+			var se *shardCallError
+			if errors.As(r.err, &se) && se.status >= 400 && se.status < 500 {
+				// The shard rejected the query. A duplicate would be
+				// rejected identically — no hedge, and not a shard failure.
+				return nil, r.err
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inFlight > 0 || hedgeC != nil {
+				// A hedge is still pending or in flight; it may yet succeed.
+				if inFlight == 0 {
+					// Fire the hedge immediately rather than waiting out the
+					// timer against a shard that just failed fast.
+					hedgeC = nil
+					c.met.hedgeFired.Inc()
+					inFlight++
+					go attempt(true)
+				}
+				continue
+			}
+			c.met.shardErrors.Inc()
+			sh.errors.Add(1)
+			return nil, firstErr
+		}
+	}
+}
+
+// hedgeDelay picks the hedge trigger for a shard: its observed p95 once
+// there are enough samples, the configured default before that, or -1 when
+// hedging is disabled.
+func (c *Coordinator) hedgeDelay(sh *coordShard) time.Duration {
+	if c.hedgeAfter < 0 {
+		return -1
+	}
+	if p95 := sh.lat.p95(); p95 > 0 {
+		return p95
+	}
+	return c.hedgeAfter
+}
+
+// shardCallError is a non-2xx shard response, status preserved so the
+// coordinator can tell a query rejection (forward as 400) from a dead
+// shard (502).
+type shardCallError struct {
+	status int
+	msg    string
+}
+
+func (e *shardCallError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.status, e.msg)
+}
+
+func (c *Coordinator) post(ctx context.Context, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		msg := string(raw)
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &shardCallError{status: resp.StatusCode, msg: msg}
+	}
+	return raw, nil
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard latency tracking
+
+// latSamples is the ring capacity of a shard's latency tracker; latRecalc
+// is how many observations go by between p95 recomputations.
+const (
+	latSamples = 128
+	latRecalc  = 16
+	latMin     = 8 // no p95 estimate below this many samples
+)
+
+// latTracker keeps a small ring of recent shard-call latencies and a
+// periodically recomputed p95 — the hedge trigger. It is deliberately
+// self-contained (not an obs.Histogram) so it works identically with
+// metrics disabled.
+type latTracker struct {
+	mu    sync.Mutex
+	ring  [latSamples]time.Duration
+	n     int // total observations
+	p95ns atomic.Int64
+}
+
+func (t *latTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.n%latSamples] = d
+	t.n++
+	if t.n >= latMin && t.n%latRecalc == 0 {
+		size := t.n
+		if size > latSamples {
+			size = latSamples
+		}
+		buf := make([]time.Duration, size)
+		copy(buf, t.ring[:size])
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		t.p95ns.Store(int64(buf[(size*95+99)/100-1]))
+	}
+	t.mu.Unlock()
+}
+
+// p95 returns the current estimate, or 0 while there are too few samples.
+func (t *latTracker) p95() time.Duration {
+	return time.Duration(t.p95ns.Load())
+}

@@ -48,6 +48,10 @@ type Answerer interface {
 	Naive(q query.CountQuery) (float64, error)
 	Sum(q query.CountQuery, value query.SensitiveValue) (float64, error)
 	Avg(q query.CountQuery, value query.SensitiveValue) (float64, error)
+	// AvgParts exposes the compose form of SUM/AVG — the inverted region sum
+	// and the region weight — which a fan-out coordinator needs to merge
+	// AVG answers across shards (AVG itself is not additive).
+	AvgParts(q query.CountQuery, value query.SensitiveValue) (sum, weight float64, err error)
 	AnswerWorkload(qs []query.CountQuery, workers int) ([]float64, error)
 }
 
@@ -197,11 +201,17 @@ type HTTPServer struct {
 // Serve starts the API server on addr and returns once the listener
 // accepts. The server runs until Shutdown or Close.
 func (s *Server) Serve(addr string) (*HTTPServer, error) {
+	return serveHandler(addr, s.Handler())
+}
+
+// serveHandler binds addr and runs h on it — the shared start path of
+// Server.Serve and Coordinator.Serve.
+func serveHandler(addr string, h http.Handler) (*HTTPServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
 	hs := &HTTPServer{Addr: lis.Addr().String(), srv: srv, lis: lis}
 	go srv.Serve(lis) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown/Close
 	return hs, nil
@@ -242,21 +252,32 @@ type WhereClause struct {
 // QueryRequest is the /v1/query body. Op defaults to "count". Sensitive
 // lists the qualifying sensitive codes (a mask; any subset, contiguous or
 // not). Values optionally maps each sensitive code to its numeric value for
-// sum/avg; it defaults to the code itself.
+// sum/avg; it defaults to the code itself. Shard pins the query to one
+// shard of a sharded release — it is meaningful only at a coordinator,
+// which answers from that shard alone (a per-shard drill-down, what the
+// attack fleet uses to audit shards individually); a single-snapshot server
+// rejects it.
 type QueryRequest struct {
 	Op        string        `json:"op,omitempty"`
 	Where     []WhereClause `json:"where,omitempty"`
 	Sensitive []int32       `json:"sensitive,omitempty"`
 	Values    []float64     `json:"values,omitempty"`
+	Shard     *int          `json:"shard,omitempty"`
 }
 
 // QueryResponse is the /v1/query answer. Source reports how the answer was
 // produced: "computed", "cache", or "coalesced" (shared a concurrent
-// duplicate's computation).
+// duplicate's computation); a coordinator reports "merged" (fanned out to
+// every shard) or "shard" (pinned to one). For sum and avg, Sum and Weight
+// carry the compose pair (inverted region sum, region weight) the estimate
+// was assembled from — the fields a coordinator merges, since AVG is not
+// additive but Σ sums / Σ weights is exact.
 type QueryResponse struct {
-	Op       string  `json:"op"`
-	Estimate float64 `json:"estimate"`
-	Source   string  `json:"source"`
+	Op       string   `json:"op"`
+	Estimate float64  `json:"estimate"`
+	Source   string   `json:"source"`
+	Sum      *float64 `json:"sum,omitempty"`
+	Weight   *float64 `json:"weight,omitempty"`
 }
 
 // BatchRequest is the /v1/batch body: a COUNT workload.
@@ -272,10 +293,13 @@ type BatchResponse struct {
 }
 
 // MetadataResponse is the /v1/metadata document: the release metadata plus
-// the serving index's group count.
+// the serving index's group count. Shards is 0 for a single-snapshot server
+// and the shard count at a coordinator, whose rows and groups are the
+// totals across shards.
 type MetadataResponse struct {
 	pg.Metadata
 	Groups int `json:"groups"`
+	Shards int `json:"shards,omitempty"`
 }
 
 type errorResponse struct {
@@ -336,7 +360,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	sp := s.met.latQuery
 	t0 := time.Now()
-	est, source, err := s.answerOne(r.Context(), op, q, values)
+	val, source, err := s.answerOne(r.Context(), op, q, values)
 	sp.Observe(time.Since(t0).Nanoseconds())
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
@@ -345,7 +369,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		s.clientError(w, err)
 	default:
-		writeJSON(w, http.StatusOK, QueryResponse{Op: op, Estimate: est, Source: source})
+		resp := QueryResponse{Op: op, Estimate: val.est, Source: source}
+		if val.parts {
+			sum, weight := val.sum, val.weight
+			resp.Sum, resp.Weight = &sum, &weight
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
 }
 
@@ -411,7 +440,7 @@ func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 // concurrent duplicates, bounded by the request timeout. A timed-out
 // leader's computation keeps running in the background and still populates
 // the cache — the work is not wasted, only the response slot.
-func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, values []float64) (est float64, source string, err error) {
+func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, values []float64) (val answerVal, source string, err error) {
 	key := s.queryKey(op, q, values)
 	if v, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Inc()
@@ -422,13 +451,13 @@ func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, v
 	ctx, cancel := context.WithTimeout(ctx, s.timeout)
 	defer cancel()
 	type result struct {
-		v      float64
+		v      answerVal
 		shared bool
 		err    error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		v, shared, err := s.flight.do(key, func() (float64, error) {
+		v, shared, err := s.flight.do(key, func() (answerVal, error) {
 			v, err := s.compute(op, q, values)
 			if err == nil {
 				if s.cache.put(key, v) {
@@ -441,10 +470,10 @@ func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, v
 	}()
 	select {
 	case <-ctx.Done():
-		return 0, "", ctx.Err()
+		return answerVal{}, "", ctx.Err()
 	case r := <-ch:
 		if r.err != nil {
-			return 0, "", r.err
+			return answerVal{}, "", r.err
 		}
 		if r.shared {
 			s.met.coalesced.Inc()
@@ -454,19 +483,30 @@ func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, v
 	}
 }
 
-// compute dispatches to the Answerer.
-func (s *Server) compute(op string, q query.CountQuery, values []float64) (float64, error) {
+// compute dispatches to the Answerer. sum and avg resolve through AvgParts
+// so the response can expose the compose pair alongside the estimate.
+func (s *Server) compute(op string, q query.CountQuery, values []float64) (answerVal, error) {
 	switch op {
 	case "count":
-		return s.answer.Count(q)
+		est, err := s.answer.Count(q)
+		return answerVal{est: est}, err
 	case "naive":
-		return s.answer.Naive(q)
+		est, err := s.answer.Naive(q)
+		return answerVal{est: est}, err
 	case "sum":
-		return s.answer.Sum(q, valueFn(values))
+		sum, weight, err := s.answer.AvgParts(q, valueFn(values))
+		return answerVal{est: sum, sum: sum, weight: weight, parts: true}, err
 	case "avg":
-		return s.answer.Avg(q, valueFn(values))
+		sum, weight, err := s.answer.AvgParts(q, valueFn(values))
+		if err != nil {
+			return answerVal{}, err
+		}
+		if weight == 0 {
+			return answerVal{}, fmt.Errorf("region estimated empty")
+		}
+		return answerVal{est: sum / weight, sum: sum, weight: weight, parts: true}, nil
 	default:
-		return 0, fmt.Errorf("unknown op %q (want count, naive, sum or avg)", op)
+		return answerVal{}, fmt.Errorf("unknown op %q (want count, naive, sum or avg)", op)
 	}
 }
 
@@ -513,6 +553,9 @@ func (s *Server) parseQuery(req *QueryRequest) (op string, q query.CountQuery, v
 	case "count", "naive", "sum", "avg":
 	default:
 		return "", q, nil, fmt.Errorf("unknown op %q (want count, naive, sum or avg)", op)
+	}
+	if req.Shard != nil {
+		return "", q, nil, fmt.Errorf("shard pinning is a coordinator feature; this server holds one snapshot")
 	}
 
 	q.QI = make([]query.Range, s.schema.D())

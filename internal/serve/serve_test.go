@@ -240,6 +240,10 @@ func (f *fakeAnswerer) Sum(q query.CountQuery, _ query.SensitiveValue) (float64,
 func (f *fakeAnswerer) Avg(q query.CountQuery, _ query.SensitiveValue) (float64, error) {
 	return f.Count(q)
 }
+func (f *fakeAnswerer) AvgParts(q query.CountQuery, _ query.SensitiveValue) (float64, float64, error) {
+	v, err := f.Count(q)
+	return v, 1, err
+}
 func (f *fakeAnswerer) AnswerWorkload(qs []query.CountQuery, _ int) ([]float64, error) {
 	out := make([]float64, len(qs))
 	for i, q := range qs {
