@@ -17,6 +17,17 @@
 //
 //	pgattack -exp fleet -n 100000 -algorithm kd -soak -benchout BENCH_pg.json
 //	pgattack -exp fleet -url http://localhost:8080 -n 100000 -seed 42 -json fleet.json
+//
+// With -exp repub the command runs the multi-release chain adversary: it
+// publishes a deterministic re-publication chain in-process (pg.Republish
+// over churned microdata), attacks every release with adversaries that
+// retain the whole chain, composes the evidence (repub.ComposePosterior),
+// and checks each T-release prefix against the composed growth bound the
+// release-chain blocks announce — the breach-vs-release-count curve of
+// docs/REPUBLICATION.md:
+//
+//	pgattack -exp repub -n 20000 -releases 5 -benchout BENCH_pg.json
+//	pgattack -exp repub -n 8000 -releases 4 -churn 200 -json repub.json
 package main
 
 import (
@@ -40,7 +51,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment mode: 'fleet' runs the adversary-at-scale attack fleet")
+	exp := flag.String("exp", "", "experiment mode: 'fleet' runs the adversary-at-scale attack fleet; 'repub' runs the multi-release chain adversary")
 	victim := flag.String("victim", "Ellie", "victim name (from the voter list)")
 	corrupt := flag.String("corrupt", "", "comma-separated corrupted individuals")
 	worst := flag.Bool("worstcase", false, "corrupt everyone except the victim (|C| = |E|-1)")
@@ -59,6 +70,8 @@ func main() {
 	fractions := flag.String("fractions", "", "fleet: comma-separated corruption fractions (default 0,0.25,0.5,0.75,1)")
 	workers := flag.Int("workers", 0, "fleet: client-side parallelism (0 = GOMAXPROCS)")
 	soak := flag.Bool("soak", false, "fleet: run the serving soak phases (cache/singleflight/limiter/drain) after the attack")
+	releases := flag.Int("releases", 0, "repub: chain length T, the release count the adversary retains (0 = 4)")
+	churn := flag.Int("churn", 0, "repub: rows deleted and inserted per release (0 = n/50)")
 	jsonOut := flag.String("json", "", "fleet: write the report JSON to this file ('-' for stdout)")
 	benchout := flag.String("benchout", "", "fleet: merge the report into this tracked perf report, e.g. BENCH_pg.json")
 	metrics := flag.Bool("metrics", false, "instrument the repeated publications and print the counter/phase report to stderr")
@@ -109,8 +122,19 @@ func main() {
 			fail(err)
 		}
 		return
+	case "repub":
+		if err := runRepub(repubOptions{
+			set: set, reg: reg,
+			n: *n, seed: *seed, k: *k, p: *p, algorithm: *algorithm,
+			releases: *releases, churn: *churn, victims: *victims,
+			fractions: *fractions, workers: *workers,
+			jsonOut: *jsonOut, benchout: *benchout,
+		}); err != nil {
+			fail(err)
+		}
+		return
 	default:
-		fail(fmt.Errorf("unknown experiment %q (want 'fleet')", *exp))
+		fail(fmt.Errorf("unknown experiment %q (want 'fleet' or 'repub')", *exp))
 	}
 
 	d := dataset.Hospital()
@@ -288,6 +312,7 @@ type fleetOptions struct {
 // runFleet runs the adversary-at-scale attack fleet and emits its report.
 // A bound violation is a non-zero exit, after the report has been written.
 func runFleet(o fleetOptions) error {
+	var err error
 	cfg := attackfleet.Config{
 		BaseURL: o.url, N: o.n, Seed: o.seed, Algorithm: o.algorithm,
 		Shards: o.shards, Victims: o.victims, Workers: o.workers,
@@ -301,14 +326,8 @@ func runFleet(o fleetOptions) error {
 	if o.set["k"] {
 		cfg.K = o.k
 	}
-	if o.fractions != "" {
-		for _, f := range strings.Split(o.fractions, ",") {
-			var v float64
-			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &v); err != nil {
-				return fmt.Errorf("bad -fractions entry %q: %v", f, err)
-			}
-			cfg.Fractions = append(cfg.Fractions, v)
-		}
+	if cfg.Fractions, err = parseFractions(o.fractions); err != nil {
+		return err
 	}
 
 	rep, err := attackfleet.Run(cfg)
@@ -378,6 +397,145 @@ func renderFleet(rep *attackfleet.Report) {
 		fmt.Printf("      computed=%d cache=%d coalesced=%d shed=%d timeouts=%d drain ok=%d dropped=%d\n",
 			s.Computed, s.CacheHits, s.Coalesced, s.Shed, s.Timeouts, s.DrainOK, s.DrainDropped)
 	}
+}
+
+// parseFractions parses a comma-separated corruption-fraction list; empty
+// input returns nil (the experiment's defaults apply).
+func parseFractions(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &v); err != nil {
+			return nil, fmt.Errorf("bad -fractions entry %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// repubOptions carries the -exp repub flag values.
+type repubOptions struct {
+	set       map[string]bool
+	reg       *obs.Registry
+	n         int
+	seed      int64
+	k         int
+	p         float64
+	algorithm string
+	releases  int
+	churn     int
+	victims   int
+	fractions string
+	workers   int
+	jsonOut   string
+	benchout  string
+}
+
+// runRepub runs the multi-release chain adversary (internal/attackfleet
+// MultiRelease) and emits the breach-vs-release-count curve. A composed
+// bound violation is a non-zero exit, after the report has been written.
+func runRepub(o repubOptions) error {
+	cfg := attackfleet.MultiReleaseConfig{
+		N: o.n, Seed: o.seed, Algorithm: o.algorithm,
+		Releases: o.releases, Churn: o.churn, Victims: o.victims,
+		Workers: o.workers, Metrics: o.reg,
+	}
+	// -p/-k defaults describe the hospital attack; only pass explicit ones.
+	if o.set["p"] {
+		cfg.P = o.p
+	}
+	if o.set["k"] {
+		cfg.K = o.k
+	}
+	var err error
+	if cfg.Fractions, err = parseFractions(o.fractions); err != nil {
+		return err
+	}
+
+	rep, err := attackfleet.MultiRelease(cfg)
+	if err != nil {
+		return err
+	}
+	renderRepub(rep)
+
+	if o.jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if o.jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(o.jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if o.benchout != "" {
+		if err := mergeRepubBench(o.benchout, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.benchout)
+	}
+	if rep.Violations > 0 {
+		return fmt.Errorf("%d composed-bound violations — please report this as a bug", rep.Violations)
+	}
+	fmt.Println("all chain-retaining adversaries stayed within the composed growth bound")
+	return nil
+}
+
+// renderRepub prints the human-readable breach-vs-release-count curve.
+func renderRepub(rep *attackfleet.MultiReleaseReport) {
+	fmt.Printf("repub: n=%d releases=%d churn=%d %s k=%d p=%.4f seed=%d victims=%d fractions=%v\n",
+		rep.N, rep.Releases, rep.Churn, rep.Algorithm, rep.K, rep.P, rep.Seed, rep.Victims, rep.Fractions)
+	fmt.Printf("bounds: h<=%.4f per release, odds ratio R=%.4f (lambda=%.3f); rows per release: %v\n\n",
+		rep.HBound, rep.OddsRatioBound, rep.Lambda, rep.Rows)
+	fmt.Printf("%10s %10s %10s %12s %10s %12s\n",
+		"releases", "max h", "max post", "mean post", "max growth", "bound delta_T")
+	for _, pt := range rep.Curve {
+		fmt.Printf("%10d %10.4f %10.4f %12.4f %10.4f %12.4f\n",
+			pt.Releases, pt.MaxH, pt.MaxPosterior, pt.MeanPosterior, pt.MaxGrowth, pt.Bound)
+	}
+	fmt.Println()
+}
+
+// mergeRepubBench merges the report into the tracked perf report's `repub`
+// block, keyed by (n, algorithm, releases), without clobbering the other
+// sections.
+func mergeRepubBench(path string, rep *attackfleet.MultiReleaseReport) error {
+	var pr experiments.PerfReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &pr); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	}
+	replaced := false
+	for i, old := range pr.Repub {
+		if old.N == rep.N && old.Algorithm == rep.Algorithm && old.Releases == rep.Releases {
+			pr.Repub[i] = rep
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		pr.Repub = append(pr.Repub, rep)
+	}
+	sort.Slice(pr.Repub, func(i, j int) bool {
+		if pr.Repub[i].N != pr.Repub[j].N {
+			return pr.Repub[i].N < pr.Repub[j].N
+		}
+		if pr.Repub[i].Algorithm != pr.Repub[j].Algorithm {
+			return pr.Repub[i].Algorithm < pr.Repub[j].Algorithm
+		}
+		return pr.Repub[i].Releases < pr.Repub[j].Releases
+	})
+	data, err := json.MarshalIndent(&pr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // mergeFleetBench merges the report into the tracked perf report's `fleet`

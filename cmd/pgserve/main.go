@@ -29,6 +29,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -103,11 +104,12 @@ func main() {
 			urls[i] = strings.TrimSuffix(strings.TrimSpace(urls[i]), "/")
 		}
 		coord, err := serve.NewCoordinator(serve.CoordConfig{
-			Manifest:     man,
-			ShardURLs:    urls,
-			ShardTimeout: *shardTimeout,
-			HedgeAfter:   *hedge,
-			Metrics:      reg,
+			Manifest:       man,
+			ShardURLs:      urls,
+			ShardTimeout:   *shardTimeout,
+			HedgeAfter:     *hedge,
+			Metrics:        reg,
+			ManifestSource: func() (*snapshot.Manifest, error) { return snapshot.LoadManifest(*manifestPath) },
 		})
 		if err != nil {
 			fail(err)
@@ -124,7 +126,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "pgserve: coordinating %d shards (%d rows total) on http://%s (POST /v1/query, POST /v1/batch, GET /v1/metadata, GET /v1/shards)\n",
 			len(man.Shards), man.SourceRows, hs.Addr)
-		waitAndDrain(hs, *drain, fail)
+		waitAndDrain(hs, *drain, func() (*serve.ReloadResult, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), *shardTimeout+5*time.Second)
+			defer cancel()
+			return coord.Reload(ctx)
+		}, fail)
 		return
 	}
 	if *manifestPath != "" || *shardURLs != "" {
@@ -137,6 +143,9 @@ func main() {
 	var (
 		pub       *pg.Published
 		guarantee *pg.GuaranteeMetadata
+		chain     *snapshot.ChainMetadata
+		crc       uint32
+		source    func() (*serve.ReleaseData, error)
 		ix        *query.Index
 		err       error
 	)
@@ -145,6 +154,10 @@ func main() {
 	case *snap != "" && *in != "":
 		fail(fmt.Errorf("-snapshot and -in are mutually exclusive"))
 	case *snap != "":
+		if crc, err = snapshot.HeaderCRC(*snap); err != nil {
+			fail(err)
+		}
+		source = serve.SnapshotSource(*snap, *mmapSnap)
 		if *mmapSnap {
 			if v, verr := snapshot.FileVersion(*snap); verr == nil && v == 1 {
 				fail(fmt.Errorf("snapshot %s is format v1, which has no mappable layout; upgrade it by re-saving with a current pgpublish -snapshot (a v2 re-save is byte-stable), or serve it without -mmap", *snap))
@@ -153,14 +166,14 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			pub, guarantee, ix = m.Pub, m.Guarantee, m.Index
+			pub, guarantee, chain, ix = m.Pub, m.Guarantee, m.Chain, m.Index
 			mode := "mapped"
 			if !m.Mmapped() {
 				mode = "read into memory (mmap unavailable)"
 			}
 			fmt.Fprintf(os.Stderr, "pgserve: snapshot %s in %v\n", mode, time.Since(coldStart).Round(time.Microsecond))
 		} else {
-			pub, guarantee, err = snapshot.Load(*snap)
+			pub, guarantee, chain, err = snapshot.LoadRelease(*snap)
 			if err != nil {
 				fail(err)
 			}
@@ -213,6 +226,10 @@ func main() {
 		P: pub.P, K: pub.K, Algorithm: pub.Algorithm.String(), Rows: pub.Len(),
 		Guarantee: guarantee,
 	}
+	if chain != nil {
+		fmt.Fprintf(os.Stderr, "pgserve: release %d of a chain (CRC %08x); SIGHUP or POST /v1/admin/reload hot-swaps to its successor\n",
+			chain.Release, crc)
+	}
 	srv, err := serve.New(serve.Config{
 		Index:          ix,
 		Meta:           meta,
@@ -221,6 +238,9 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		Workers:        *workers,
 		Metrics:        reg,
+		CRC:            crc,
+		Chain:          chain,
+		Source:         source,
 	})
 	if err != nil {
 		fail(err)
@@ -230,21 +250,42 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "pgserve: serving on http://%s (POST /v1/query, POST /v1/batch, GET /v1/metadata)\n", hs.Addr)
-	waitAndDrain(hs, *drain, fail)
+	waitAndDrain(hs, *drain, srv.Reload, fail)
 }
 
 // waitAndDrain blocks until SIGINT/SIGTERM, then drains in-flight requests
 // up to the deadline — shared by the snapshot server and the coordinator.
-func waitAndDrain(hs *serve.HTTPServer, drain time.Duration, fail func(error)) {
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	sig := <-sigs
-	fmt.Fprintf(os.Stderr, "pgserve: %v received, draining (deadline %v)\n", sig, drain)
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
-	defer cancel()
-	if err := hs.Shutdown(ctx); err != nil {
-		hs.Close()
-		fail(fmt.Errorf("drain incomplete: %w", err))
+// SIGHUP triggers reload (the hot-swap to the next release of the chain);
+// a rejected or failed reload is logged and the process keeps serving the
+// current release — SIGHUP never exits. In particular, a server with no
+// snapshot path to reload from (started with -in, or on a chainless
+// snapshot) refuses the reload with a clear error instead of swapping.
+func waitAndDrain(hs *serve.HTTPServer, drain time.Duration, reload func() (*serve.ReloadResult, error), fail func(error)) {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		sig := <-sigs
+		if sig == syscall.SIGHUP {
+			res, err := reload()
+			switch {
+			case errors.Is(err, serve.ErrReloadRejected):
+				fmt.Fprintf(os.Stderr, "pgserve: %v\n", err)
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "pgserve: reload failed: %v\n", err)
+			default:
+				fmt.Fprintf(os.Stderr, "pgserve: hot-swapped to release %d (CRC %08x, %d rows)\n",
+					res.Release, res.CRC, res.Rows)
+			}
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "pgserve: %v received, draining (deadline %v)\n", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+			fail(fmt.Errorf("drain incomplete: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "pgserve: drained, bye")
+		return
 	}
-	fmt.Fprintln(os.Stderr, "pgserve: drained, bye")
 }

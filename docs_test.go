@@ -19,6 +19,7 @@ var docFiles = []string{
 	"docs/ARCHITECTURE.md",
 	"docs/ATTACKS.md",
 	"docs/OBSERVABILITY.md",
+	"docs/REPUBLICATION.md",
 	"docs/SERVING.md",
 }
 
@@ -84,6 +85,14 @@ func TestDocCatalogCoversMetrics(t *testing.T) {
 		"fleet.queries", "fleet.retries", "fleet.latency.query",
 		"fleet.victims", "fleet.violations", "fleet.probe.fallbacks",
 		"fleet.cut.nodes", "fleet.soak.dropped",
+		"repub.publish", "repub.delta.inserts", "repub.delta.deletes",
+		"repub.phase2.reused", "repub.phase2.recomputed",
+		"repub.releases", "repub.rows",
+		"serve.reload.attempts", "serve.reload.swapped",
+		"serve.reload.rejected", "serve.reload.errors",
+		"serve.reload.latency", "serve.release",
+		"coord.reload.attempts", "coord.reload.swapped",
+		"coord.reload.rejected", "coord.reload.errors", "coord.release",
 	} {
 		if !strings.Contains(catalog, name) {
 			t.Errorf("docs/OBSERVABILITY.md: metric %q missing from the catalog", name)
@@ -111,6 +120,33 @@ func TestDocCoversSnapshotV2(t *testing.T) {
 	} {
 		if !strings.Contains(spec, fact) {
 			t.Errorf("docs/SERVING.md: format fact %q missing from the spec", fact)
+		}
+	}
+}
+
+// TestDocCoversReleaseChain pins the release-chain spec to the code: every
+// field of the version-3 chain block must be named in
+// docs/REPUBLICATION.md's field-level table, along with the facts a chain
+// producer, auditor or hot-swapping server relies on, so the multi-release
+// contract cannot drift from the implementation.
+func TestDocCoversReleaseChain(t *testing.T) {
+	data, err := os.ReadFile("docs/REPUBLICATION.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := string(data)
+	for _, name := range snapshot.ChainFieldNames() {
+		if !strings.Contains(spec, "`"+name+"`") {
+			t.Errorf("docs/REPUBLICATION.md: chain field %q missing from the spec", name)
+		}
+	}
+	for _, fact := range []string{
+		"header CRC", "presence flag", "0x52455055", "ReleaseSeed",
+		"-base", "-delta", "-chain", "VerifyChain",
+		"/v1/admin/reload", "SIGHUP", "409", "-releases", "-churn",
+	} {
+		if !strings.Contains(spec, fact) {
+			t.Errorf("docs/REPUBLICATION.md: chain fact %q missing from the spec", fact)
 		}
 	}
 }

@@ -60,19 +60,24 @@ type PerfReport struct {
 	// demonstration (pgbench -exp shard); nil until that experiment has been
 	// run against this report.
 	Shard *ShardLoadReport `json:"shard,omitempty"`
+	// Repub holds the multi-release breach-vs-release-count curves
+	// (pgattack -exp repub -benchout), one report per (n, algorithm,
+	// releases); empty until that experiment has been run against this
+	// report.
+	Repub []*attackfleet.MultiReleaseReport `json:"repub,omitempty"`
 }
 
 // MergePerf folds a fresh perf run into a tracked report: a run block
 // replaces the tracked block with the same (name, workers) pair, other
-// blocks and the serve/fleet/shard sections are preserved. It refuses to
-// merge
+// blocks and the serve/fleet/shard/repub sections are preserved. It refuses
+// to merge
 // when any identity field differs — a silent mix of machines or workloads
 // would make the trajectory meaningless; regenerate the file instead.
 func MergePerf(file, run *PerfReport) (*PerfReport, error) {
 	if file == nil || len(file.Results) == 0 && file.GoVersion == "" {
 		out := *run
 		if file != nil {
-			out.Serve, out.Fleet, out.Shard = file.Serve, file.Fleet, file.Shard
+			out.Serve, out.Fleet, out.Shard, out.Repub = file.Serve, file.Fleet, file.Shard, file.Repub
 		}
 		return &out, nil
 	}

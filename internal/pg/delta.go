@@ -1,0 +1,175 @@
+package pg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"pgpub/internal/dataset"
+)
+
+// Delta is one release-to-release change set of the microdata: rows of the
+// parent table to delete and new rows to insert. Deletes name row indices
+// of the parent (pre-delta) table and are applied as a set; surviving rows
+// keep their relative order, then inserts are appended in order. Owner IDs
+// survive the rewrite — a kept row still names the same individual — which
+// is what lets the multi-release adversary link a victim across releases.
+type Delta struct {
+	// Deletes lists parent-table row indices to remove (any order, no
+	// duplicates).
+	Deletes []int
+	// Inserts holds the rows to append, in insertion order, under the same
+	// schema as the parent. nil means no inserts. When Inserts.Owners is
+	// nil, inserted rows are assigned fresh owner IDs following the largest
+	// owner ID of the parent table.
+	Inserts *dataset.Table
+}
+
+// Empty reports whether the delta changes nothing — the shape of a pure
+// re-perturbation release.
+func (dl Delta) Empty() bool {
+	return len(dl.Deletes) == 0 && (dl.Inserts == nil || dl.Inserts.Len() == 0)
+}
+
+// Validate checks the delta against the parent table it will be applied to.
+func (dl Delta) Validate(prev *dataset.Table) error {
+	seen := make(map[int]bool, len(dl.Deletes))
+	for _, i := range dl.Deletes {
+		if i < 0 || i >= prev.Len() {
+			return fmt.Errorf("pg: delta deletes row %d of a %d-row table", i, prev.Len())
+		}
+		if seen[i] {
+			return fmt.Errorf("pg: delta deletes row %d twice", i)
+		}
+		seen[i] = true
+	}
+	if dl.Inserts != nil {
+		if dl.Inserts.Schema.Width() != prev.Schema.Width() || dl.Inserts.Schema.D() != prev.Schema.D() {
+			return fmt.Errorf("pg: delta inserts have %d columns, parent schema wants %d",
+				dl.Inserts.Schema.Width(), prev.Schema.Width())
+		}
+		if err := dl.Inserts.Validate(); err != nil {
+			return fmt.Errorf("pg: delta inserts: %w", err)
+		}
+	}
+	if len(dl.Deletes) == prev.Len() && (dl.Inserts == nil || dl.Inserts.Len() == 0) {
+		return fmt.Errorf("pg: delta deletes every row and inserts none")
+	}
+	return nil
+}
+
+// ApplyDelta produces the post-delta microdata: parent rows minus the
+// deletes (relative order kept), plus the inserts appended in order. The
+// result is a fresh table except for the empty delta, which returns prev
+// itself. Kept rows keep their owner IDs; inserted rows take theirs from
+// Inserts.Owners or, when that is nil, fresh IDs after the parent's
+// largest.
+func ApplyDelta(prev *dataset.Table, dl Delta) (*dataset.Table, error) {
+	if err := dl.Validate(prev); err != nil {
+		return nil, err
+	}
+	if dl.Empty() {
+		return prev, nil
+	}
+	deleted := make(map[int]bool, len(dl.Deletes))
+	for _, i := range dl.Deletes {
+		deleted[i] = true
+	}
+	keep := make([]int, 0, prev.Len()-len(dl.Deletes))
+	maxOwner := -1
+	for i := 0; i < prev.Len(); i++ {
+		if o := prev.Owner(i); o > maxOwner {
+			maxOwner = o
+		}
+		if !deleted[i] {
+			keep = append(keep, i)
+		}
+	}
+	out := prev.Subset(keep)
+	if dl.Inserts == nil {
+		return out, nil
+	}
+	owners := out.Owners
+	for j := 0; j < dl.Inserts.Len(); j++ {
+		if err := out.Append(dl.Inserts.Row(j)); err != nil {
+			return nil, fmt.Errorf("pg: delta insert %d: %w", j, err)
+		}
+		if dl.Inserts.Owners != nil {
+			owners = append(owners, dl.Inserts.Owner(j))
+		} else {
+			maxOwner++
+			owners = append(owners, maxOwner)
+		}
+	}
+	out.Owners = owners
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("pg: post-delta table invalid: %w", err)
+	}
+	return out, nil
+}
+
+// ReadDelta parses the delta file format: one operation per line, comma
+// separated, '#' starting a comment line.
+//
+//	-,<row index>                      delete parent row <row index>
+//	+,<qi label>,...,<sensitive label> insert a row, labels in schema order
+//
+// Insert lines carry attribute labels (the vocabulary of the release CSV),
+// not codes. Deletes refer to the parent table the delta will be applied
+// to; a file is replayable only against its own parent release.
+func ReadDelta(schema *dataset.Schema, r io.Reader) (Delta, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	dl := Delta{}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Delta{}, fmt.Errorf("pg: delta line %d: %w", line, err)
+		}
+		if len(rec) == 0 || (len(rec) == 1 && rec[0] == "") {
+			continue
+		}
+		switch rec[0] {
+		case "-":
+			if len(rec) != 2 {
+				return Delta{}, fmt.Errorf("pg: delta line %d: delete wants '-,<row>', got %d fields", line, len(rec))
+			}
+			i, err := strconv.Atoi(rec[1])
+			if err != nil {
+				return Delta{}, fmt.Errorf("pg: delta line %d: row index %q: %w", line, rec[1], err)
+			}
+			dl.Deletes = append(dl.Deletes, i)
+		case "+":
+			if len(rec) != schema.Width()+1 {
+				return Delta{}, fmt.Errorf("pg: delta line %d: insert wants %d labels, got %d",
+					line, schema.Width(), len(rec)-1)
+			}
+			if dl.Inserts == nil {
+				dl.Inserts = dataset.NewTable(schema)
+			}
+			if err := dl.Inserts.AppendLabels(rec[1:]...); err != nil {
+				return Delta{}, fmt.Errorf("pg: delta line %d: %w", line, err)
+			}
+		default:
+			return Delta{}, fmt.Errorf("pg: delta line %d: unknown op %q (want '-' or '+')", line, rec[0])
+		}
+	}
+	return dl, nil
+}
+
+// LoadDelta reads the delta file at path (see ReadDelta for the format).
+func LoadDelta(schema *dataset.Schema, path string) (Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Delta{}, fmt.Errorf("pg: %w", err)
+	}
+	defer f.Close()
+	return ReadDelta(schema, f)
+}

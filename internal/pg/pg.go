@@ -151,15 +151,36 @@ type Published struct {
 
 // Publish runs Phases 1–3 on the microdata and returns D*.
 func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Published, error) {
+	pub, _, err := publish(d, hiers, cfg, nil)
+	return pub, err
+}
+
+// phase2Grouping is Phase 2's output: the recoding (nil for KD), one
+// generalized box per QI-group, and each group's member rows. It is a pure
+// function of the QI columns and (k, algorithm, class steering) — Phase 1
+// never touches the QI attributes — which is what lets Republish reuse a
+// cached grouping across pure re-perturbation releases and still emit bytes
+// identical to a from-scratch publish.
+type phase2Grouping struct {
+	recoding  *generalize.Recoding
+	boxes     []generalize.Box
+	groupRows [][]int
+}
+
+// publish is the pipeline behind Publish and Republish. When cached is
+// non-nil, Phase 2 is skipped and the cached grouping adopted; the caller
+// guarantees it was computed over a table with identical QI columns under
+// identical (k, algorithm, class) parameters.
+func publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config, cached *phase2Grouping) (*Published, *phase2Grouping, error) {
 	if d.Len() == 0 {
-		return nil, fmt.Errorf("pg: empty microdata")
+		return nil, nil, fmt.Errorf("pg: empty microdata")
 	}
 	k, err := resolveK(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.P < 0 || cfg.P > 1 {
-		return nil, fmt.Errorf("pg: retention probability %v outside [0,1]", cfg.P)
+		return nil, nil, fmt.Errorf("pg: retention probability %v outside [0,1]", cfg.P)
 	}
 	workers := par.N(cfg.Workers)
 	met := cfg.Metrics
@@ -180,22 +201,56 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 	// Phase 1: perturbation, sharded across the workers.
 	pb, err := perturb.NewPerturber(cfg.P, d.Schema.SensitiveDomain())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pb.Retained = met.Counter("pg.phase1.retained")
 	pb.Redrawn = met.Counter("pg.phase1.redrawn")
 	sp1 := met.Span("pg.phase1")
 	dp, err := pb.TableSharded(d, phase1Root, workers)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sp1.End()
 
-	// Phase 2: generalization (global recoding, Properties G1–G3).
+	// Phase 2: generalization (global recoding, Properties G1–G3), unless a
+	// still-valid grouping was handed down.
 	pub := &Published{Schema: d.Schema, Algorithm: cfg.Algorithm, P: cfg.P, K: k}
-	var boxes []generalize.Box
-	var groupRows [][]int
-	sp2 := met.Span("pg.phase2")
+	grp := cached
+	if grp == nil {
+		sp2 := met.Span("pg.phase2")
+		grp, err = runPhase2(dp, hiers, cfg, k, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp2.End()
+		met.Counter("pg.phase2.groups").Add(int64(len(grp.groupRows)))
+	}
+	pub.Recoding = grp.recoding
+
+	// Phase 3: stratified sampling (S1–S4), sharded across the workers.
+	sp3 := met.Span("pg.phase3")
+	strata, err := sampling.StratifiedSeeded(grp.groupRows, phase3Root, workers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pg: phase 3: %w", err)
+	}
+	for _, st := range strata {
+		pub.Rows = append(pub.Rows, Row{
+			Box:       grp.boxes[st.Group],
+			Value:     dp.Sensitive(st.Row),
+			G:         st.GroupSize,
+			SourceRow: st.Row,
+		})
+	}
+	sp3.End()
+	met.Counter("pg.rows.published").Add(int64(len(pub.Rows)))
+	spTotal.End()
+	return pub, grp, nil
+}
+
+// runPhase2 runs the configured Phase-2 algorithm over the (perturbed)
+// table and packages its grouping.
+func runPhase2(dp *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config, k, workers int) (*phase2Grouping, error) {
+	met := cfg.Metrics
 	switch cfg.Algorithm {
 	case TDS:
 		res, err := generalize.TDS(dp, hiers, generalize.TDSConfig{
@@ -205,9 +260,11 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
 		}
-		pub.Recoding = res.Recoding
-		boxes = applyRecoding(res.Recoding, res.Groups.Keys, workers)
-		groupRows = res.Groups.Rows
+		return &phase2Grouping{
+			recoding:  res.Recoding,
+			boxes:     applyRecoding(res.Recoding, res.Groups.Keys, workers),
+			groupRows: res.Groups.Rows,
+		}, nil
 	case FullDomain:
 		res, err := generalize.SearchFullDomain(dp, hiers, generalize.FullDomainConfig{
 			Principle: generalize.KAnonymity{K: k}, Workers: workers,
@@ -216,40 +273,20 @@ func Publish(d *dataset.Table, hiers []*hierarchy.Hierarchy, cfg Config) (*Publi
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
 		}
-		pub.Recoding = res.Recoding
-		boxes = applyRecoding(res.Recoding, res.Groups.Keys, workers)
-		groupRows = res.Groups.Rows
+		return &phase2Grouping{
+			recoding:  res.Recoding,
+			boxes:     applyRecoding(res.Recoding, res.Groups.Keys, workers),
+			groupRows: res.Groups.Rows,
+		}, nil
 	case KD:
 		res, err := generalize.KDPartitionParallel(dp, k, par.SpawnDepth(workers))
 		if err != nil {
 			return nil, fmt.Errorf("pg: phase 2: %w", err)
 		}
-		boxes = res.Cells
-		groupRows = res.Rows
+		return &phase2Grouping{boxes: res.Cells, groupRows: res.Rows}, nil
 	default:
 		return nil, fmt.Errorf("pg: unknown algorithm %v", cfg.Algorithm)
 	}
-	sp2.End()
-	met.Counter("pg.phase2.groups").Add(int64(len(groupRows)))
-
-	// Phase 3: stratified sampling (S1–S4), sharded across the workers.
-	sp3 := met.Span("pg.phase3")
-	strata, err := sampling.StratifiedSeeded(groupRows, phase3Root, workers)
-	if err != nil {
-		return nil, fmt.Errorf("pg: phase 3: %w", err)
-	}
-	for _, st := range strata {
-		pub.Rows = append(pub.Rows, Row{
-			Box:       boxes[st.Group],
-			Value:     dp.Sensitive(st.Row),
-			G:         st.GroupSize,
-			SourceRow: st.Row,
-		})
-	}
-	sp3.End()
-	met.Counter("pg.rows.published").Add(int64(len(pub.Rows)))
-	spTotal.End()
-	return pub, nil
 }
 
 // applyRecoding materializes every group key's box, spreading the per-group

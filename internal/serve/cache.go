@@ -137,9 +137,10 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{}
-	val  answerVal
-	err  error
+	done   chan struct{}
+	joined int // callers sharing this computation, leader included
+	val    answerVal
+	err    error
 }
 
 func newFlightGroup() *flightGroup {
@@ -152,11 +153,12 @@ func newFlightGroup() *flightGroup {
 func (g *flightGroup) do(key string, fn func() (answerVal, error)) (v answerVal, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
+		c.joined++
 		g.mu.Unlock()
 		<-c.done
 		return c.val, true, c.err
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall{done: make(chan struct{}), joined: 1}
 	g.calls[key] = c
 	g.mu.Unlock()
 
@@ -166,4 +168,18 @@ func (g *flightGroup) do(key string, fn func() (answerVal, error)) (v answerVal,
 	g.mu.Unlock()
 	close(c.done)
 	return c.val, false, c.err
+}
+
+// stats reports the in-flight computations and the total callers attached
+// to them — a test hook: it is how a test waits until every concurrent
+// duplicate has actually joined a leader, rather than racing the leader's
+// completion against latecomers still between the cache miss and the join.
+func (g *flightGroup) stats() (calls, joined int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.calls {
+		calls++
+		joined += c.joined
+	}
+	return calls, joined
 }

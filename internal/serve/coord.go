@@ -56,20 +56,28 @@ type CoordConfig struct {
 	Client *http.Client
 	// Metrics optionally receives the coord.* instrumentation. nil disables.
 	Metrics *obs.Registry
+	// ManifestSource re-reads the shard manifest (the -manifest path, in
+	// pgserve). Reload calls it when the sharded release has been
+	// re-published and every shard has hot-swapped: the coordinator adopts
+	// the new manifest and re-validates the fleet against it. nil disables
+	// reloading.
+	ManifestSource func() (*snapshot.Manifest, error)
 }
 
 // Coordinator fans queries out to shard servers and merges their answers.
 // Build with NewCoordinator, then call Start to validate the fleet before
 // exposing Handler.
 type Coordinator struct {
-	man        *snapshot.Manifest
 	shards     []*coordShard
 	timeout    time.Duration
 	hedgeAfter time.Duration
 	hc         *http.Client
+	manSource  func() (*snapshot.Manifest, error)
+	reloadMu   sync.Mutex // serializes Reload; the query path never takes it
 
 	mu   sync.RWMutex
-	meta MetadataResponse // merged, filled by Start
+	man  *snapshot.Manifest
+	meta MetadataResponse // merged, filled by Start and replaced by Reload
 
 	met struct {
 		reqQuery    *obs.Counter
@@ -81,6 +89,12 @@ type Coordinator struct {
 		hedgeWon    *obs.Counter
 		shardErrors *obs.Counter
 		shardTO     *obs.Counter
+
+		reloadAttempts *obs.Counter
+		reloadSwapped  *obs.Counter
+		reloadRejected *obs.Counter
+		reloadErrors   *obs.Counter
+		releaseGauge   *obs.Gauge
 	}
 }
 
@@ -109,6 +123,7 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		timeout:    cfg.ShardTimeout,
 		hedgeAfter: cfg.HedgeAfter,
 		hc:         cfg.Client,
+		manSource:  cfg.ManifestSource,
 	}
 	if c.timeout <= 0 {
 		c.timeout = 5 * time.Second
@@ -135,7 +150,20 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	c.met.hedgeWon = reg.Counter("coord.hedge.won")
 	c.met.shardErrors = reg.Counter("coord.shard.errors")
 	c.met.shardTO = reg.Counter("coord.shard.timeouts")
+	c.met.reloadAttempts = reg.Counter("coord.reload.attempts")
+	c.met.reloadSwapped = reg.Counter("coord.reload.swapped")
+	c.met.reloadRejected = reg.Counter("coord.reload.rejected")
+	c.met.reloadErrors = reg.Counter("coord.reload.errors")
+	c.met.releaseGauge = reg.Gauge("coord.release")
+	c.met.releaseGauge.Set(-1)
 	return c, nil
+}
+
+// manifest returns the manifest currently coordinated against.
+func (c *Coordinator) manifest() *snapshot.Manifest {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.man
 }
 
 // Start validates every shard server against the manifest over HTTP: each
@@ -144,6 +172,22 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 // /v1/metadata document (rows and groups summed, Shards set) is assembled
 // and the coordinator is ready to serve.
 func (c *Coordinator) Start(ctx context.Context) error {
+	merged, err := c.validate(ctx, c.manifest())
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.meta = merged
+	c.mu.Unlock()
+	c.setReleaseGauge(merged)
+	return nil
+}
+
+// validate probes every shard's /v1/metadata and checks the fleet against
+// man: parameters, per-shard row counts, and — when the shards serve
+// chained releases — that every shard is on the same release. It returns
+// the merged metadata document without installing it.
+func (c *Coordinator) validate(ctx context.Context, man *snapshot.Manifest) (MetadataResponse, error) {
 	type shardMeta struct {
 		md  MetadataResponse
 		err error
@@ -162,31 +206,122 @@ func (c *Coordinator) Start(ctx context.Context) error {
 	merged := MetadataResponse{Shards: len(c.shards)}
 	for i := range metas {
 		if metas[i].err != nil {
-			return fmt.Errorf("serve: shard %d (%s): %w", i, c.shards[i].url, metas[i].err)
+			return merged, fmt.Errorf("serve: shard %d (%s): %w", i, c.shards[i].url, metas[i].err)
 		}
 		md := metas[i].md
 		if md.Shards != 0 {
-			return fmt.Errorf("serve: shard %d (%s) is itself a coordinator", i, c.shards[i].url)
+			return merged, fmt.Errorf("serve: shard %d (%s) is itself a coordinator", i, c.shards[i].url)
 		}
-		if md.P != c.man.P || md.K != c.man.K || md.Algorithm != c.man.Algorithm {
-			return fmt.Errorf("serve: shard %d (%s) serves (%s, p=%v, k=%d), manifest says (%s, p=%v, k=%d)",
-				i, c.shards[i].url, md.Algorithm, md.P, md.K, c.man.Algorithm, c.man.P, c.man.K)
+		if md.P != man.P || md.K != man.K || md.Algorithm != man.Algorithm {
+			return merged, fmt.Errorf("serve: shard %d (%s) serves (%s, p=%v, k=%d), manifest says (%s, p=%v, k=%d)",
+				i, c.shards[i].url, md.Algorithm, md.P, md.K, man.Algorithm, man.P, man.K)
 		}
-		if md.Rows != c.man.Shards[i].Rows {
-			return fmt.Errorf("serve: shard %d (%s) serves %d rows, manifest records %d",
-				i, c.shards[i].url, md.Rows, c.man.Shards[i].Rows)
+		if md.Rows != man.Shards[i].Rows {
+			return merged, fmt.Errorf("serve: shard %d (%s) serves %d rows, manifest records %d",
+				i, c.shards[i].url, md.Rows, man.Shards[i].Rows)
 		}
-		merged.Rows += md.Rows
-		merged.Groups += md.Groups
 		if i == 0 {
 			merged.P, merged.K, merged.Algorithm = md.P, md.K, md.Algorithm
 			merged.Guarantee = md.Guarantee
+			merged.Release = md.Release
+		} else if rel0, rel := merged.Release, md.Release; (rel0 == nil) != (rel == nil) ||
+			(rel != nil && rel.Release != rel0.Release) {
+			return merged, fmt.Errorf("%w: shard %d (%s) serves release %s, shard 0 serves %s — the fleet is mid-rollout; reload again once every shard has swapped",
+				ErrReloadRejected, i, c.shards[i].url, releaseLabel(rel), releaseLabel(rel0))
 		}
+		merged.Rows += md.Rows
+		merged.Groups += md.Groups
+	}
+	return merged, nil
+}
+
+func releaseLabel(ch *snapshot.ChainMetadata) string {
+	if ch == nil {
+		return "no chain"
+	}
+	return fmt.Sprintf("%d", ch.Release)
+}
+
+func (c *Coordinator) setReleaseGauge(md MetadataResponse) {
+	if md.Release != nil {
+		c.met.releaseGauge.Set(int64(md.Release.Release))
+	} else {
+		c.met.releaseGauge.Set(-1)
+	}
+}
+
+// Reload re-reads the shard manifest and re-validates the whole fleet
+// against it — the coordinator's half of a rolling hot-swap: re-publish the
+// sharded release, reload every shard server, then reload the coordinator.
+// The swap is all-or-nothing: only after every shard answers with the new
+// manifest's rows (and, for chained releases, one common release number)
+// are the manifest and merged metadata replaced; any failure leaves the
+// coordinator serving against the old manifest. Rejections (no
+// ManifestSource, a manifest whose shard count no longer matches the
+// configured URLs, a fleet still mid-rollout) return ErrReloadRejected.
+func (c *Coordinator) Reload(ctx context.Context) (*ReloadResult, error) {
+	c.reloadMu.Lock()
+	defer c.reloadMu.Unlock()
+	c.met.reloadAttempts.Inc()
+	res, err := c.reload(ctx)
+	switch {
+	case errors.Is(err, ErrReloadRejected):
+		c.met.reloadRejected.Inc()
+	case err != nil:
+		c.met.reloadErrors.Inc()
+	default:
+		c.met.reloadSwapped.Inc()
+	}
+	return res, err
+}
+
+func (c *Coordinator) reload(ctx context.Context) (*ReloadResult, error) {
+	if c.manSource == nil {
+		return nil, fmt.Errorf("%w: this coordinator has no manifest path to reload from", ErrReloadRejected)
+	}
+	man, err := c.manSource()
+	if err != nil {
+		return nil, fmt.Errorf("serve: reloading manifest: %w", err)
+	}
+	if err := man.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReloadRejected, err)
+	}
+	if len(man.Shards) != len(c.shards) {
+		return nil, fmt.Errorf("%w: the new manifest has %d shards, this coordinator fans out to %d fixed shard URLs",
+			ErrReloadRejected, len(man.Shards), len(c.shards))
+	}
+	merged, err := c.validate(ctx, man)
+	if err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
-	c.meta = merged
+	c.man, c.meta = man, merged
 	c.mu.Unlock()
-	return nil
+	c.setReleaseGauge(merged)
+	res := &ReloadResult{Release: -1, Rows: merged.Rows}
+	if merged.Release != nil {
+		res.Release = merged.Release.Release
+	}
+	return res, nil
+}
+
+// handleReload is POST /v1/admin/reload at the coordinator (Server
+// semantics: 200 swapped, 409 rejected, 500 failed).
+func (c *Coordinator) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		c.met.errors.Inc()
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	res, err := c.Reload(r.Context())
+	switch {
+	case errors.Is(err, ErrReloadRejected):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
 }
 
 func (c *Coordinator) fetchMetadata(ctx context.Context, sh *coordShard) (MetadataResponse, error) {
@@ -217,6 +352,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", c.handleBatch)
 	mux.HandleFunc("/v1/metadata", c.handleMetadata)
 	mux.HandleFunc("/v1/shards", c.handleShards)
+	mux.HandleFunc("/v1/admin/reload", c.handleReload)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -264,6 +400,7 @@ type ShardStatus struct {
 // handleShards live-probes every shard's /healthz and reports per-shard
 // status: the coordinator's operational view of the fleet.
 func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	man := c.manifest()
 	out := make([]ShardStatus, len(c.shards))
 	var wg sync.WaitGroup
 	for i, sh := range c.shards {
@@ -273,7 +410,7 @@ func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
 			out[i] = ShardStatus{
 				Shard:   i,
 				URL:     sh.url,
-				Rows:    c.man.Shards[i].Rows,
+				Rows:    man.Shards[i].Rows,
 				Healthy: c.probeHealth(r.Context(), sh),
 				P95us:   sh.lat.p95().Microseconds(),
 				Errors:  sh.errors.Load(),

@@ -6,10 +6,13 @@
 //
 // Endpoints (docs/SERVING.md has the full reference and a worked session):
 //
-//	POST /v1/query     one aggregate query (count, naive, sum, avg)
-//	POST /v1/batch     a COUNT workload, answered deterministically
-//	GET  /v1/metadata  release metadata: p, k, algorithm, rows, guarantees
-//	GET  /healthz      liveness probe
+//	POST /v1/query         one aggregate query (count, naive, sum, avg)
+//	POST /v1/batch         a COUNT workload, answered deterministically
+//	GET  /v1/metadata      release metadata: p, k, algorithm, rows,
+//	                       guarantees, and the release-chain position
+//	POST /v1/admin/reload  hot-swap to the chain's next release (RCU over
+//	                       the serving state; docs/REPUBLICATION.md)
+//	GET  /healthz          liveness probe
 //
 // The server is hardened for load rather than trust: a concurrency limiter
 // admits at most MaxInFlight aggregate requests and sheds the rest with
@@ -32,12 +35,15 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgpub/internal/dataset"
 	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
+	"pgpub/internal/snapshot"
 )
 
 // Answerer is the query-answering dependency of the server. *query.Index
@@ -83,20 +89,56 @@ type Config struct {
 	Workers int
 	// Metrics optionally receives the serve.* instrumentation. nil disables.
 	Metrics *obs.Registry
+	// CRC is the serving snapshot's header CRC — the identity a successor
+	// release's chain block must name as its parent. 0 (unknown) makes the
+	// server reject reloads.
+	CRC uint32
+	// Chain is the serving snapshot's release-chain block, when it was
+	// published as part of a re-publication chain. nil outside a chain.
+	Chain *snapshot.ChainMetadata
+	// Source re-opens the release origin (the -snapshot path, in pgserve)
+	// and returns its current content. Reload calls it to pick up the next
+	// release of the chain; nil disables reloading — /v1/admin/reload and
+	// SIGHUP are refused with a clear error instead of swapping.
+	Source func() (*ReleaseData, error)
 }
 
-// Server answers the HTTP API. It is immutable after New and safe for
-// concurrent use.
+// release is the per-release serving state: everything a request answers
+// from that changes when the server hot-swaps to the next snapshot of a
+// re-publication chain. It hangs off Server.rel behind an atomic pointer —
+// the RCU discipline: a handler loads the pointer once and works against
+// that release for its whole lifetime, a reload builds a complete new
+// release (fresh cache, fresh singleflight — answers never bleed across
+// releases) and swaps the pointer. In-flight requests finish on the release
+// they started on; nothing is ever mutated in place.
+type release struct {
+	answer Answerer
+	schema *dataset.Schema
+	meta   pg.Metadata
+	groups int
+	cache  *resultCache
+	flight *flightGroup
+
+	// number and crc identify the release within its chain: the chain
+	// block's release number (-1 when the release was not published as part
+	// of a chain) and the snapshot's header CRC (0 when unknown, e.g. a CSV
+	// load). Reload validates the next release's parent link against them;
+	// chain is the full block, echoed at /v1/metadata.
+	number int
+	crc    uint32
+	chain  *snapshot.ChainMetadata
+}
+
+// Server answers the HTTP API. It is safe for concurrent use; the only
+// mutation after New is Reload's atomic swap of the serving release.
 type Server struct {
-	answer  Answerer
-	schema  *dataset.Schema
-	meta    pg.Metadata
-	groups  int
-	timeout time.Duration
-	workers int
-	sem     chan struct{}
-	cache   *resultCache
-	flight  *flightGroup
+	rel          atomic.Pointer[release]
+	timeout      time.Duration
+	workers      int
+	sem          chan struct{}
+	cacheEntries int
+	source       func() (*ReleaseData, error)
+	reloadMu     sync.Mutex // serializes Reload; never held by the query path
 
 	met struct {
 		reqQuery    *obs.Counter
@@ -111,34 +153,50 @@ type Server struct {
 		coalesced   *obs.Counter
 		latQuery    *obs.Histogram
 		latBatch    *obs.Histogram
+
+		reloadAttempts *obs.Counter
+		reloadSwapped  *obs.Counter
+		reloadRejected *obs.Counter
+		reloadErrors   *obs.Counter
+		reloadLatency  *obs.Histogram
+		releaseGauge   *obs.Gauge
 	}
 }
 
 // New validates the configuration and builds a Server.
 func New(cfg Config) (*Server, error) {
-	s := &Server{
-		answer:  cfg.Answerer,
-		schema:  cfg.Schema,
-		meta:    cfg.Meta,
-		groups:  cfg.Groups,
-		timeout: cfg.RequestTimeout,
-		workers: cfg.Workers,
-		flight:  newFlightGroup(),
+	rel := &release{
+		answer: cfg.Answerer,
+		schema: cfg.Schema,
+		meta:   cfg.Meta,
+		groups: cfg.Groups,
+		flight: newFlightGroup(),
+		number: -1,
+		crc:    cfg.CRC,
 	}
-	if s.answer == nil {
+	if rel.answer == nil {
 		if cfg.Index == nil {
 			return nil, fmt.Errorf("serve: Config.Index (or Answerer) is required")
 		}
-		s.answer = cfg.Index
+		rel.answer = cfg.Index
 	}
-	if s.schema == nil {
+	if rel.schema == nil {
 		if cfg.Index == nil {
 			return nil, fmt.Errorf("serve: Config.Schema is required with a custom Answerer")
 		}
-		s.schema = cfg.Index.Schema()
+		rel.schema = cfg.Index.Schema()
 	}
-	if s.groups == 0 && cfg.Index != nil {
-		s.groups = cfg.Index.Groups()
+	if rel.groups == 0 && cfg.Index != nil {
+		rel.groups = cfg.Index.Groups()
+	}
+	if cfg.Chain != nil {
+		rel.number = cfg.Chain.Release
+		rel.chain = cfg.Chain
+	}
+	s := &Server{
+		timeout: cfg.RequestTimeout,
+		workers: cfg.Workers,
+		source:  cfg.Source,
 	}
 	if s.timeout <= 0 {
 		s.timeout = 10 * time.Second
@@ -148,11 +206,11 @@ func New(cfg Config) (*Server, error) {
 		maxInFlight = 8 * runtime.GOMAXPROCS(0)
 	}
 	s.sem = make(chan struct{}, maxInFlight)
-	entries := cfg.CacheEntries
-	if entries == 0 {
-		entries = 4096
+	s.cacheEntries = cfg.CacheEntries
+	if s.cacheEntries == 0 {
+		s.cacheEntries = 4096
 	}
-	s.cache = newResultCache(entries) // nil when entries < 0: caching disabled
+	rel.cache = newResultCache(s.cacheEntries) // nil when entries < 0: caching disabled
 
 	reg := cfg.Metrics
 	s.met.reqQuery = reg.Counter("serve.requests.query")
@@ -167,6 +225,14 @@ func New(cfg Config) (*Server, error) {
 	s.met.coalesced = reg.Counter("serve.coalesced")
 	s.met.latQuery = reg.Histogram("serve.latency.query", "ns")
 	s.met.latBatch = reg.Histogram("serve.latency.batch", "ns")
+	s.met.reloadAttempts = reg.Counter("serve.reload.attempts")
+	s.met.reloadSwapped = reg.Counter("serve.reload.swapped")
+	s.met.reloadRejected = reg.Counter("serve.reload.rejected")
+	s.met.reloadErrors = reg.Counter("serve.reload.errors")
+	s.met.reloadLatency = reg.Histogram("serve.reload.latency", "ns")
+	s.met.releaseGauge = reg.Gauge("serve.release")
+	s.met.releaseGauge.Set(int64(rel.number))
+	s.rel.Store(rel)
 	return s, nil
 }
 
@@ -182,6 +248,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/metadata", s.handleMetadata)
+	mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -295,11 +362,14 @@ type BatchResponse struct {
 // MetadataResponse is the /v1/metadata document: the release metadata plus
 // the serving index's group count. Shards is 0 for a single-snapshot server
 // and the shard count at a coordinator, whose rows and groups are the
-// totals across shards.
+// totals across shards. Release echoes the serving snapshot's release-chain
+// block when it was published as part of a re-publication chain — the field
+// a reload watcher polls to confirm a hot-swap landed.
 type MetadataResponse struct {
 	pg.Metadata
-	Groups int `json:"groups"`
-	Shards int `json:"shards,omitempty"`
+	Groups  int                     `json:"groups"`
+	Shards  int                     `json:"shards,omitempty"`
+	Release *snapshot.ChainMetadata `json:"release,omitempty"`
 }
 
 type errorResponse struct {
@@ -347,20 +417,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	op, q, values, err := s.parseQuery(&req)
+	// One pointer load pins this request to one release: parse, cache,
+	// compute and respond all against the same index, even if a reload swaps
+	// the serving release mid-request.
+	rel := s.rel.Load()
+	op, q, values, err := s.parseQuery(rel, &req)
 	if err != nil {
 		s.clientError(w, err)
 		return
 	}
-	release, ok := s.admit(w)
+	done, ok := s.admit(w)
 	if !ok {
 		return
 	}
-	defer release()
+	defer done()
 
 	sp := s.met.latQuery
 	t0 := time.Now()
-	val, source, err := s.answerOne(r.Context(), op, q, values)
+	val, source, err := s.answerOne(r.Context(), rel, op, q, values)
 	sp.Observe(time.Since(t0).Nanoseconds())
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
@@ -390,9 +464,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	rel := s.rel.Load()
 	qs := make([]query.CountQuery, len(req.Queries))
 	for i := range req.Queries {
-		op, q, _, err := s.parseQuery(&req.Queries[i])
+		op, q, _, err := s.parseQuery(rel, &req.Queries[i])
 		if err != nil {
 			s.clientError(w, fmt.Errorf("query %d: %w", i, err))
 			return
@@ -403,15 +478,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = q
 	}
-	release, ok := s.admit(w)
+	done, ok := s.admit(w)
 	if !ok {
 		return
 	}
-	defer release()
+	defer done()
 
 	t0 := time.Now()
 	ests, err := s.computeWithDeadline(r.Context(), func() ([]float64, error) {
-		return s.answer.AnswerWorkload(qs, s.workers)
+		return rel.answer.AnswerWorkload(qs, s.workers)
 	})
 	s.met.latBatch.Observe(time.Since(t0).Nanoseconds())
 	switch {
@@ -430,19 +505,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 	s.met.reqMetadata.Inc()
-	writeJSON(w, http.StatusOK, MetadataResponse{Metadata: s.meta, Groups: s.groups})
+	rel := s.rel.Load()
+	writeJSON(w, http.StatusOK, MetadataResponse{Metadata: rel.meta, Groups: rel.groups, Release: rel.chain})
 }
 
 // ---------------------------------------------------------------------------
 // Answer path: cache → singleflight → index, under a deadline
 
-// answerOne resolves one aggregate query through the cache, coalescing
-// concurrent duplicates, bounded by the request timeout. A timed-out
-// leader's computation keeps running in the background and still populates
-// the cache — the work is not wasted, only the response slot.
-func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, values []float64) (val answerVal, source string, err error) {
-	key := s.queryKey(op, q, values)
-	if v, ok := s.cache.get(key); ok {
+// answerOne resolves one aggregate query through the release's cache,
+// coalescing concurrent duplicates, bounded by the request timeout. A
+// timed-out leader's computation keeps running in the background and still
+// populates the cache — the work is not wasted, only the response slot.
+// Cache and singleflight belong to the release, so a leader that outlives a
+// hot-swap still populates (only) its own release's cache.
+func (s *Server) answerOne(ctx context.Context, rel *release, op string, q query.CountQuery, values []float64) (val answerVal, source string, err error) {
+	key := queryKey(rel.schema, op, q, values)
+	if v, ok := rel.cache.get(key); ok {
 		s.met.cacheHits.Inc()
 		return v, "cache", nil
 	}
@@ -457,10 +535,10 @@ func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, v
 	}
 	ch := make(chan result, 1)
 	go func() {
-		v, shared, err := s.flight.do(key, func() (answerVal, error) {
-			v, err := s.compute(op, q, values)
+		v, shared, err := rel.flight.do(key, func() (answerVal, error) {
+			v, err := compute(rel.answer, op, q, values)
 			if err == nil {
-				if s.cache.put(key, v) {
+				if rel.cache.put(key, v) {
 					s.met.cacheEvict.Inc()
 				}
 			}
@@ -485,19 +563,19 @@ func (s *Server) answerOne(ctx context.Context, op string, q query.CountQuery, v
 
 // compute dispatches to the Answerer. sum and avg resolve through AvgParts
 // so the response can expose the compose pair alongside the estimate.
-func (s *Server) compute(op string, q query.CountQuery, values []float64) (answerVal, error) {
+func compute(answer Answerer, op string, q query.CountQuery, values []float64) (answerVal, error) {
 	switch op {
 	case "count":
-		est, err := s.answer.Count(q)
+		est, err := answer.Count(q)
 		return answerVal{est: est}, err
 	case "naive":
-		est, err := s.answer.Naive(q)
+		est, err := answer.Naive(q)
 		return answerVal{est: est}, err
 	case "sum":
-		sum, weight, err := s.answer.AvgParts(q, valueFn(values))
+		sum, weight, err := answer.AvgParts(q, valueFn(values))
 		return answerVal{est: sum, sum: sum, weight: weight, parts: true}, err
 	case "avg":
-		sum, weight, err := s.answer.AvgParts(q, valueFn(values))
+		sum, weight, err := answer.AvgParts(q, valueFn(values))
 		if err != nil {
 			return answerVal{}, err
 		}
@@ -542,9 +620,9 @@ func valueFn(values []float64) query.SensitiveValue {
 // ---------------------------------------------------------------------------
 // Request parsing and canonical keys
 
-// parseQuery validates a wire query against the schema and resolves it to
-// the engine's CountQuery form.
-func (s *Server) parseQuery(req *QueryRequest) (op string, q query.CountQuery, values []float64, err error) {
+// parseQuery validates a wire query against the release's schema and
+// resolves it to the engine's CountQuery form.
+func (s *Server) parseQuery(rel *release, req *QueryRequest) (op string, q query.CountQuery, values []float64, err error) {
 	op = req.Op
 	if op == "" {
 		op = "count"
@@ -558,8 +636,8 @@ func (s *Server) parseQuery(req *QueryRequest) (op string, q query.CountQuery, v
 		return "", q, nil, fmt.Errorf("shard pinning is a coordinator feature; this server holds one snapshot")
 	}
 
-	q.QI = make([]query.Range, s.schema.D())
-	for j, a := range s.schema.QI {
+	q.QI = make([]query.Range, rel.schema.D())
+	for j, a := range rel.schema.QI {
 		q.QI[j] = query.Range{Lo: 0, Hi: int32(a.Size() - 1)}
 	}
 	for i, c := range req.Where {
@@ -568,18 +646,18 @@ func (s *Server) parseQuery(req *QueryRequest) (op string, q query.CountQuery, v
 		case c.Attr != "" && c.Dim != nil:
 			return "", q, nil, fmt.Errorf("where[%d]: set attr or dim, not both", i)
 		case c.Attr != "":
-			if j = s.schema.QIIndex(c.Attr); j < 0 {
+			if j = rel.schema.QIIndex(c.Attr); j < 0 {
 				return "", q, nil, fmt.Errorf("where[%d]: unknown attribute %q", i, c.Attr)
 			}
 		case c.Dim != nil:
 			j = *c.Dim
-			if j < 0 || j >= s.schema.D() {
-				return "", q, nil, fmt.Errorf("where[%d]: dim %d outside [0,%d]", i, j, s.schema.D()-1)
+			if j < 0 || j >= rel.schema.D() {
+				return "", q, nil, fmt.Errorf("where[%d]: dim %d outside [0,%d]", i, j, rel.schema.D()-1)
 			}
 		default:
 			return "", q, nil, fmt.Errorf("where[%d]: attr or dim is required", i)
 		}
-		a := s.schema.QI[j]
+		a := rel.schema.QI[j]
 		lo, hi := int32(0), int32(a.Size()-1)
 		if lo, err = resolveBound(a, c.Lo, lo); err != nil {
 			return "", q, nil, fmt.Errorf("where[%d] (%s): %w", i, a.Name, err)
@@ -594,7 +672,7 @@ func (s *Server) parseQuery(req *QueryRequest) (op string, q query.CountQuery, v
 	}
 
 	if req.Sensitive != nil {
-		domain := s.schema.SensitiveDomain()
+		domain := rel.schema.SensitiveDomain()
 		mask := make([]bool, domain)
 		for _, code := range req.Sensitive {
 			if code < 0 || int(code) >= domain {
@@ -610,9 +688,9 @@ func (s *Server) parseQuery(req *QueryRequest) (op string, q query.CountQuery, v
 		if op != "sum" && op != "avg" {
 			return "", q, nil, fmt.Errorf("values apply to sum/avg only")
 		}
-		if len(values) != s.schema.SensitiveDomain() {
+		if len(values) != rel.schema.SensitiveDomain() {
 			return "", q, nil, fmt.Errorf("values has %d entries, sensitive domain is %d",
-				len(values), s.schema.SensitiveDomain())
+				len(values), rel.schema.SensitiveDomain())
 		}
 	}
 	return op, q, values, nil
@@ -643,12 +721,12 @@ func resolveBound(a *dataset.Attribute, raw json.RawMessage, def int32) (int32, 
 // requests collide), the sensitive mask as a code list, and the sum/avg
 // value vector's bit patterns. Two requests with equal keys have equal
 // answers, which is what makes the key safe as a cache/coalescing identity.
-func (s *Server) queryKey(op string, q query.CountQuery, values []float64) string {
+func queryKey(schema *dataset.Schema, op string, q query.CountQuery, values []float64) string {
 	b := make([]byte, 0, 64)
 	b = append(b, op...)
 	b = append(b, 0)
 	for j, r := range q.QI {
-		if r.Lo == 0 && int(r.Hi) == s.schema.QI[j].Size()-1 {
+		if r.Lo == 0 && int(r.Hi) == schema.QI[j].Size()-1 {
 			continue
 		}
 		b = binary.LittleEndian.AppendUint32(b, uint32(j))

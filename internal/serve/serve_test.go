@@ -281,7 +281,7 @@ func TestCacheEviction(t *testing.T) {
 			t.Fatalf("lo=%d: status %d", lo, code)
 		}
 	}
-	if got := s.cache.len(); got > cacheShards {
+	if got := s.rel.Load().cache.len(); got > cacheShards {
 		t.Fatalf("cache holds %d entries, cap is %d", got, cacheShards)
 	}
 	if reg.Counter("serve.cache.evictions").Value() == 0 {
@@ -328,12 +328,18 @@ func TestSingleflightCoalesces(t *testing.T) {
 			}, &results[i])
 		}(i)
 	}
-	// Wait until all n requests are in flight (leader inside the gate,
-	// duplicates parked on its done channel), then release.
+	// Wait until all n requests have joined the one flight (leader inside
+	// the gate, duplicates parked on its done channel), then release. The
+	// join count is the gate condition — a plain cache-miss count would race
+	// a fast leader against latecomers still on their way into the flight.
 	deadline := time.Now().Add(5 * time.Second)
-	for reg.Counter("serve.cache.misses").Value() < n {
+	for {
+		calls, joined := s.rel.Load().flight.stats()
+		if calls == 1 && joined == n {
+			break
+		}
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d requests arrived", reg.Counter("serve.cache.misses").Value(), n)
+			t.Fatalf("%d flights with %d joined callers, want 1 with %d", calls, joined, n)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -440,7 +446,7 @@ func TestTimeoutCutsOffSlowQueries(t *testing.T) {
 	// The abandoned computation still completes in the background and fills
 	// the cache: once it lands, the same query is a hit.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.cache.len() == 0 {
+	for s.rel.Load().cache.len() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("abandoned computation never filled the cache")
 		}

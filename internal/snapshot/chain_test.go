@@ -1,0 +1,197 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pgpub/internal/pg"
+)
+
+func testChain() *ChainMetadata {
+	return &ChainMetadata{
+		Release:       2,
+		ParentCRC:     0xDEADBEEF,
+		Inserts:       7,
+		Deletes:       3,
+		SourceRows:    1204,
+		OddsRatio:     1.75,
+		ComposedDelta: 0.42,
+	}
+}
+
+// TestChainRoundTrip pins the release-chain block codec: a chained snapshot
+// round-trips the ChainMetadata exactly through both the streaming reader
+// and the mapped opener, and a chainless one loads Chain as nil on both.
+func TestChainRoundTrip(t *testing.T) {
+	pub := publishHospital(t, pg.KD)
+	for _, chain := range []*ChainMetadata{nil, testChain()} {
+		path := filepath.Join(t.TempDir(), "r.pgsnap")
+		if err := SaveRelease(path, pub, nil, chain); err != nil {
+			t.Fatalf("SaveRelease: %v", err)
+		}
+		_, _, got, err := LoadRelease(path)
+		if err != nil {
+			t.Fatalf("LoadRelease: %v", err)
+		}
+		if !reflect.DeepEqual(got, chain) {
+			t.Fatalf("LoadRelease chain = %+v, want %+v", got, chain)
+		}
+		m, err := OpenMapped(path)
+		if err != nil {
+			t.Fatalf("OpenMapped: %v", err)
+		}
+		if !reflect.DeepEqual(m.Chain, chain) {
+			t.Fatalf("OpenMapped chain = %+v, want %+v", m.Chain, chain)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+		m.Close()
+	}
+}
+
+// TestChainV2ReadCompat pins version-2 read compatibility: a body with no
+// chain block under a version-2 header loads with Chain nil via both
+// readers, and Load/Read keep working unchanged.
+func TestChainV2ReadCompat(t *testing.T) {
+	pub := publishHospital(t, pg.TDS)
+	var buf bytes.Buffer
+	if err := Write(&buf, pub, nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	data := buf.Bytes()
+
+	// Rewrite the v3 file as v2: drop the one-byte absent-chain flag from
+	// the metadata body and restamp the header (version, length, CRC). The
+	// chain flag sits right after the guarantee flag; locate it by decoding
+	// the prefix like the reader does.
+	d := &dec{b: data[headerLen : headerLen+int(binary.LittleEndian.Uint64(data[8:16]))]}
+	if _, err := decodePubMeta(d); err != nil {
+		t.Fatalf("decodePubMeta: %v", err)
+	}
+	if _, err := decodeGuarantee(d); err != nil {
+		t.Fatalf("decodeGuarantee: %v", err)
+	}
+	metaEnd := headerLen + int(binary.LittleEndian.Uint64(data[8:16]))
+	cut := headerLen + d.off // offset of the chain presence flag
+	meta := append([]byte{}, data[headerLen:cut]...)
+	meta = append(meta, data[cut+1:metaEnd]...)
+
+	// The directory records absolute file offsets, so the page-aligned
+	// blocks must not move: pad the one removed byte back as part of the
+	// zero gap between the metadata and the first block.
+	v2 := append([]byte{}, makeHeader(versionV2, meta)...)
+	v2 = append(v2, meta...)
+	v2 = append(v2, 0)
+	v2 = append(v2, data[metaEnd:]...)
+
+	pub2, _, chain, err := ReadRelease(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatalf("ReadRelease(v2): %v", err)
+	}
+	if chain != nil {
+		t.Fatalf("v2 snapshot decoded chain %+v, want nil", chain)
+	}
+	if pub2.Len() != pub.Len() {
+		t.Fatalf("v2 snapshot decoded %d rows, want %d", pub2.Len(), pub.Len())
+	}
+
+	path := filepath.Join(t.TempDir(), "v2.pgsnap")
+	if err := os.WriteFile(path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped(v2): %v", err)
+	}
+	defer m.Close()
+	if m.Chain != nil {
+		t.Fatalf("OpenMapped(v2) chain = %+v, want nil", m.Chain)
+	}
+}
+
+// TestChainRejectsBadBlocks exercises the decoder's validation: corrupt
+// presence flags, impossible release numbers, a parented release 0, and
+// out-of-range bounds must all be refused.
+func TestChainRejectsBadBlocks(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(c *ChainMetadata)
+		want string
+	}{
+		{"parented release 0", func(c *ChainMetadata) { c.Release = 0 }, "release 0"},
+		{"odds ratio below 1", func(c *ChainMetadata) { c.OddsRatio = 0.5 }, "odds-ratio"},
+		{"composed bound above 1", func(c *ChainMetadata) { c.ComposedDelta = 1.5 }, "composed"},
+	}
+	for _, tc := range cases {
+		c := testChain()
+		tc.mut(c)
+		e := &enc{}
+		// Encode leniently (bypassing encodeChain's own checks) the way a
+		// corrupted or hostile file would.
+		e.u8(1)
+		e.u32(uint32(c.Release))
+		e.u32(c.ParentCRC)
+		e.u64(uint64(c.Inserts))
+		e.u64(uint64(c.Deletes))
+		e.u64(uint64(c.SourceRows))
+		e.f64(c.OddsRatio)
+		e.f64(c.ComposedDelta)
+		if _, err := decodeChain(&dec{b: e.b}); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: decodeChain err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := decodeChain(&dec{b: []byte{9}}); err == nil || !strings.Contains(err.Error(), "presence flag") {
+		t.Errorf("bad presence flag: decodeChain err = %v", err)
+	}
+	if _, err := decodeChain(&dec{b: []byte{1, 2, 3}}); err == nil {
+		t.Error("truncated chain block: decodeChain accepted it")
+	}
+	bad := testChain()
+	bad.Release = -1
+	if err := encodeChain(&enc{}, bad); err == nil {
+		t.Error("encodeChain accepted a negative release")
+	}
+}
+
+// TestHeaderCRC pins the release identity: HeaderCRC equals the header's
+// recorded body checksum and changes when any column payload changes
+// (because the directory CRCs live in the body).
+func TestHeaderCRC(t *testing.T) {
+	pub := publishHospital(t, pg.FullDomain)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.pgsnap")
+	if err := Save(path, pub, nil); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	crc, err := HeaderCRC(path)
+	if err != nil {
+		t.Fatalf("HeaderCRC: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, pub, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := binary.LittleEndian.Uint32(buf.Bytes()[16:20])
+	if crc != want {
+		t.Fatalf("HeaderCRC = %08x, header records %08x", crc, want)
+	}
+
+	other := publishHospital(t, pg.KD)
+	path2 := filepath.Join(dir, "other.pgsnap")
+	if err := Save(path2, other, nil); err != nil {
+		t.Fatal(err)
+	}
+	crc2, err := HeaderCRC(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crc2 == crc {
+		t.Fatalf("different publications share header CRC %08x", crc)
+	}
+}

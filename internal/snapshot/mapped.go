@@ -10,7 +10,7 @@ import (
 	"pgpub/internal/query"
 )
 
-// Mapped is a version-2 snapshot opened in place: the publication's row
+// Mapped is a version-2/3 snapshot opened in place: the publication's row
 // columns and the serving index alias the file's pages (read-only mmap on
 // linux/darwin, an in-memory copy elsewhere or when mapping fails). Close
 // releases the mapping — after Close every slice that aliased it is invalid,
@@ -23,6 +23,9 @@ type Mapped struct {
 	Pub *pg.Published
 	// Guarantee is the certified guarantee metadata, nil when absent.
 	Guarantee *pg.GuaranteeMetadata
+	// Chain is the release-chain block, nil for version-2 snapshots and for
+	// version-3 snapshots outside any re-publication chain.
+	Chain *ChainMetadata
 	// Index is the serving index, reconstructed around the mapped arrays
 	// without a rebuild.
 	Index *query.Index
@@ -78,9 +81,9 @@ func newMapped(data []byte, mapped bool, reg *obs.Registry) (*Mapped, error) {
 	if version == versionV1 {
 		return nil, fmt.Errorf("snapshot: version 1 snapshots have no mappable layout; use Load")
 	}
-	if version != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (reader supports %d and %d)",
-			version, versionV1, Version)
+	if version != versionV2 && version != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (reader supports %d, %d and %d)",
+			version, versionV1, versionV2, Version)
 	}
 	n := binary.LittleEndian.Uint64(data[8:16])
 	if n > maxBodyLen || headerLen+int(n) > len(data) {
@@ -99,6 +102,12 @@ func newMapped(data []byte, mapped bool, reg *obs.Registry) (*Mapped, error) {
 	gm, err := decodeGuarantee(d)
 	if err != nil {
 		return nil, err
+	}
+	var chain *ChainMetadata
+	if version == Version {
+		if chain, err = decodeChain(d); err != nil {
+			return nil, err
+		}
 	}
 	rowN, root, dirs, err := decodeV2Meta(d, len(meta))
 	if err != nil {
@@ -140,7 +149,7 @@ func newMapped(data []byte, mapped bool, reg *obs.Registry) (*Mapped, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: mapped serving index invalid: %w", err)
 	}
-	return &Mapped{Pub: out, Guarantee: gm, Index: ix, data: data, mapped: mapped, dirs: dirs, base: base}, nil
+	return &Mapped{Pub: out, Guarantee: gm, Chain: chain, Index: ix, data: data, mapped: mapped, dirs: dirs, base: base}, nil
 }
 
 // Mmapped reports whether the snapshot is actually memory-mapped (false on

@@ -14,11 +14,11 @@
 //
 // # File format
 //
-// Both versions open with the same fixed 20-byte header:
+// Every version opens with the same fixed 20-byte header:
 //
 //	offset  size  field
 //	0       6     magic "PGSNAP"
-//	6       2     format version, little-endian uint16 (writer emits 2)
+//	6       2     format version, little-endian uint16 (writer emits 3)
 //	8       8     body length in bytes, little-endian uint64
 //	16      4     CRC-32C (Castagnoli) of the body, little-endian uint32
 //	20      len   body
@@ -28,15 +28,20 @@
 // single flat little-endian body the header describes: fixed-width integers,
 // IEEE-754 bit patterns for float64, length-prefixed UTF-8 strings.
 //
-// Version 2 (what Write emits) splits the file in two: the header's body is
-// just the *metadata* (schema, parameters, recoding, guarantee, row count,
-// index root, and a block directory), and the rows plus a prebuilt
-// query-serving index follow as page-aligned, length-prefixed,
-// individually-CRC'd column blocks — one contiguous array per logical field.
-// The v2 layout lives in v2.go; the field-level spec is docs/SERVING.md.
-// Page alignment is what makes the mmap serving path (OpenMapped) possible:
-// a cold start maps the file and adopts the arrays in place, paying page
-// faults instead of a parse.
+// Versions 2 and 3 split the file in two: the header's body is just the
+// *metadata* (schema, parameters, recoding, guarantee, row count, index
+// root, and a block directory), and the rows plus a prebuilt query-serving
+// index follow as page-aligned, length-prefixed, individually-CRC'd column
+// blocks — one contiguous array per logical field. The layout lives in
+// v2.go; the field-level spec is docs/SERVING.md. Page alignment is what
+// makes the mmap serving path (OpenMapped) possible: a cold start maps the
+// file and adopts the arrays in place, paying page faults instead of a
+// parse.
+//
+// Version 3 (what Write emits) is version 2 plus one metadata field: an
+// optional release-chain block (ChainMetadata) between the guarantee block
+// and the row count, recording the snapshot's position in a re-publication
+// chain. The field-level spec is docs/REPUBLICATION.md.
 //
 // Either way the encoding is deterministic — the same publication always
 // produces the same bytes — so snapshots can be content-addressed and
@@ -63,10 +68,15 @@ import (
 )
 
 // Version is the current snapshot format version (what Write emits).
-const Version = 2
+const Version = 3
 
 // versionV1 is the legacy flat-body format, still accepted by Read.
 const versionV1 = 1
+
+// versionV2 is the first columnar format, identical to version 3 except
+// that its metadata body has no release-chain block. Read and OpenMapped
+// still accept it (Chain loads as nil).
+const versionV2 = 2
 
 // magic identifies a snapshot file; it never changes across versions.
 var magic = [6]byte{'P', 'G', 'S', 'N', 'A', 'P'}
@@ -80,15 +90,24 @@ const maxBodyLen = 1 << 30
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Write serializes the publication and its optional guarantee metadata to w
-// in the current (version 2) format: metadata body, then the rows and a
+// in the current (version 3) format: metadata body, then the rows and a
 // prebuilt query-serving index as page-aligned column blocks. The guarantee
 // block is what pg.Metadata carries beyond the publication itself; pass nil
-// when no level was certified.
+// when no level was certified. The release-chain block is written absent;
+// use WriteRelease to stamp one.
 func Write(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
+	return WriteRelease(w, pub, g, nil)
+}
+
+// WriteRelease is Write with a release-chain block: the snapshot records its
+// position in a re-publication chain (release number, parent CRC, delta
+// summary, cross-release guarantee accounting). A nil chain is valid and
+// equals Write.
+func WriteRelease(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata, chain *ChainMetadata) error {
 	if pub == nil || pub.Schema == nil {
 		return fmt.Errorf("snapshot: nil publication or schema")
 	}
-	return writeV2(w, pub, g)
+	return writeV2(w, pub, g, chain)
 }
 
 // writeV1 emits the legacy single-body format. It exists so the v1 read
@@ -131,33 +150,41 @@ func makeHeader(version uint16, body []byte) []byte {
 // export, scan estimation, crucial-tuple lookup) works directly on the
 // columns.
 func Read(r io.Reader) (*pg.Published, *pg.GuaranteeMetadata, error) {
+	pub, gm, _, err := ReadRelease(r)
+	return pub, gm, err
+}
+
+// ReadRelease is Read plus the release-chain block: nil for version-1 and
+// version-2 snapshots and for version-3 snapshots outside any chain.
+func ReadRelease(r io.Reader) (*pg.Published, *pg.GuaranteeMetadata, *ChainMetadata, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: reading header (truncated file?): %w", err)
+		return nil, nil, nil, fmt.Errorf("snapshot: reading header (truncated file?): %w", err)
 	}
 	if [6]byte(hdr[:6]) != magic {
-		return nil, nil, fmt.Errorf("snapshot: bad magic %q — not a snapshot file", hdr[:6])
+		return nil, nil, nil, fmt.Errorf("snapshot: bad magic %q — not a snapshot file", hdr[:6])
 	}
 	version := binary.LittleEndian.Uint16(hdr[6:8])
 	n := binary.LittleEndian.Uint64(hdr[8:16])
 	if n > maxBodyLen {
-		return nil, nil, fmt.Errorf("snapshot: body length %d exceeds the %d-byte limit", n, maxBodyLen)
+		return nil, nil, nil, fmt.Errorf("snapshot: body length %d exceeds the %d-byte limit", n, maxBodyLen)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: reading %d-byte body (truncated file?): %w", n, err)
+		return nil, nil, nil, fmt.Errorf("snapshot: reading %d-byte body (truncated file?): %w", n, err)
 	}
 	if sum := crc32.Checksum(body, castagnoli); sum != binary.LittleEndian.Uint32(hdr[16:20]) {
-		return nil, nil, fmt.Errorf("snapshot: body checksum mismatch (corrupted file)")
+		return nil, nil, nil, fmt.Errorf("snapshot: body checksum mismatch (corrupted file)")
 	}
 	switch version {
 	case versionV1:
-		return decodeBody(body)
-	case Version:
-		return readV2(r, body)
+		pub, gm, err := decodeBody(body)
+		return pub, gm, nil, err
+	case versionV2, Version:
+		return readV2(r, body, version == Version)
 	default:
-		return nil, nil, fmt.Errorf("snapshot: unsupported format version %d (reader supports %d and %d)",
-			version, versionV1, Version)
+		return nil, nil, nil, fmt.Errorf("snapshot: unsupported format version %d (reader supports %d, %d and %d)",
+			version, versionV1, versionV2, Version)
 	}
 }
 
@@ -165,12 +192,17 @@ func Read(r io.Reader) (*pg.Published, *pg.GuaranteeMetadata, error) {
 // case: a temporary file in the same directory renamed over the target, so a
 // crash mid-write never leaves a half-written .pgsnap behind.
 func Save(path string, pub *pg.Published, g *pg.GuaranteeMetadata) error {
+	return SaveRelease(path, pub, g, nil)
+}
+
+// SaveRelease is Save with a release-chain block (see WriteRelease).
+func SaveRelease(path string, pub *pg.Published, g *pg.GuaranteeMetadata, chain *ChainMetadata) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".pgsnap-*")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	bw := bufio.NewWriter(tmp)
-	if err := Write(bw, pub, g); err != nil {
+	if err := WriteRelease(bw, pub, g, chain); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -199,6 +231,16 @@ func Load(path string) (*pg.Published, *pg.GuaranteeMetadata, error) {
 	}
 	defer f.Close()
 	return Read(bufio.NewReader(f))
+}
+
+// LoadRelease reads the snapshot at path along with its release-chain block.
+func LoadRelease(path string) (*pg.Published, *pg.GuaranteeMetadata, *ChainMetadata, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	return ReadRelease(bufio.NewReader(f))
 }
 
 func dirOf(path string) string {

@@ -11,11 +11,12 @@ import (
 	"pgpub/internal/query"
 )
 
-// Version-2 layout. The header's body (CRC'd like any version's) is the
+// Version-2/3 layout. The header's body (CRC'd like any version's) is the
 // metadata:
 //
 //	encodePubMeta        schema, algorithm, p, K, recoding
 //	encodeGuarantee      optional guarantee block
+//	encodeChain          optional release-chain block (version 3 only)
 //	u64                  row count N
 //	i32                  serving-index kd-tree root (-1 when empty)
 //	u32                  block count (always len(v2Blocks))
@@ -99,11 +100,11 @@ func v2Payloads(cols *pg.RowColumns, parts query.IndexParts) [][]byte {
 	}
 }
 
-// writeV2 emits the version-2 format: metadata body, then the row columns
-// and the prebuilt serving index as page-aligned blocks. The index is built
-// here — publish time — so every cold start afterwards adopts it instead of
-// rebuilding it.
-func writeV2(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
+// writeV2 emits the current (version 3) format: metadata body, then the row
+// columns and the prebuilt serving index as page-aligned blocks. The index
+// is built here — publish time — so every cold start afterwards adopts it
+// instead of rebuilding it.
+func writeV2(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata, chain *ChainMetadata) error {
 	cols := pub.Columns()
 	if err := cols.Check(); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
@@ -129,6 +130,9 @@ func writeV2(w io.Writer, pub *pg.Published, g *pg.GuaranteeMetadata) error {
 		return err
 	}
 	encodeGuarantee(e, g)
+	if err := encodeChain(e, chain); err != nil {
+		return err
+	}
 	e.u64(uint64(cols.N))
 	e.i32(parts.Root)
 
@@ -315,26 +319,33 @@ func v2IndexParts(p float64, root int32, payloads [][]byte) query.IndexParts {
 	}
 }
 
-// readV2 finishes Read for a version-2 stream: meta is the already
-// CRC-verified metadata body, r is positioned at the first byte after it.
+// readV2 finishes Read for a version-2/3 stream: meta is the already
+// CRC-verified metadata body, r is positioned at the first byte after it,
+// and hasChain says whether the version carries the release-chain block.
 // Every block CRC, every length prefix, all padding and the exact file end
 // are verified; the index blocks are additionally checked structurally (by
 // reconstructing an index from them), though the streaming Read returns only
 // the publication — Write rebuilds the index deterministically, which is
 // what keeps save(load(save)) byte-identical.
-func readV2(r io.Reader, meta []byte) (*pg.Published, *pg.GuaranteeMetadata, error) {
+func readV2(r io.Reader, meta []byte, hasChain bool) (*pg.Published, *pg.GuaranteeMetadata, *ChainMetadata, error) {
 	d := &dec{b: meta}
 	pub, err := decodePubMeta(d)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	gm, err := decodeGuarantee(d)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	var chain *ChainMetadata
+	if hasChain {
+		if chain, err = decodeChain(d); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	rowN, root, dirs, err := decodeV2Meta(d, len(meta))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Consume exactly the bytes the directory describes: like the v1 reader,
 	// Read leaves anything after the snapshot unread, so it can be layered
@@ -344,18 +355,18 @@ func readV2(r io.Reader, meta []byte) (*pg.Published, *pg.GuaranteeMetadata, err
 	base := headerLen + len(meta)
 	data := make([]byte, int(last.off)+prefixLen+int(last.n)-base)
 	if _, err := io.ReadFull(r, data); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: reading column blocks (truncated file?): %w", err)
+		return nil, nil, nil, fmt.Errorf("snapshot: reading column blocks (truncated file?): %w", err)
 	}
 	payloads, err := verifyV2Blocks(data, base, dirs)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	out, err := v2Rows(pub, rowN, payloads)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if _, err := query.NewIndexFromParts(out.Schema, v2IndexParts(out.P, root, payloads)); err != nil {
-		return nil, nil, fmt.Errorf("snapshot: loaded serving index invalid: %w", err)
+		return nil, nil, nil, fmt.Errorf("snapshot: loaded serving index invalid: %w", err)
 	}
-	return out, gm, nil
+	return out, gm, chain, nil
 }
