@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|qserve|repub|miners|perf|serve|shard|all")
+	exp := flag.String("exp", "all", "experiment: table3a|table3b|fig2a|fig2b|fig3a|fig3b|breach|ablation-gen|ablation-tree|cardinality|query|qserve|repub|miners|perf|serve|shard|dp|all")
 	n := flag.Int("n", 100000, "SAL microdata cardinality for utility experiments")
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 1, "repetitions per utility point (averaged)")
@@ -289,9 +289,30 @@ func main() {
 		return nil
 	})
 
+	run("dp", func() error {
+		drep, err := experiments.DPUtility(*n, *seed, 6, 0.3, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DP: COUNT accuracy under the Laplace serving mechanism vs epsilon (k=6, p=0.3, n=%d)\n", *n)
+		fmt.Print(experiments.RenderDP(drep))
+		if *benchout != "" {
+			rep, err := readBenchJSON(*benchout)
+			if err != nil {
+				rep = &experiments.PerfReport{}
+			}
+			rep.DP = drep
+			if err := writeBenchJSON(*benchout, rep); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchout)
+		}
+		return nil
+	})
+
 	switch *exp {
 	case "all", "table3a", "table3b", "fig2a", "fig2b", "fig3a", "fig3b",
-		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "qserve", "repub", "miners", "perf", "serve", "shard":
+		"breach", "ablation-gen", "ablation-tree", "cardinality", "query", "qserve", "repub", "miners", "perf", "serve", "shard", "dp":
 	default:
 		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q\n", *exp)
 		flag.Usage()

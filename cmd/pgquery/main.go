@@ -41,11 +41,13 @@ import (
 	"time"
 
 	"pgpub/internal/dataset"
+	"pgpub/internal/dp"
 	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
 	"pgpub/internal/repub"
 	"pgpub/internal/sal"
+	"pgpub/internal/serve"
 	"pgpub/internal/shard"
 	"pgpub/internal/snapshot"
 )
@@ -63,6 +65,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	workers := flag.Int("workers", 0, "worker goroutines for workload mode (0 = GOMAXPROCS)")
 	chain := flag.String("chain", "", "comma-separated release snapshots in order (r0,r1,...); audit the release chain instead of answering a query")
+	dpBudgets := flag.String("dp-budgets", "", "ε-budget file (pgserve -dp-budgets): add the exact Laplace noise a DP server would to the answer (docs/DP.md)")
+	dpKey := flag.String("dp-key", "", "API key whose noise stream to reproduce (with -dp-budgets)")
+	dpSeed := flag.Int64("dp-seed", 0, "the DP server's root noise seed (with -dp-budgets)")
 	metrics := flag.Bool("metrics", false, "instrument the serving engine and print the counter/latency report to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -70,6 +75,27 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pgquery: %v\n", err)
 		os.Exit(1)
+	}
+
+	var dpo *dpOffline
+	if *dpBudgets != "" {
+		if *dpKey == "" {
+			fail(fmt.Errorf("-dp-budgets needs -dp-key"))
+		}
+		ledger, err := dp.LoadBudgets(*dpBudgets)
+		if err != nil {
+			fail(err)
+		}
+		b := ledger.Key(*dpKey)
+		if b == nil {
+			fail(fmt.Errorf("key %q is not provisioned in %s", *dpKey, *dpBudgets))
+		}
+		dpo = &dpOffline{key: *dpKey, eps: b.PerQuery, seed: *dpSeed}
+	} else if *dpKey != "" || *dpSeed != 0 {
+		fail(fmt.Errorf("-dp-key/-dp-seed need -dp-budgets"))
+	}
+	if dpo != nil && (*workload > 0 || *chain != "") {
+		fail(fmt.Errorf("-dp-budgets reproduces one served answer; drop -workload/-chain"))
 	}
 
 	if *chain != "" {
@@ -137,6 +163,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if dpo != nil {
+			// The coordinator keys its noise on the manifest file's CRC.
+			crc, err := snapshot.FileCRC(*manifest)
+			if err != nil {
+				fail(err)
+			}
+			est = dpo.noised(crc, g.Schema(), q, est)
+		}
 		fmt.Printf("estimated count: %.1f\n", est)
 		return
 	}
@@ -197,7 +231,35 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if dpo != nil {
+		// A single-snapshot server keys its noise on the snapshot header CRC;
+		// a CSV-backed server has no CRC and keys on release 0.
+		var crc uint32
+		if *snap != "" {
+			if crc, err = snapshot.HeaderCRC(*snap); err != nil {
+				fail(err)
+			}
+		}
+		est = dpo.noised(crc, schema, q, est)
+	}
 	fmt.Printf("estimated count: %.1f\n", est)
+}
+
+// dpOffline reproduces a DP server's noise for one COUNT answer: same
+// mechanism, same keying inputs (seed, API key, release CRC, canonical query
+// encoding), so the printed estimate matches the served answer bit for bit —
+// the offline half of the serving equivalence contract (docs/DP.md).
+type dpOffline struct {
+	key  string
+	eps  float64
+	seed int64
+}
+
+func (o *dpOffline) noised(crc uint32, schema *dataset.Schema, q query.CountQuery, est float64) float64 {
+	m := dp.Mechanism{Seed: o.seed, CRC: crc}
+	fmt.Fprintf(os.Stderr, "pgquery: DP mode — reproducing key %q's Laplace draw (ε=%g, release CRC %08x)\n",
+		o.key, o.eps, crc)
+	return est + m.Noise(o.key, serve.QueryKey(schema, "count", q, nil), 0, 1/o.eps)
 }
 
 // parseQuery builds a CountQuery from the -where / -income flags.

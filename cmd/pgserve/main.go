@@ -29,6 +29,8 @@ package main
 import (
 	"bufio"
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"pgpub/internal/dp"
 	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
@@ -62,6 +65,8 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request answer deadline")
 	cacheEntries := flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
 	workers := flag.Int("workers", 0, "batch fan-out goroutines (0 = GOMAXPROCS); batch answers are identical for any value")
+	dpBudgets := flag.String("dp-budgets", "", "per-API-key ε-budget file (one `key ε_total ε_per_query` per line): serve Laplace-noised answers in differential-privacy mode (docs/DP.md)")
+	dpSeed := flag.Int64("dp-seed", 0, "DP noise root seed (0 draws one from crypto/rand; pin only for tests and offline audits)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 	metrics := flag.Bool("metrics", false, "print the counter/latency report to stderr on exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :6060)")
@@ -88,6 +93,26 @@ func main() {
 		defer reg.WriteText(os.Stderr)
 	}
 
+	var dpCfg *serve.DPConfig
+	if *dpBudgets != "" {
+		ledger, err := dp.LoadBudgets(*dpBudgets)
+		if err != nil {
+			fail(err)
+		}
+		seed := *dpSeed
+		if seed == 0 {
+			var b [8]byte
+			if _, err := rand.Read(b[:]); err != nil {
+				fail(fmt.Errorf("drawing DP seed: %w", err))
+			}
+			seed = int64(binary.LittleEndian.Uint64(b[:]))
+		}
+		dpCfg = &serve.DPConfig{Ledger: ledger, Seed: seed}
+		fmt.Fprintf(os.Stderr, "pgserve: DP mode on — %d API keys provisioned, Laplace noise over every aggregate (docs/DP.md)\n", ledger.Len())
+	} else if *dpSeed != 0 {
+		fail(fmt.Errorf("-dp-seed needs -dp-budgets"))
+	}
+
 	if *coordinator {
 		if *manifestPath == "" || *shardURLs == "" {
 			fail(fmt.Errorf("-coordinator requires -manifest and -shard-urls"))
@@ -103,6 +128,10 @@ func main() {
 		for i := range urls {
 			urls[i] = strings.TrimSuffix(strings.TrimSpace(urls[i]), "/")
 		}
+		manCRC, err := snapshot.FileCRC(*manifestPath)
+		if err != nil {
+			fail(err)
+		}
 		coord, err := serve.NewCoordinator(serve.CoordConfig{
 			Manifest:       man,
 			ShardURLs:      urls,
@@ -110,6 +139,9 @@ func main() {
 			HedgeAfter:     *hedge,
 			Metrics:        reg,
 			ManifestSource: func() (*snapshot.Manifest, error) { return snapshot.LoadManifest(*manifestPath) },
+			DP:             dpCfg,
+			CRC:            manCRC,
+			CRCSource:      func() (uint32, error) { return snapshot.FileCRC(*manifestPath) },
 		})
 		if err != nil {
 			fail(err)
@@ -241,6 +273,7 @@ func main() {
 		CRC:            crc,
 		Chain:          chain,
 		Source:         source,
+		DP:             dpCfg,
 	})
 	if err != nil {
 		fail(err)

@@ -18,6 +18,7 @@ var docFiles = []string{
 	"EXPERIMENTS.md",
 	"docs/ARCHITECTURE.md",
 	"docs/ATTACKS.md",
+	"docs/DP.md",
 	"docs/OBSERVABILITY.md",
 	"docs/REPUBLICATION.md",
 	"docs/SERVING.md",
@@ -93,6 +94,8 @@ func TestDocCatalogCoversMetrics(t *testing.T) {
 		"serve.reload.latency", "serve.release",
 		"coord.reload.attempts", "coord.reload.swapped",
 		"coord.reload.rejected", "coord.reload.errors", "coord.release",
+		"dp.queries", "dp.rejected", "dp.spend", "dp.exhausted",
+		"dp.remaining.",
 	} {
 		if !strings.Contains(catalog, name) {
 			t.Errorf("docs/OBSERVABILITY.md: metric %q missing from the catalog", name)
@@ -147,6 +150,28 @@ func TestDocCoversReleaseChain(t *testing.T) {
 	} {
 		if !strings.Contains(spec, fact) {
 			t.Errorf("docs/REPUBLICATION.md: chain fact %q missing from the spec", fact)
+		}
+	}
+}
+
+// TestDocCoversDP pins the differential-privacy serving spec to the code:
+// the flags, endpoints, headers, status codes and accounting facts a tenant
+// or an auditing client relies on must stay in docs/DP.md.
+func TestDocCoversDP(t *testing.T) {
+	data, err := os.ReadFile("docs/DP.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := string(data)
+	for _, fact := range []string{
+		"-dp-budgets", "-dp-seed", "-dp-key",
+		"X-API-Key", "X-PG-Release", "/v1/dp/budget",
+		"401", "403", "429", "Retry-After",
+		"Laplace", "ε_total", "ε_per_query", "ε/2",
+		"crypto/rand", "splitmix64", "laplace",
+	} {
+		if !strings.Contains(spec, fact) {
+			t.Errorf("docs/DP.md: fact %q missing from the spec", fact)
 		}
 	}
 }

@@ -32,6 +32,12 @@ type client struct {
 	// Pointers so forShard copies share the totals.
 	queries *atomic.Int64 // logical queries answered (retries excluded)
 	retries *atomic.Int64
+	// release is the X-PG-Release value of the first answer (shared across
+	// forShard copies). A reconstruction stitches many answers together; if
+	// the server hot-swaps mid-session the observations span two releases and
+	// the stitched fingerprints are garbage, so the client fails loudly
+	// instead.
+	release *atomic.Pointer[string]
 
 	met struct {
 		queries *obs.Counter
@@ -57,6 +63,7 @@ func newClient(base string, workers int, reg *obs.Registry) *client {
 		},
 		queries: &atomic.Int64{},
 		retries: &atomic.Int64{},
+		release: &atomic.Pointer[string]{},
 	}
 	c.met.queries = reg.Counter("fleet.queries")
 	c.met.retries = reg.Counter("fleet.retries")
@@ -128,6 +135,9 @@ func (c *client) query(req serve.QueryRequest) (float64, error) {
 			if derr != nil {
 				return 0, fmt.Errorf("attackfleet: decoding answer: %w", derr)
 			}
+			if err := c.checkRelease(resp.Header.Get("X-PG-Release")); err != nil {
+				return 0, err
+			}
 			return qr.Estimate, nil
 		case http.StatusTooManyRequests, http.StatusGatewayTimeout:
 			lastErr = fmt.Errorf("server returned %d", resp.StatusCode)
@@ -139,6 +149,23 @@ func (c *client) query(req serve.QueryRequest) (float64, error) {
 		}
 	}
 	return 0, fmt.Errorf("attackfleet: query failed after %d attempts: %w", queryAttempts, lastErr)
+}
+
+// checkRelease compares an answer's X-PG-Release header against the first
+// one this session observed. A change means the server hot-swapped while the
+// attack was collecting observations — they no longer describe one release.
+// Servers without a release identity (CSV-backed, CRC unknown) send no
+// header; those sessions are unchecked.
+func (c *client) checkRelease(rel string) error {
+	if rel == "" {
+		return nil
+	}
+	if !c.release.CompareAndSwap(nil, &rel) {
+		if first := *c.release.Load(); first != rel {
+			return fmt.Errorf("attackfleet: the server hot-swapped mid-session (release %s, session started on %s); observations span two releases — restart the attack", rel, first)
+		}
+	}
+	return nil
 }
 
 // rawPost issues one request with no retry and classifies the outcome — the

@@ -1,0 +1,182 @@
+package dp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"pgpub/internal/obs"
+)
+
+// Budget is one API key's ε account: a lifetime total, a per-query price,
+// and the atomically-tracked amount already spent. Spend is lock-free (a
+// CAS loop over the float bits), so the hot path never serializes tenants
+// behind a mutex.
+type Budget struct {
+	// Key is the API key this budget belongs to.
+	Key string
+	// Total is ε_total — the lifetime budget. It never replenishes; when it
+	// is gone the key is done until the operator provisions a new ledger.
+	Total float64
+	// PerQuery is ε_per_query — the price of one answered query.
+	PerQuery float64
+
+	spent     atomic.Uint64 // float64 bits of ε spent so far
+	remaining *obs.Gauge    // dp.remaining.<key>, in micro-ε; nil without metrics
+}
+
+// Spend atomically charges cost against the budget. It grants only charges
+// that fit entirely (spent + cost ≤ Total, exact float comparison — the
+// accounting is conservative near the boundary) and reports the ε remaining
+// after the grant, or the untouched remainder on refusal. Concurrent
+// spenders can never jointly overshoot Total: the CAS retries until this
+// spender's view is consistent.
+func (b *Budget) Spend(cost float64) (ok bool, remaining float64) {
+	if cost < 0 || math.IsNaN(cost) {
+		return false, b.Remaining()
+	}
+	for {
+		old := b.spent.Load()
+		s := math.Float64frombits(old)
+		if s+cost > b.Total {
+			return false, b.Total - s
+		}
+		if b.spent.CompareAndSwap(old, math.Float64bits(s+cost)) {
+			// The gauge is a last-write-wins operational view and may lag
+			// briefly under contention; Remaining() is the authoritative value.
+			b.remaining.Set(int64(b.Remaining() * 1e6))
+			return true, b.Total - (s + cost)
+		}
+	}
+}
+
+// Spent reports the ε charged so far.
+func (b *Budget) Spent() float64 { return math.Float64frombits(b.spent.Load()) }
+
+// Remaining reports the ε left.
+func (b *Budget) Remaining() float64 { return b.Total - b.Spent() }
+
+// Ledger is the per-key budget table a DP server charges against. It is
+// immutable after parsing except for the atomic spend counters, and it
+// deliberately belongs to the server process, not the serving release:
+// hot-swapping to the next snapshot re-keys the noise but never refunds ε.
+type Ledger struct {
+	keys map[string]*Budget
+
+	met struct {
+		spend     *obs.Histogram // dp.spend, micro-ε per granted charge
+		exhausted *obs.Counter   // dp.exhausted, refused charges
+	}
+}
+
+// Key returns the named key's budget, or nil for unknown keys.
+func (l *Ledger) Key(key string) *Budget { return l.keys[key] }
+
+// Len reports the number of provisioned API keys.
+func (l *Ledger) Len() int { return len(l.keys) }
+
+// Keys lists the provisioned API keys in sorted order.
+func (l *Ledger) Keys() []string {
+	out := make([]string, 0, len(l.keys))
+	for k := range l.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Charge is Spend with the ledger's instrumentation: granted charges feed
+// the dp.spend histogram and the key's remaining gauge, refusals count as
+// exhaustions.
+func (l *Ledger) Charge(b *Budget, cost float64) (ok bool, remaining float64) {
+	ok, remaining = b.Spend(cost)
+	if ok {
+		l.met.spend.Observe(int64(cost * 1e6))
+	} else {
+		l.met.exhausted.Inc()
+	}
+	return ok, remaining
+}
+
+// Instrument registers the ledger's dp.* metrics: the spend histogram, the
+// exhaustion counter, and one dp.remaining.<key> gauge per provisioned key
+// (initialized to the full budget). nil-safe like all obs instruments.
+func (l *Ledger) Instrument(reg *obs.Registry) {
+	l.met.spend = reg.Histogram("dp.spend", "microeps")
+	l.met.exhausted = reg.Counter("dp.exhausted")
+	for _, k := range l.Keys() {
+		b := l.keys[k]
+		b.remaining = reg.Gauge("dp.remaining." + k)
+		b.remaining.Set(int64(b.Remaining() * 1e6))
+	}
+}
+
+// ParseBudgets reads a budgets file: one `key ε_total ε_per_query` triple
+// per line, '#' comments and blank lines ignored. Keys must be unique and
+// whitespace-free; both ε values must be positive and finite, with
+// ε_per_query ≤ ε_total.
+func ParseBudgets(r io.Reader) (*Ledger, error) {
+	l := &Ledger{keys: make(map[string]*Budget)}
+	sc := bufio.NewScanner(r)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dp: budgets line %d: want `key ε_total ε_per_query`, got %d fields", line, len(fields))
+		}
+		key := fields[0]
+		if _, dup := l.keys[key]; dup {
+			return nil, fmt.Errorf("dp: budgets line %d: duplicate key %q", line, key)
+		}
+		total, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dp: budgets line %d: ε_total %q: %v", line, fields[1], err)
+		}
+		per, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dp: budgets line %d: ε_per_query %q: %v", line, fields[2], err)
+		}
+		switch {
+		case !(total > 0) || math.IsInf(total, 0):
+			return nil, fmt.Errorf("dp: budgets line %d (%s): ε_total must be positive and finite, got %v", line, key, total)
+		case !(per > 0) || math.IsInf(per, 0):
+			return nil, fmt.Errorf("dp: budgets line %d (%s): ε_per_query must be positive and finite, got %v", line, key, per)
+		case per > total:
+			return nil, fmt.Errorf("dp: budgets line %d (%s): ε_per_query %v exceeds ε_total %v — no query could ever be answered", line, key, per, total)
+		}
+		l.keys[key] = &Budget{Key: key, Total: total, PerQuery: per}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dp: reading budgets: %w", err)
+	}
+	if len(l.keys) == 0 {
+		return nil, fmt.Errorf("dp: budgets file provisions no keys")
+	}
+	return l, nil
+}
+
+// LoadBudgets parses the budgets file at path (the -dp-budgets flag).
+func LoadBudgets(path string) (*Ledger, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	defer f.Close()
+	l, err := ParseBudgets(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}

@@ -1,0 +1,164 @@
+package dp
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pgpub/internal/obs"
+)
+
+func TestParseBudgets(t *testing.T) {
+	l, err := ParseBudgets(strings.NewReader(`
+# analysts
+alice 0.5 0.1   # five queries
+bob   100 0.25
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("parsed %d keys, want 2", l.Len())
+	}
+	if got := l.Keys(); got[0] != "alice" || got[1] != "bob" {
+		t.Errorf("Keys() = %v", got)
+	}
+	a := l.Key("alice")
+	if a == nil || a.Total != 0.5 || a.PerQuery != 0.1 {
+		t.Errorf("alice = %+v", a)
+	}
+	if l.Key("mallory") != nil {
+		t.Errorf("unknown key resolved")
+	}
+
+	for _, bad := range []string{
+		"",                           // no keys
+		"alice 0.5",                  // missing field
+		"alice 0.5 0.1 extra",        // trailing field
+		"alice 0.5 0.1\nalice 1 0.1", // duplicate
+		"alice zero 0.1",             // unparsable total
+		"alice 0.5 tiny",             // unparsable per-query
+		"alice 0 0.1",                // zero total
+		"alice -1 0.1",               // negative total
+		"alice 0.5 0",                // zero per-query
+		"alice 0.5 0.6",              // per-query above total
+		"alice +Inf 1",               // infinite total
+	} {
+		if _, err := ParseBudgets(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseBudgets(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSpendBoundary walks a budget to its edge with binary-exact values so
+// float arithmetic is exact: 16.0 total at 0.25 per spend grants exactly 64
+// charges, the 64th reports remaining == 0, and the 65th is refused without
+// touching the account.
+func TestSpendBoundary(t *testing.T) {
+	b := &Budget{Key: "k", Total: 16, PerQuery: 0.25}
+	for i := 1; i <= 64; i++ {
+		ok, rem := b.Spend(0.25)
+		if !ok {
+			t.Fatalf("spend %d refused with %v remaining", i, b.Remaining())
+		}
+		if want := 16 - 0.25*float64(i); rem != want {
+			t.Fatalf("spend %d: remaining %v, want %v", i, rem, want)
+		}
+	}
+	if ok, rem := b.Spend(0.25); ok || rem != 0 {
+		t.Fatalf("spend past the boundary granted (ok=%v rem=%v)", ok, rem)
+	}
+	if b.Spent() != 16 {
+		t.Fatalf("spent %v, want exactly 16", b.Spent())
+	}
+}
+
+// TestBudgetBurst is the -race accounting test: many goroutines spending
+// concurrently never over-spend ε_total, exactly Total/PerQuery charges are
+// granted, and exactly one of them observes the exhaustion boundary
+// (remaining == 0). Run with -race this also proves the CAS loop is clean.
+func TestBudgetBurst(t *testing.T) {
+	const (
+		goroutines = 64
+		perQuery   = 0.25
+		total      = 16.0 // exactly 64 grants, binary-exact arithmetic
+	)
+	reg := obs.NewRegistry()
+	l, err := ParseBudgets(strings.NewReader("burst 16 0.25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Instrument(reg)
+	b := l.Key("burst")
+
+	var granted, sawZero atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ok, rem := l.Charge(b, perQuery)
+				if !ok {
+					return
+				}
+				granted.Add(1)
+				if rem == 0 {
+					sawZero.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if want := int64(total / perQuery); granted.Load() != want {
+		t.Errorf("%d charges granted, want %d", granted.Load(), want)
+	}
+	if sawZero.Load() != 1 {
+		t.Errorf("%d spenders observed the exhaustion boundary, want exactly 1", sawZero.Load())
+	}
+	if b.Spent() != total {
+		t.Errorf("spent %v, want exactly %v — over- or under-spend under concurrency", b.Spent(), total)
+	}
+	if got := reg.Counter("dp.exhausted").Value(); got < goroutines {
+		t.Errorf("dp.exhausted = %d, want ≥ %d (every goroutine ends on a refusal)", got, goroutines)
+	}
+	if got := reg.Histogram("dp.spend", "microeps").Count(); got != int64(total/perQuery) {
+		t.Errorf("dp.spend recorded %d charges, want %d", got, int64(total/perQuery))
+	}
+}
+
+// TestLedgerMetricsSequential pins the gauge/histogram bookkeeping where it
+// is exact: with one spender, dp.remaining tracks the account and dp.spend
+// accumulates the charges in micro-ε.
+func TestLedgerMetricsSequential(t *testing.T) {
+	reg := obs.NewRegistry()
+	l, err := ParseBudgets(strings.NewReader("seq 1 0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Instrument(reg)
+	g := reg.Gauge("dp.remaining.seq")
+	if g.Value() != 1_000_000 {
+		t.Fatalf("initial gauge %d µε, want 1000000", g.Value())
+	}
+	b := l.Key("seq")
+	l.Charge(b, 0.5)
+	if g.Value() != 500_000 {
+		t.Errorf("gauge %d µε after one charge, want 500000", g.Value())
+	}
+	l.Charge(b, 0.5)
+	if g.Value() != 0 {
+		t.Errorf("gauge %d µε after exhaustion, want 0", g.Value())
+	}
+	if ok, _ := l.Charge(b, 0.5); ok {
+		t.Errorf("charge granted past exhaustion")
+	}
+	if got := reg.Counter("dp.exhausted").Value(); got != 1 {
+		t.Errorf("dp.exhausted = %d, want 1", got)
+	}
+	if got := reg.Histogram("dp.spend", "microeps").Sum(); got != 1_000_000 {
+		t.Errorf("dp.spend sum = %d µε, want 1000000", got)
+	}
+}

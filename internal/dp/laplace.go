@@ -1,0 +1,19 @@
+package dp
+
+import "math"
+
+// LaplaceQuantile is the inverse CDF of the zero-centered Laplace
+// distribution with scale b:
+//
+//	Q(u) = b·ln(2u)        for u < 1/2
+//	Q(u) = -b·ln(2(1-u))   for u ≥ 1/2
+//
+// so Q(1/2) = 0, Q(3/4) = b·ln 2 and Q(0.99) = b·ln 50, with the symmetric
+// negatives below the median. Feeding it a uniform u ∈ (0,1) yields a
+// Laplace(0, b) sample — the inverse-CDF sampler behind Mechanism.Noise.
+func LaplaceQuantile(u, b float64) float64 {
+	if u < 0.5 {
+		return b * math.Log(2*u)
+	}
+	return -b * math.Log(2*(1-u))
+}

@@ -65,6 +65,9 @@ type PerfReport struct {
 	// releases); empty until that experiment has been run against this
 	// report.
 	Repub []*attackfleet.MultiReleaseReport `json:"repub,omitempty"`
+	// DP holds the DP-vs-PG utility study (pgbench -exp dp); nil until that
+	// experiment has been run against this report.
+	DP *DPReport `json:"dp,omitempty"`
 }
 
 // MergePerf folds a fresh perf run into a tracked report: a run block
@@ -77,7 +80,7 @@ func MergePerf(file, run *PerfReport) (*PerfReport, error) {
 	if file == nil || len(file.Results) == 0 && file.GoVersion == "" {
 		out := *run
 		if file != nil {
-			out.Serve, out.Fleet, out.Shard, out.Repub = file.Serve, file.Fleet, file.Shard, file.Repub
+			out.Serve, out.Fleet, out.Shard, out.Repub, out.DP = file.Serve, file.Fleet, file.Shard, file.Repub, file.DP
 		}
 		return &out, nil
 	}

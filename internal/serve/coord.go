@@ -3,16 +3,20 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pgpub/internal/dp"
 	"pgpub/internal/obs"
 	"pgpub/internal/snapshot"
 )
@@ -62,6 +66,18 @@ type CoordConfig struct {
 	// the new manifest and re-validates the fleet against it. nil disables
 	// reloading.
 	ManifestSource func() (*snapshot.Manifest, error)
+	// DP enables the differential-privacy serving mode at the coordinator
+	// (docs/DP.md). The budget is charged once per client query — never per
+	// shard — and the noise is added once, to the merged answer; validate
+	// refuses shards that are themselves in DP mode. nil serves exact merged
+	// answers, byte for byte as before.
+	DP *DPConfig
+	// CRC identifies the sharded release for DP noise keying: the manifest
+	// file's CRC (snapshot.FileCRC). 0 leaves answers keyed to release 0.
+	CRC uint32
+	// CRCSource recomputes CRC on reload, alongside ManifestSource. nil
+	// keeps the configured CRC across reloads.
+	CRCSource func() (uint32, error)
 }
 
 // Coordinator fans queries out to shard servers and merges their answers.
@@ -73,11 +89,16 @@ type Coordinator struct {
 	hedgeAfter time.Duration
 	hc         *http.Client
 	manSource  func() (*snapshot.Manifest, error)
+	crcSource  func() (uint32, error)
 	reloadMu   sync.Mutex // serializes Reload; the query path never takes it
+	// dp lives on the Coordinator, like Server.dp: a manifest reload re-keys
+	// the noise (via crc) but never refunds spent ε.
+	dp *serverDP
 
 	mu   sync.RWMutex
 	man  *snapshot.Manifest
 	meta MetadataResponse // merged, filled by Start and replaced by Reload
+	crc  uint32           // manifest file CRC — the DP release identity
 
 	met struct {
 		reqQuery    *obs.Counter
@@ -124,6 +145,12 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		hedgeAfter: cfg.HedgeAfter,
 		hc:         cfg.Client,
 		manSource:  cfg.ManifestSource,
+		crcSource:  cfg.CRCSource,
+		crc:        cfg.CRC,
+	}
+	var err error
+	if c.dp, err = newServerDP(cfg.DP, cfg.Metrics); err != nil {
+		return nil, err
 	}
 	if c.timeout <= 0 {
 		c.timeout = 5 * time.Second
@@ -164,6 +191,13 @@ func (c *Coordinator) manifest() *snapshot.Manifest {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.man
+}
+
+// releaseCRC returns the serving release's DP noise identity.
+func (c *Coordinator) releaseCRC() uint32 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.crc
 }
 
 // Start validates every shard server against the manifest over HTTP: each
@@ -211,6 +245,9 @@ func (c *Coordinator) validate(ctx context.Context, man *snapshot.Manifest) (Met
 		md := metas[i].md
 		if md.Shards != 0 {
 			return merged, fmt.Errorf("serve: shard %d (%s) is itself a coordinator", i, c.shards[i].url)
+		}
+		if md.DP != nil {
+			return merged, fmt.Errorf("serve: shard %d (%s) is itself in DP mode — noise is added exactly once, at the coordinator; run shard servers exact", i, c.shards[i].url)
 		}
 		if md.P != man.P || md.K != man.K || md.Algorithm != man.Algorithm {
 			return merged, fmt.Errorf("serve: shard %d (%s) serves (%s, p=%v, k=%d), manifest says (%s, p=%v, k=%d)",
@@ -294,8 +331,14 @@ func (c *Coordinator) reload(ctx context.Context) (*ReloadResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	crc := c.releaseCRC()
+	if c.crcSource != nil {
+		if crc, err = c.crcSource(); err != nil {
+			return nil, fmt.Errorf("serve: reloading manifest CRC: %w", err)
+		}
+	}
 	c.mu.Lock()
-	c.man, c.meta = man, merged
+	c.man, c.meta, c.crc = man, merged, crc
 	c.mu.Unlock()
 	c.setReleaseGauge(merged)
 	res := &ReloadResult{Release: -1, Rows: merged.Rows}
@@ -353,6 +396,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/metadata", c.handleMetadata)
 	mux.HandleFunc("/v1/shards", c.handleShards)
 	mux.HandleFunc("/v1/admin/reload", c.handleReload)
+	if c.dp != nil {
+		mux.HandleFunc("/v1/dp/budget", c.dp.handleBudget)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -384,6 +430,7 @@ func (c *Coordinator) handleMetadata(w http.ResponseWriter, _ *http.Request) {
 	c.mu.RLock()
 	md := c.meta
 	c.mu.RUnlock()
+	md.DP = c.dp.metadata()
 	writeJSON(w, http.StatusOK, md)
 }
 
@@ -461,6 +508,15 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		c.clientError(w, fmt.Errorf("unknown op %q (want count, naive, sum or avg)", op))
 		return
 	}
+	crc := c.releaseCRC()
+	setReleaseHeader(w, crc)
+	var budget *dp.Budget
+	if c.dp != nil {
+		var ok bool
+		if budget, ok = c.dp.authorize(w, r); !ok {
+			return
+		}
+	}
 
 	// Pinned: answer from one shard alone, verbatim. The coordinator does
 	// not validate the query body — the shard server owns the schema.
@@ -471,23 +527,60 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Shard = nil
+		fanOp := op
+		if c.dp != nil && op == "avg" {
+			// In DP mode a pinned avg travels as sum, like the fan-out path:
+			// the exact shard returns its compose pair even for an empty
+			// region, and only the noised quotient — computed after the charge
+			// — decides emptiness.
+			fanOp = "sum"
+		}
+		req.Op = fanOp
 		body, err := json.Marshal(&req)
 		if err != nil {
 			c.clientError(w, err)
 			return
 		}
-		raw, err := c.callShard(r.Context(), c.shards[s], "/v1/query", body)
+		reply, err := c.callShard(r.Context(), c.shards[s], "/v1/query", body)
 		if err != nil {
 			c.forwardShardFailure(w, s, err)
 			return
 		}
 		var resp QueryResponse
-		if err := json.Unmarshal(raw, &resp); err != nil {
+		if err := json.Unmarshal(reply.body, &resp); err != nil {
 			c.shardError(w, s, fmt.Errorf("undecodable response: %w", err))
 			return
 		}
 		resp.Source = "shard"
-		writeJSON(w, http.StatusOK, resp)
+		if c.dp == nil {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if reply.qkey == "" {
+			c.shardError(w, s, fmt.Errorf("response lacks the DP keying headers"))
+			return
+		}
+		rem, ok := c.dp.charge(w, budget, budget.PerQuery)
+		if !ok {
+			return
+		}
+		val := answerVal{est: resp.Estimate}
+		if resp.Sum != nil && resp.Weight != nil {
+			val.sum, val.weight, val.parts = *resp.Sum, *resp.Weight, true
+		}
+		// The shard prefix keys a pinned answer's noise apart from the
+		// whole-release answer to the same query — they are different
+		// observations and must not share a draw.
+		noised, err := c.dp.noised(dpAnswer{
+			crc: crc, apiKey: budget.Key,
+			qkey: fmt.Sprintf("shard:%d|", s) + dpQueryKey(op, fanOp, reply.qkey),
+			op:   op, eps: budget.PerQuery, sens: reply.sens, rem: rem, source: "shard",
+		}, val)
+		if err != nil {
+			c.clientError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, noised)
 		return
 	}
 
@@ -505,7 +598,7 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	raws, failed, err := c.fanOut(r.Context(), "/v1/query", body)
+	replies, failed, err := c.fanOut(r.Context(), "/v1/query", body)
 	c.met.fanout.Observe(time.Since(t0).Nanoseconds())
 	if err != nil {
 		c.forwardShardFailure(w, failed, err)
@@ -514,9 +607,9 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	merged := QueryResponse{Op: op, Source: "merged"}
 	var sum, weight float64
-	for s, raw := range raws {
+	for s, reply := range replies {
 		var resp QueryResponse
-		if err := json.Unmarshal(raw, &resp); err != nil {
+		if err := json.Unmarshal(reply.body, &resp); err != nil {
 			c.shardError(w, s, fmt.Errorf("undecodable response: %w", err))
 			return
 		}
@@ -529,6 +622,31 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 			sum += *resp.Sum
 			weight += *resp.Weight
 		}
+	}
+	if c.dp != nil {
+		// Exactly one charge and one noise application per client query, no
+		// matter how many shards answered it. The shards agree on the
+		// canonical key (one schema), so any reply's headers key the noise —
+		// which is also the key pgquery's offline DP mode derives, keeping
+		// coordinator and offline answers bit-identical.
+		if replies[0].qkey == "" {
+			c.shardError(w, 0, fmt.Errorf("response lacks the DP keying headers"))
+			return
+		}
+		rem, ok := c.dp.charge(w, budget, budget.PerQuery)
+		if !ok {
+			return
+		}
+		noised, err := c.dp.noised(dpAnswer{
+			crc: crc, apiKey: budget.Key, qkey: dpQueryKey(op, fanOp, replies[0].qkey),
+			op: op, eps: budget.PerQuery, sens: replies[0].sens, rem: rem, source: "merged",
+		}, answerVal{est: merged.Estimate, sum: sum, weight: weight})
+		if err != nil {
+			c.clientError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, noised)
+		return
 	}
 	if fanOp == "sum" {
 		merged.Sum, merged.Weight = &sum, &weight
@@ -543,11 +661,29 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, merged)
 }
 
+// dpQueryKey reconstructs the client's requested op key from a shard reply:
+// when avg fans out as sum, the shard's canonical key carries the fanned op,
+// and only the leading op tag differs from the key the client's query
+// encodes to (and that pgquery's offline DP mode derives).
+func dpQueryKey(op, fanOp, shardKey string) string {
+	if op != fanOp {
+		return op + strings.TrimPrefix(shardKey, fanOp)
+	}
+	return shardKey
+}
+
 func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	c.met.reqBatch.Inc()
 	if r.Method != http.MethodPost {
 		c.met.errors.Inc()
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	if c.dp != nil {
+		// A batch fans out to every shard and merges per-query — workable,
+		// but the per-query keying and accounting mirror /v1/query exactly,
+		// so DP mode keeps the one audited path instead of a second copy.
+		c.clientError(w, fmt.Errorf("DP mode: /v1/batch is not available at a coordinator; send queries individually"))
 		return
 	}
 	var req BatchRequest
@@ -567,7 +703,7 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	raws, failed, err := c.fanOut(r.Context(), "/v1/batch", body)
+	replies, failed, err := c.fanOut(r.Context(), "/v1/batch", body)
 	c.met.fanout.Observe(time.Since(t0).Nanoseconds())
 	if err != nil {
 		c.forwardShardFailure(w, failed, err)
@@ -575,9 +711,9 @@ func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	merged := BatchResponse{Estimates: make([]float64, len(req.Queries))}
-	for s, raw := range raws {
+	for s, reply := range replies {
 		var resp BatchResponse
-		if err := json.Unmarshal(raw, &resp); err != nil {
+		if err := json.Unmarshal(reply.body, &resp); err != nil {
 			c.shardError(w, s, fmt.Errorf("undecodable response: %w", err))
 			return
 		}
@@ -617,18 +753,27 @@ func (c *Coordinator) forwardShardFailure(w http.ResponseWriter, shard int, err 
 // ---------------------------------------------------------------------------
 // Shard calls: timeout + hedging
 
-// fanOut posts body to path on every shard concurrently and returns the raw
-// response bodies in shard order. On any shard failure it returns that
-// shard's index and error (the lowest-indexed failure when several die).
-func (c *Coordinator) fanOut(ctx context.Context, path string, body []byte) (raws [][]byte, failedShard int, err error) {
-	raws = make([][]byte, len(c.shards))
+// shardReply is one shard's successful answer: the raw response body plus
+// the DP keying headers the shard attached (empty outside DP concerns — the
+// headers are always sent by in-repo shard servers, but only DP reads them).
+type shardReply struct {
+	body []byte
+	qkey string  // decoded X-PG-Query-Key: the shard's canonical query encoding
+	sens float64 // X-PG-Sensitivity: the shard's opSensitivity for the query
+}
+
+// fanOut posts body to path on every shard concurrently and returns the
+// replies in shard order. On any shard failure it returns that shard's index
+// and error (the lowest-indexed failure when several die).
+func (c *Coordinator) fanOut(ctx context.Context, path string, body []byte) (replies []shardReply, failedShard int, err error) {
+	replies = make([]shardReply, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for i, sh := range c.shards {
 		wg.Add(1)
 		go func(i int, sh *coordShard) {
 			defer wg.Done()
-			raws[i], errs[i] = c.callShard(ctx, sh, path, body)
+			replies[i], errs[i] = c.callShard(ctx, sh, path, body)
 		}(i, sh)
 	}
 	wg.Wait()
@@ -637,19 +782,19 @@ func (c *Coordinator) fanOut(ctx context.Context, path string, body []byte) (raw
 			return nil, i, e
 		}
 	}
-	return raws, -1, nil
+	return replies, -1, nil
 }
 
 // callShard posts body to one shard under the per-shard timeout, hedging
 // with a duplicate request when the first attempt outlives the shard's
 // observed p95 (first response wins). Attempts share the context, so the
 // loser is abandoned, not awaited.
-func (c *Coordinator) callShard(ctx context.Context, sh *coordShard, path string, body []byte) ([]byte, error) {
+func (c *Coordinator) callShard(ctx context.Context, sh *coordShard, path string, body []byte) (shardReply, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 
 	type res struct {
-		b      []byte
+		b      shardReply
 		err    error
 		hedged bool
 	}
@@ -677,7 +822,7 @@ func (c *Coordinator) callShard(ctx context.Context, sh *coordShard, path string
 		case <-ctx.Done():
 			c.met.shardTO.Inc()
 			sh.errors.Add(1)
-			return nil, fmt.Errorf("no answer within %v: %w", c.timeout, ctx.Err())
+			return shardReply{}, fmt.Errorf("no answer within %v: %w", c.timeout, ctx.Err())
 		case <-hedgeC:
 			hedgeC = nil
 			c.met.hedgeFired.Inc()
@@ -695,7 +840,7 @@ func (c *Coordinator) callShard(ctx context.Context, sh *coordShard, path string
 			if errors.As(r.err, &se) && se.status >= 400 && se.status < 500 {
 				// The shard rejected the query. A duplicate would be
 				// rejected identically — no hedge, and not a shard failure.
-				return nil, r.err
+				return shardReply{}, r.err
 			}
 			if firstErr == nil {
 				firstErr = r.err
@@ -714,7 +859,7 @@ func (c *Coordinator) callShard(ctx context.Context, sh *coordShard, path string
 			}
 			c.met.shardErrors.Inc()
 			sh.errors.Add(1)
-			return nil, firstErr
+			return shardReply{}, firstErr
 		}
 	}
 }
@@ -744,20 +889,20 @@ func (e *shardCallError) Error() string {
 	return fmt.Sprintf("HTTP %d: %s", e.status, e.msg)
 }
 
-func (c *Coordinator) post(ctx context.Context, url string, body []byte) ([]byte, error) {
+func (c *Coordinator) post(ctx context.Context, url string, body []byte) (shardReply, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return shardReply{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return shardReply{}, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return shardReply{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
@@ -765,9 +910,20 @@ func (c *Coordinator) post(ctx context.Context, url string, body []byte) ([]byte
 		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return nil, &shardCallError{status: resp.StatusCode, msg: msg}
+		return shardReply{}, &shardCallError{status: resp.StatusCode, msg: msg}
 	}
-	return raw, nil
+	reply := shardReply{body: raw}
+	if h := resp.Header.Get("X-PG-Query-Key"); h != "" {
+		if k, err := hex.DecodeString(h); err == nil {
+			reply.qkey = string(k)
+		}
+	}
+	if h := resp.Header.Get("X-PG-Sensitivity"); h != "" {
+		if s, err := strconv.ParseFloat(h, 64); err == nil {
+			reply.sens = s
+		}
+	}
+	return reply, nil
 }
 
 // ---------------------------------------------------------------------------

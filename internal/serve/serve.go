@@ -28,6 +28,7 @@ package serve
 import (
 	"context"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,11 +36,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pgpub/internal/dataset"
+	"pgpub/internal/dp"
 	"pgpub/internal/obs"
 	"pgpub/internal/pg"
 	"pgpub/internal/query"
@@ -101,6 +104,11 @@ type Config struct {
 	// release of the chain; nil disables reloading — /v1/admin/reload and
 	// SIGHUP are refused with a clear error instead of swapping.
 	Source func() (*ReleaseData, error)
+	// DP enables the differential-privacy serving mode (docs/DP.md): every
+	// aggregate answer is Laplace-noised and charged against the requesting
+	// API key's ε-budget. nil serves exact answers — today's mode, byte for
+	// byte.
+	DP *DPConfig
 }
 
 // release is the per-release serving state: everything a request answers
@@ -139,6 +147,9 @@ type Server struct {
 	cacheEntries int
 	source       func() (*ReleaseData, error)
 	reloadMu     sync.Mutex // serializes Reload; never held by the query path
+	// dp lives on the Server, not the release: a hot-swap re-keys the noise
+	// (the new CRC feeds every draw) but never refunds spent ε.
+	dp *serverDP
 
 	met struct {
 		reqQuery    *obs.Counter
@@ -198,6 +209,10 @@ func New(cfg Config) (*Server, error) {
 		workers: cfg.Workers,
 		source:  cfg.Source,
 	}
+	var err error
+	if s.dp, err = newServerDP(cfg.DP, cfg.Metrics); err != nil {
+		return nil, err
+	}
 	if s.timeout <= 0 {
 		s.timeout = 10 * time.Second
 	}
@@ -249,6 +264,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/metadata", s.handleMetadata)
 	mux.HandleFunc("/v1/admin/reload", s.handleReload)
+	if s.dp != nil {
+		mux.HandleFunc("/v1/dp/budget", s.dp.handleBudget)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -338,13 +356,16 @@ type QueryRequest struct {
 // every shard) or "shard" (pinned to one). For sum and avg, Sum and Weight
 // carry the compose pair (inverted region sum, region weight) the estimate
 // was assembled from — the fields a coordinator merges, since AVG is not
-// additive but Σ sums / Σ weights is exact.
+// additive but Σ sums / Σ weights is exact. In DP mode the compose pair is
+// withheld (it would leak more than the charged ε) and DP carries the
+// accounting instead.
 type QueryResponse struct {
 	Op       string   `json:"op"`
 	Estimate float64  `json:"estimate"`
 	Source   string   `json:"source"`
 	Sum      *float64 `json:"sum,omitempty"`
 	Weight   *float64 `json:"weight,omitempty"`
+	DP       *DPInfo  `json:"dp,omitempty"`
 }
 
 // BatchRequest is the /v1/batch body: a COUNT workload.
@@ -354,9 +375,13 @@ type BatchRequest struct {
 
 // BatchResponse carries the batch answers in request order. The byte
 // rendering is identical for every server worker count — the determinism
-// contract of query.AnswerWorkload carried to the wire.
+// contract of query.AnswerWorkload carried to the wire. In DP mode each
+// estimate is noised under its own query's canonical key (so a batched
+// query answers identically to the same query sent alone) and DP carries
+// the accounting of the single combined charge (n·ε_per_query).
 type BatchResponse struct {
 	Estimates []float64 `json:"estimates"`
+	DP        *DPInfo   `json:"dp,omitempty"`
 }
 
 // MetadataResponse is the /v1/metadata document: the release metadata plus
@@ -370,6 +395,9 @@ type MetadataResponse struct {
 	Groups  int                     `json:"groups"`
 	Shards  int                     `json:"shards,omitempty"`
 	Release *snapshot.ChainMetadata `json:"release,omitempty"`
+	// DP advertises the differential-privacy serving mode when it is on:
+	// clients should expect noised answers and ε accounting (docs/DP.md).
+	DP *DPMetadata `json:"dp,omitempty"`
 }
 
 type errorResponse struct {
@@ -421,10 +449,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// compute and respond all against the same index, even if a reload swaps
 	// the serving release mid-request.
 	rel := s.rel.Load()
+	setReleaseHeader(w, rel.crc)
 	op, q, values, err := s.parseQuery(rel, &req)
 	if err != nil {
 		s.clientError(w, err)
 		return
+	}
+	key := queryKey(rel.schema, op, q, values)
+	sens := opSensitivity(op, rel.schema, values)
+	// The canonical key and sensitivity travel as response headers so a
+	// fan-out coordinator — which holds no schema of its own — can key its
+	// DP noise on exactly the encoding this shard computed.
+	w.Header().Set("X-PG-Query-Key", hex.EncodeToString([]byte(key)))
+	w.Header().Set("X-PG-Sensitivity", strconv.FormatFloat(sens, 'g', -1, 64))
+
+	var budget *dp.Budget
+	if s.dp != nil {
+		var ok bool
+		if budget, ok = s.dp.authorize(w, r); !ok {
+			return
+		}
 	}
 	done, ok := s.admit(w)
 	if !ok {
@@ -432,9 +476,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer done()
 
+	// Charge after admission (shed requests must not consume ε) and before
+	// the computation: an admitted DP query is charged even when it then
+	// errors, because data-dependent failures — an AVG region estimated
+	// empty, a timeout — are observations too.
+	var dpRem float64
+	if s.dp != nil {
+		var ok bool
+		if dpRem, ok = s.dp.charge(w, budget, budget.PerQuery); !ok {
+			return
+		}
+	}
+
 	sp := s.met.latQuery
 	t0 := time.Now()
-	val, source, err := s.answerOne(r.Context(), rel, op, q, values)
+	val, source, err := s.answerOne(r.Context(), rel, key, op, q, values)
 	sp.Observe(time.Since(t0).Nanoseconds())
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
@@ -444,11 +500,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, err)
 	default:
 		resp := QueryResponse{Op: op, Estimate: val.est, Source: source}
-		if val.parts {
+		if s.dp != nil {
+			resp, err = s.dp.noised(dpAnswer{
+				crc: rel.crc, apiKey: budget.Key, qkey: key, op: op,
+				eps: budget.PerQuery, sens: sens, rem: dpRem, source: source,
+			}, val)
+			if err != nil {
+				s.clientError(w, err)
+				return
+			}
+		} else if val.parts {
 			sum, weight := val.sum, val.weight
 			resp.Sum, resp.Weight = &sum, &weight
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// setReleaseHeader advertises the serving release's identity on every
+// aggregate response, so a client — the attack fleet included — can detect
+// a hot-swap mid-session instead of silently mixing releases.
+func setReleaseHeader(w http.ResponseWriter, crc uint32) {
+	if crc != 0 {
+		w.Header().Set("X-PG-Release", fmt.Sprintf("%08x", crc))
 	}
 }
 
@@ -465,6 +539,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rel := s.rel.Load()
+	setReleaseHeader(w, rel.crc)
 	qs := make([]query.CountQuery, len(req.Queries))
 	for i := range req.Queries {
 		op, q, _, err := s.parseQuery(rel, &req.Queries[i])
@@ -478,11 +553,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = q
 	}
+	var budget *dp.Budget
+	if s.dp != nil {
+		var ok bool
+		if budget, ok = s.dp.authorize(w, r); !ok {
+			return
+		}
+	}
 	done, ok := s.admit(w)
 	if !ok {
 		return
 	}
 	defer done()
+
+	// One combined charge of n·ε_per_query: the batch answers n queries, so
+	// it costs n queries' worth of budget — batching is a transport
+	// convenience, not a discount.
+	var dpRem, dpCost float64
+	if s.dp != nil {
+		dpCost = float64(len(qs)) * budget.PerQuery
+		var ok bool
+		if dpRem, ok = s.dp.charge(w, budget, dpCost); !ok {
+			return
+		}
+	}
 
 	t0 := time.Now()
 	ests, err := s.computeWithDeadline(r.Context(), func() ([]float64, error) {
@@ -499,14 +593,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if ests == nil {
 			ests = []float64{}
 		}
-		writeJSON(w, http.StatusOK, BatchResponse{Estimates: ests})
+		resp := BatchResponse{Estimates: ests}
+		if s.dp != nil {
+			// Each estimate is noised under its own query's canonical key, so
+			// a batched query answers identically to the same query sent alone
+			// under the same key and release.
+			m := dp.Mechanism{Seed: s.dp.seed, CRC: rel.crc}
+			for i := range ests {
+				k := queryKey(rel.schema, "count", qs[i], nil)
+				ests[i] += m.Noise(budget.Key, k, 0, 1/budget.PerQuery)
+			}
+			resp.DP = &DPInfo{Epsilon: dpCost, Remaining: dpRem}
+			s.dp.met.queries.Add(int64(len(qs)))
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
 }
 
 func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 	s.met.reqMetadata.Inc()
 	rel := s.rel.Load()
-	writeJSON(w, http.StatusOK, MetadataResponse{Metadata: rel.meta, Groups: rel.groups, Release: rel.chain})
+	writeJSON(w, http.StatusOK, MetadataResponse{
+		Metadata: rel.meta, Groups: rel.groups, Release: rel.chain,
+		DP: s.dp.metadata(),
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -517,9 +627,10 @@ func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
 // timed-out leader's computation keeps running in the background and still
 // populates the cache — the work is not wasted, only the response slot.
 // Cache and singleflight belong to the release, so a leader that outlives a
-// hot-swap still populates (only) its own release's cache.
-func (s *Server) answerOne(ctx context.Context, rel *release, op string, q query.CountQuery, values []float64) (val answerVal, source string, err error) {
-	key := queryKey(rel.schema, op, q, values)
+// hot-swap still populates (only) its own release's cache. key is the query's
+// canonical encoding (queryKey), computed once by the handler — it doubles as
+// the DP noise identity there.
+func (s *Server) answerOne(ctx context.Context, rel *release, key, op string, q query.CountQuery, values []float64) (val answerVal, source string, err error) {
 	if v, ok := rel.cache.get(key); ok {
 		s.met.cacheHits.Inc()
 		return v, "cache", nil
@@ -721,6 +832,13 @@ func resolveBound(a *dataset.Attribute, raw json.RawMessage, def int32) (int32, 
 // requests collide), the sensitive mask as a code list, and the sum/avg
 // value vector's bit patterns. Two requests with equal keys have equal
 // answers, which is what makes the key safe as a cache/coalescing identity.
+// QueryKey exposes the canonical encoding to offline tools: pgquery's DP
+// mode must key its noise on exactly the string the server would use, or the
+// served-vs-offline equivalence breaks.
+func QueryKey(schema *dataset.Schema, op string, q query.CountQuery, values []float64) string {
+	return queryKey(schema, op, q, values)
+}
+
 func queryKey(schema *dataset.Schema, op string, q query.CountQuery, values []float64) string {
 	b := make([]byte, 0, 64)
 	b = append(b, op...)
